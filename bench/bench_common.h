@@ -1,0 +1,86 @@
+#ifndef DEEPAQP_BENCH_BENCH_COMMON_H_
+#define DEEPAQP_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the per-figure experiment binaries. Every bench
+// prints self-describing aligned text tables ("figure, dataset, series, x,
+// value") so EXPERIMENTS.md can record paper-vs-measured shapes. All sizes
+// are flag-overridable; defaults are scaled to a single CPU core.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aqp/evaluation.h"
+#include "aqp/metrics.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "relation/table.h"
+#include "util/flags.h"
+#include "vae/vae_model.h"
+
+namespace deepaqp::bench {
+
+/// The two evaluation datasets of Sec. VI-A, synthesized at `rows`.
+inline relation::Table MakeDataset(const std::string& name, size_t rows,
+                                   uint64_t seed = 1) {
+  if (name == "census") {
+    return data::GenerateCensus({.rows = rows, .seed = seed});
+  }
+  if (name == "flights") {
+    data::FlightsConfig config;
+    config.rows = rows;
+    config.seed = seed;
+    // Large-cardinality attribute scaled with the dataset so one-hot
+    // encoding stays pathological but trainable.
+    config.flight_number_cardinality =
+        static_cast<int32_t>(std::min<size_t>(2000, rows / 10 + 64));
+    return data::GenerateFlights(config);
+  }
+  if (name == "taxi") {
+    return data::GenerateTaxi({.rows = rows, .seed = seed});
+  }
+  std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+inline std::vector<aqp::AggregateQuery> MakeWorkload(
+    const relation::Table& table, size_t queries, uint64_t seed = 7) {
+  data::WorkloadConfig config;
+  config.num_queries = queries;
+  config.seed = seed;
+  return data::GenerateWorkload(table, config);
+}
+
+/// Default model options used across figures unless the figure sweeps the
+/// knob itself.
+inline vae::VaeAqpOptions DefaultVaeOptions(int epochs) {
+  vae::VaeAqpOptions options;
+  options.epochs = epochs;
+  options.hidden_dim = 64;
+  options.depth = 2;
+  options.encoder.numeric_bins = 24;
+  options.seed = 97;
+  return options;
+}
+
+/// Prints one result row of a figure's series.
+inline void PrintRedRow(const char* figure, const std::string& dataset,
+                        const std::string& series,
+                        const aqp::DistributionSummary& summary) {
+  std::printf("%-8s %-8s %-22s median=%7.4f p25=%7.4f p75=%7.4f p95=%8.4f mean=%7.4f\n",
+              figure, dataset.c_str(), series.c_str(), summary.median,
+              summary.p25, summary.p75, summary.p95, summary.mean);
+  std::fflush(stdout);
+}
+
+inline void PrintValueRow(const char* figure, const std::string& dataset,
+                          const std::string& series, const char* metric,
+                          double value) {
+  std::printf("%-8s %-8s %-22s %s=%.4f\n", figure, dataset.c_str(),
+              series.c_str(), metric, value);
+  std::fflush(stdout);
+}
+
+}  // namespace deepaqp::bench
+
+#endif  // DEEPAQP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,56 @@
+// Fig. 13: sample-generation time vs sample count, per rejection threshold.
+// Expectation (paper): stricter T costs more per sample (rejections);
+// generation time is nearly flat in the sample count per batch (vectorized
+// decoding), so time grows ~linearly with only a small slope until large
+// counts.
+//
+//   ./bench_fig13_sampling_time [--rows 15000] [--epochs 10]
+//                               [--max_samples 100000]
+
+#include <cmath>
+
+#include "bench_common.h"
+
+#include "util/timer.h"
+
+using namespace deepaqp;  // NOLINT: bench brevity
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto rows = static_cast<size_t>(flags.GetInt("rows", 15000));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 10));
+  const auto max_samples =
+      static_cast<size_t>(flags.GetInt("max_samples", 100000));
+
+  const std::string dataset = "census";
+  relation::Table table = bench::MakeDataset(dataset, rows);
+  auto model =
+      vae::VaeAqpModel::Train(table, bench::DefaultVaeOptions(epochs));
+  if (!model.ok()) return 1;
+  const double t0 = (*model)->default_t();
+
+  const std::pair<const char*, double> sweeps[] = {
+      {"T=-inf", vae::kTMinusInf},
+      {"T=t0-10", t0 - 10.0},
+      {"T=t0", t0},
+      {"T=t0+10", t0 + 10.0},
+      {"T=+inf", vae::kTPlusInf},
+  };
+  for (size_t samples = 1000; samples <= max_samples; samples *= 10) {
+    for (const auto& [name, t] : sweeps) {
+      // T=-inf yields one accepted tuple per candidate window; cap the
+      // count so the bench finishes (paper makes the same cost point).
+      const size_t n =
+          t == vae::kTMinusInf ? std::min<size_t>(samples, 2000) : samples;
+      util::Rng rng(71);
+      util::Stopwatch watch;
+      relation::Table sample = (*model)->Generate(n, t, rng);
+      const double seconds = watch.ElapsedSeconds();
+      char series[64];
+      std::snprintf(series, sizeof(series), "n=%zu %s", n, name);
+      bench::PrintValueRow("Fig13", dataset, series, "sampling_seconds",
+                           seconds);
+    }
+  }
+  return 0;
+}

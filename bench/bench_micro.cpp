@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks of the hot substrate paths: gemm,
+// RNG, tuple encoding/decoding, query execution, VAE sample generation,
+// and the matching kernel behind the cross-match test.
+
+#include <benchmark/benchmark.h>
+
+#include "aqp/executor.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "encoding/tuple_encoder.h"
+#include "nn/matrix.h"
+#include "stats/matching.h"
+#include "util/rng.h"
+#include "vae/vae_model.h"
+
+namespace deepaqp {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  nn::Matrix a(n, n), b(n, n), c;
+  a.RandomizeGaussian(rng, 1.0f);
+  b.RandomizeGaussian(rng, 1.0f);
+  for (auto _ : state) {
+    nn::Gemm(a, false, b, false, 1.0f, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_RngGaussian(benchmark::State& state) {
+  util::Rng rng(2);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng.NextGaussian();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_EncodeRows(benchmark::State& state) {
+  auto table = data::GenerateCensus({.rows = 4096, .seed = 3});
+  encoding::EncoderOptions options;
+  auto encoder = encoding::TupleEncoder::Fit(table, options);
+  for (auto _ : state) {
+    auto m = encoder->EncodeAll(table);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetItemsProcessed(state.iterations() * table.num_rows());
+}
+BENCHMARK(BM_EncodeRows);
+
+void BM_DecodeLogits(benchmark::State& state) {
+  auto table = data::GenerateCensus({.rows = 512, .seed = 4});
+  auto encoder = encoding::TupleEncoder::Fit(table, {});
+  nn::Matrix logits(512, encoder->encoded_dim());
+  util::Rng rng(5);
+  logits.RandomizeGaussian(rng, 2.0f);
+  const encoding::DecodeOptions decode{
+      encoding::DecodeStrategy::kWeightedRandom, 8};
+  for (auto _ : state) {
+    auto t = encoder->DecodeLogits(logits, decode, rng);
+    benchmark::DoNotOptimize(t.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DecodeLogits);
+
+void BM_ExactQuery(benchmark::State& state) {
+  auto table = data::GenerateCensus(
+      {.rows = static_cast<size_t>(state.range(0)), .seed = 6});
+  data::WorkloadConfig cfg;
+  cfg.num_queries = 1;
+  cfg.seed = 11;
+  auto workload = data::GenerateWorkload(table, cfg);
+  for (auto _ : state) {
+    auto r = aqp::ExecuteExact(workload[0], table);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * table.num_rows());
+}
+BENCHMARK(BM_ExactQuery)->Arg(10000)->Arg(100000);
+
+void BM_VaeGenerate(benchmark::State& state) {
+  auto table = data::GenerateTaxi({.rows = 4000, .seed = 7});
+  vae::VaeAqpOptions options;
+  options.epochs = 4;
+  auto model = vae::VaeAqpModel::Train(table, options);
+  util::Rng rng(8);
+  for (auto _ : state) {
+    auto sample = (*model)->Generate(1000, vae::kTPlusInf, rng);
+    benchmark::DoNotOptimize(sample.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_VaeGenerate);
+
+void BM_MinWeightMatching(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  util::Rng rng(9);
+  std::vector<std::vector<double>> points(n, std::vector<double>(4));
+  for (auto& p : points) {
+    for (double& v : p) v = rng.Gaussian(0, 1);
+  }
+  auto dist = stats::EuclideanDistances(points);
+  for (auto _ : state) {
+    auto mate = stats::MinWeightPerfectMatching(dist);
+    benchmark::DoNotOptimize(mate.ok());
+  }
+}
+BENCHMARK(BM_MinWeightMatching)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace deepaqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+#include "aqp/bootstrap.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "aqp/estimator.h"
+#include "aqp/metrics.h"
+
+namespace deepaqp::aqp {
+
+util::Result<QueryResult> BootstrapEstimate(const AggregateQuery& query,
+                                            const relation::Table& sample,
+                                            size_t population_rows,
+                                            const BootstrapOptions& options) {
+  if (options.resamples < 2 || options.confidence <= 0.0 ||
+      options.confidence >= 1.0) {
+    return util::Status::InvalidArgument("bad bootstrap options");
+  }
+  DEEPAQP_ASSIGN_OR_RETURN(
+      QueryResult point, EstimateFromSample(query, sample, population_rows));
+
+  const size_t ns = sample.num_rows();
+  util::Rng rng(options.seed);
+  std::map<int32_t, std::vector<double>> replicate_values;
+  std::vector<size_t> pick(ns);
+  for (int b = 0; b < options.resamples; ++b) {
+    for (size_t i = 0; i < ns; ++i) pick[i] = rng.NextIndex(ns);
+    relation::Table resample = sample.Gather(pick);
+    auto est = EstimateFromSample(query, resample, population_rows);
+    if (!est.ok()) continue;
+    for (const GroupValue& g : est->groups) {
+      replicate_values[g.group].push_back(g.value);
+    }
+  }
+
+  const double lo_q = (1.0 - options.confidence) / 2.0;
+  const double hi_q = 1.0 - lo_q;
+  for (GroupValue& g : point.groups) {
+    auto it = replicate_values.find(g.group);
+    if (it == replicate_values.end() || it->second.size() < 2) {
+      continue;  // keep the CLT width from EstimateFromSample
+    }
+    const double lo = EmpiricalQuantile(it->second, lo_q);
+    const double hi = EmpiricalQuantile(it->second, hi_q);
+    g.ci_half_width = (hi - lo) / 2.0;
+  }
+  return point;
+}
+
+}  // namespace deepaqp::aqp

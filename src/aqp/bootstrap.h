@@ -1,0 +1,35 @@
+#ifndef DEEPAQP_AQP_BOOTSTRAP_H_
+#define DEEPAQP_AQP_BOOTSTRAP_H_
+
+#include "aqp/query.h"
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepaqp::aqp {
+
+/// Options for bootstrap confidence intervals (Efron & Tibshirani [15], the
+/// classic AQP error-quantification technique the paper discusses in
+/// Sec. IV-B). Note the paper's caveat: bootstrapping a *biased* sample
+/// reproduces the bias — run it on samples that passed the cross-match test
+/// (or on true uniform samples).
+struct BootstrapOptions {
+  int resamples = 200;
+  /// Two-sided coverage level of the percentile interval.
+  double confidence = 0.95;
+  uint64_t seed = 1789;
+};
+
+/// Estimates `query` from `sample` (scaled to `population_rows`) and
+/// attaches percentile-bootstrap confidence intervals to every group:
+/// `value` is the plain estimate; `ci_half_width` is half the distance
+/// between the (1-c)/2 and (1+c)/2 quantiles of the resampled estimates.
+/// Groups that vanish in a resample are skipped for that replicate.
+util::Result<QueryResult> BootstrapEstimate(const AggregateQuery& query,
+                                            const relation::Table& sample,
+                                            size_t population_rows,
+                                            const BootstrapOptions& options);
+
+}  // namespace deepaqp::aqp
+
+#endif  // DEEPAQP_AQP_BOOTSTRAP_H_

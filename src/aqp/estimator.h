@@ -1,0 +1,27 @@
+#ifndef DEEPAQP_AQP_ESTIMATOR_H_
+#define DEEPAQP_AQP_ESTIMATOR_H_
+
+#include "aqp/query.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace deepaqp::aqp {
+
+/// Classic sample-based AQP estimation (the technique the paper applies
+/// transparently on top of model-generated samples, Sec. IV-A).
+///
+/// `sample` is treated as a uniform random sample of a relation with
+/// `population_rows` tuples: COUNT and SUM estimates are scaled by
+/// population_rows / sample_rows, AVG is the plain sample mean. Each group
+/// carries a 95% CLT confidence-interval half-width:
+///   AVG:   1.96 * s / sqrt(k)          (s = within-group sample stddev)
+///   SUM:   scale * 1.96 * sqrt(n_s) * s_contrib  (per-tuple contribution
+///          stddev over the whole sample, standard Horvitz-Thompson form)
+///   COUNT: scale * 1.96 * sqrt(n_s * p * (1 - p))
+util::Result<QueryResult> EstimateFromSample(const AggregateQuery& query,
+                                             const relation::Table& sample,
+                                             size_t population_rows);
+
+}  // namespace deepaqp::aqp
+
+#endif  // DEEPAQP_AQP_ESTIMATOR_H_

@@ -1,0 +1,107 @@
+#include "aqp/evaluation.h"
+
+#include <algorithm>
+
+#include "aqp/estimator.h"
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+
+namespace deepaqp::aqp {
+
+SampleFn UniformTableSampler(const relation::Table& table) {
+  return [&table](size_t rows, util::Rng& rng) {
+    return table.SampleRows(std::min(rows, table.num_rows()), rng);
+  };
+}
+
+util::Result<std::vector<double>> WorkloadRelativeErrors(
+    const std::vector<AggregateQuery>& workload,
+    const relation::Table& table, const SampleFn& sampler,
+    const EvalOptions& options) {
+  const size_t population = table.num_rows();
+  const size_t sample_rows = std::max<size_t>(
+      1, static_cast<size_t>(options.sample_fraction *
+                             static_cast<double>(population)));
+
+  // Exact answers once per query.
+  std::vector<QueryResult> truths;
+  truths.reserve(workload.size());
+  for (const AggregateQuery& q : workload) {
+    DEEPAQP_ASSIGN_OR_RETURN(QueryResult truth, ExecuteExact(q, table));
+    truths.push_back(std::move(truth));
+  }
+
+  std::vector<double> errors(workload.size(), 0.0);
+  util::Rng rng(options.seed);
+  for (int trial = 0; trial < options.num_trials; ++trial) {
+    const relation::Table sample = sampler(sample_rows, rng);
+    for (size_t qi = 0; qi < workload.size(); ++qi) {
+      auto est = EstimateFromSample(workload[qi], sample, population);
+      if (!est.ok()) {
+        // An estimator that cannot answer at all gets the maximal bounded
+        // error, mirroring the missing-group convention of Eq. 3.
+        errors[qi] += 1.0;
+        continue;
+      }
+      errors[qi] += ResultRelativeError(*est, truths[qi]);
+    }
+  }
+  for (double& e : errors) e /= static_cast<double>(options.num_trials);
+  return errors;
+}
+
+util::Result<std::vector<double>> WorkloadRelativeErrorsDirect(
+    const std::vector<AggregateQuery>& workload,
+    const relation::Table& table, const AnswerFn& answer) {
+  std::vector<double> errors(workload.size(), 0.0);
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    DEEPAQP_ASSIGN_OR_RETURN(QueryResult truth,
+                             ExecuteExact(workload[qi], table));
+    auto est = answer(workload[qi]);
+    errors[qi] = est.ok() ? ResultRelativeError(*est, truth) : 1.0;
+  }
+  return errors;
+}
+
+util::Result<std::vector<double>> RelativeErrorDifferencesDirect(
+    const std::vector<AggregateQuery>& workload,
+    const relation::Table& table, const AnswerFn& answer,
+    const EvalOptions& options) {
+  DEEPAQP_ASSIGN_OR_RETURN(
+      std::vector<double> model_errors,
+      WorkloadRelativeErrorsDirect(workload, table, answer));
+  EvalOptions ref_options = options;
+  ref_options.seed = options.seed + 0x5DEECE66Dull;
+  DEEPAQP_ASSIGN_OR_RETURN(
+      std::vector<double> ref_errors,
+      WorkloadRelativeErrors(workload, table, UniformTableSampler(table),
+                             ref_options));
+  std::vector<double> red(workload.size());
+  for (size_t i = 0; i < red.size(); ++i) {
+    red[i] = std::abs(model_errors[i] - ref_errors[i]);
+  }
+  return red;
+}
+
+util::Result<std::vector<double>> RelativeErrorDifferences(
+    const std::vector<AggregateQuery>& workload,
+    const relation::Table& table, const SampleFn& model_sampler,
+    const EvalOptions& options) {
+  DEEPAQP_ASSIGN_OR_RETURN(
+      std::vector<double> model_errors,
+      WorkloadRelativeErrors(workload, table, model_sampler, options));
+  EvalOptions ref_options = options;
+  // Decorrelate the reference sampler's draws from the model's.
+  ref_options.seed = options.seed + 0x5DEECE66Dull;
+  DEEPAQP_ASSIGN_OR_RETURN(
+      std::vector<double> ref_errors,
+      WorkloadRelativeErrors(workload, table, UniformTableSampler(table),
+                             ref_options));
+  std::vector<double> red(workload.size());
+  for (size_t i = 0; i < red.size(); ++i) {
+    red[i] = std::abs(model_errors[i] - ref_errors[i]);
+  }
+  return red;
+}
+
+}  // namespace deepaqp::aqp

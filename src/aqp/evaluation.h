@@ -1,0 +1,73 @@
+#ifndef DEEPAQP_AQP_EVALUATION_H_
+#define DEEPAQP_AQP_EVALUATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "aqp/query.h"
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepaqp::aqp {
+
+/// Produces a synthetic or real sample table of (approximately) `rows` rows,
+/// drawn with the given RNG. Model samplers (VAE, GAN, ...) and the uniform
+/// table sampler both fit this signature, so every experiment harness can
+/// sweep estimators uniformly.
+using SampleFn =
+    std::function<relation::Table(size_t rows, util::Rng& rng)>;
+
+/// Wraps uniform row sampling of `table` as a SampleFn (the paper's reference
+/// estimator: samples of the underlying relation R).
+SampleFn UniformTableSampler(const relation::Table& table);
+
+/// Options controlling the evaluation protocol of Sec. VI-A.
+struct EvalOptions {
+  /// Sample size as a fraction of the relation (paper default: 1%).
+  double sample_fraction = 0.01;
+  /// Number of independent sample draws averaged per query (paper: 10).
+  int num_trials = 10;
+  uint64_t seed = 42;
+};
+
+/// Per-query mean relative error of `sampler` against exact execution on
+/// `table`, averaged over `options.num_trials` independent sample draws.
+/// Queries that fail validation are skipped (reported as absent).
+util::Result<std::vector<double>> WorkloadRelativeErrors(
+    const std::vector<AggregateQuery>& workload,
+    const relation::Table& table, const SampleFn& sampler,
+    const EvalOptions& options);
+
+/// Estimator that answers a query directly (without materializing samples),
+/// e.g., pre-built models like DBEst or NeuralCubes. A non-OK result means
+/// the model cannot serve the query (ad-hoc template); the harness assigns
+/// it the maximal bounded error.
+using AnswerFn =
+    std::function<util::Result<QueryResult>(const AggregateQuery& query)>;
+
+/// Per-query relative error of a direct-answering estimator against exact
+/// execution (no sampling trials; such models are deterministic).
+util::Result<std::vector<double>> WorkloadRelativeErrorsDirect(
+    const std::vector<AggregateQuery>& workload,
+    const relation::Table& table, const AnswerFn& answer);
+
+/// The paper's headline metric (Sec. VI-A): per-query *relative error
+/// difference* (RED) between a model-backed sampler and a true uniform
+/// sample of the relation, |RE_model(q) - RE_uniform(q)|. Close to 0 means
+/// the model's synthetic samples are as good as real samples.
+util::Result<std::vector<double>> RelativeErrorDifferences(
+    const std::vector<AggregateQuery>& workload,
+    const relation::Table& table, const SampleFn& model_sampler,
+    const EvalOptions& options);
+
+/// RED for a direct-answering estimator: |RE_model(q) - RE_uniform(q)|
+/// against the same uniform-sample reference as the sampling variant.
+util::Result<std::vector<double>> RelativeErrorDifferencesDirect(
+    const std::vector<AggregateQuery>& workload,
+    const relation::Table& table, const AnswerFn& answer,
+    const EvalOptions& options);
+
+}  // namespace deepaqp::aqp
+
+#endif  // DEEPAQP_AQP_EVALUATION_H_

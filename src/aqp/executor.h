@@ -1,0 +1,29 @@
+#ifndef DEEPAQP_AQP_EXECUTOR_H_
+#define DEEPAQP_AQP_EXECUTOR_H_
+
+#include "aqp/query.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace deepaqp::aqp {
+
+/// Validates that `query` is well-formed against `table`'s schema: attribute
+/// indices in range, SUM/AVG measure is numeric, GROUP BY attribute is
+/// categorical.
+util::Status ValidateQuery(const AggregateQuery& query,
+                           const relation::Table& table);
+
+/// Exact evaluation of `query` over `table` by a full scan. Group-by results
+/// are ordered by group code; groups with no matching tuples are absent.
+/// AVG of an empty selection yields an empty result (no groups) rather than
+/// NaN.
+util::Result<QueryResult> ExecuteExact(const AggregateQuery& query,
+                                       const relation::Table& table);
+
+/// Fraction of `table` rows matching `query.filter` (1.0 for an empty
+/// filter). Used to bucket workloads by selectivity (Fig. 3).
+double Selectivity(const AggregateQuery& query, const relation::Table& table);
+
+}  // namespace deepaqp::aqp
+
+#endif  // DEEPAQP_AQP_EXECUTOR_H_

@@ -1,0 +1,73 @@
+#include "aqp/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepaqp::aqp {
+
+double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) return estimate == 0.0 ? 0.0 : 1.0;
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+double AverageRelativeError(const std::vector<double>& per_query_errors) {
+  if (per_query_errors.empty()) return 0.0;
+  double sum = 0.0;
+  for (double e : per_query_errors) sum += e;
+  return sum / static_cast<double>(per_query_errors.size());
+}
+
+double ResultRelativeError(const QueryResult& estimate,
+                           const QueryResult& truth) {
+  if (truth.groups.empty()) {
+    // Exact side has no qualifying groups; a correct estimate is also empty.
+    return estimate.groups.empty() ? 0.0 : 1.0;
+  }
+  double total = 0.0;
+  for (const GroupValue& t : truth.groups) {
+    const GroupValue* e = estimate.Find(t.group);
+    total += (e == nullptr) ? 1.0 : RelativeError(e->value, t.value);
+  }
+  return total / static_cast<double>(truth.groups.size());
+}
+
+double EmpiricalQuantile(std::vector<double> values, double q) {
+  DEEPAQP_CHECK(!values.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  // Linear interpolation between closest ranks.
+  const double pos = q * static_cast<double>(n - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+DistributionSummary DistributionSummary::FromValues(
+    std::vector<double> values) {
+  DistributionSummary s;
+  if (values.empty()) return s;
+  const size_t n = values.size();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  std::sort(values.begin(), values.end());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(n - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  s.p5 = quantile(0.05);
+  s.p25 = quantile(0.25);
+  s.median = quantile(0.50);
+  s.p75 = quantile(0.75);
+  s.p95 = quantile(0.95);
+  return s;
+}
+
+}  // namespace deepaqp::aqp

@@ -1,0 +1,45 @@
+#ifndef DEEPAQP_AQP_METRICS_H_
+#define DEEPAQP_AQP_METRICS_H_
+
+#include <vector>
+
+#include "aqp/query.h"
+
+namespace deepaqp::aqp {
+
+/// Relative error |est - truth| / |truth| (paper Eq. 1). When truth == 0,
+/// returns 0 if est == 0 and 1 otherwise (the bounded convention used by
+/// AQP evaluations so zero-truth queries cannot produce infinite errors).
+double RelativeError(double estimate, double truth);
+
+/// Mean of per-query relative errors (paper Eq. 2).
+double AverageRelativeError(const std::vector<double>& per_query_errors);
+
+/// Relative error of an estimated result against the exact result
+/// (paper Eq. 3 for GROUP BY): groups present in `truth` but missing from
+/// `estimate` contribute a relative error of 1 (100%); the average is over
+/// truth groups. Scalar queries degrade to Eq. 1. Extra spurious groups in
+/// `estimate` are ignored, matching the paper's definition.
+double ResultRelativeError(const QueryResult& estimate,
+                           const QueryResult& truth);
+
+/// Empirical q-quantile of `values` (linear interpolation between closest
+/// ranks). Requires non-empty values; q is clamped into [0, 1].
+double EmpiricalQuantile(std::vector<double> values, double q);
+
+/// Order statistics of an error distribution, for box-plot style reporting
+/// (the paper reports 5th/25th/median/75th/95th percentiles).
+struct DistributionSummary {
+  double mean = 0.0;
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+
+  static DistributionSummary FromValues(std::vector<double> values);
+};
+
+}  // namespace deepaqp::aqp
+
+#endif  // DEEPAQP_AQP_METRICS_H_

@@ -1,0 +1,102 @@
+#include "aqp/online.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aqp/executor.h"
+
+namespace deepaqp::aqp {
+
+namespace {
+constexpr double kZ95 = 1.959963985;
+}  // namespace
+
+OnlineAggregator::OnlineAggregator(AggregateQuery query,
+                                   size_t population_rows)
+    : query_(std::move(query)), population_rows_(population_rows) {}
+
+util::Status OnlineAggregator::AddBatch(const relation::Table& batch) {
+  if (query_.agg == AggFunc::kQuantile) {
+    return util::Status::Unimplemented(
+        "online aggregation maintains moments only; no quantiles");
+  }
+  DEEPAQP_RETURN_IF_ERROR(ValidateQuery(query_, batch));
+  const bool group_by = query_.IsGroupBy();
+  const auto gattr = static_cast<size_t>(query_.group_by_attr);
+  const auto mattr = static_cast<size_t>(std::max(query_.measure_attr, 0));
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    ++tuples_seen_;
+    if (!query_.filter.Matches(batch, r)) continue;
+    const int32_t key = group_by ? batch.CatCode(r, gattr) : -1;
+    Moments& m = groups_[key];
+    const double x =
+        query_.agg == AggFunc::kCount ? 1.0 : batch.NumValue(r, mattr);
+    ++m.count;
+    m.sum += x;
+    m.sum_sq += x * x;
+  }
+  return util::Status::OK();
+}
+
+util::Result<QueryResult> OnlineAggregator::Current() const {
+  if (tuples_seen_ == 0) {
+    return util::Status::FailedPrecondition("no tuples consumed yet");
+  }
+  const double ns = static_cast<double>(tuples_seen_);
+  const double scale = static_cast<double>(population_rows_) / ns;
+  QueryResult result;
+  for (const auto& [key, m] : groups_) {
+    GroupValue g;
+    g.group = key;
+    g.support = m.count;
+    const double k = static_cast<double>(m.count);
+    switch (query_.agg) {
+      case AggFunc::kCount: {
+        g.value = scale * k;
+        const double p = k / ns;
+        g.ci_half_width = scale * kZ95 * std::sqrt(ns * p * (1.0 - p));
+        break;
+      }
+      case AggFunc::kSum: {
+        g.value = scale * m.sum;
+        const double mean_contrib = m.sum / ns;
+        const double var_contrib =
+            std::max(0.0, m.sum_sq / ns - mean_contrib * mean_contrib);
+        g.ci_half_width = scale * kZ95 * std::sqrt(var_contrib * ns);
+        break;
+      }
+      case AggFunc::kAvg: {
+        g.value = m.sum / k;
+        if (m.count >= 2) {
+          const double mean = m.sum / k;
+          const double var = std::max(
+              0.0, (m.sum_sq / k - mean * mean) * k / (k - 1.0));
+          g.ci_half_width = kZ95 * std::sqrt(var / k);
+        }
+        break;
+      }
+      case AggFunc::kQuantile:
+        break;  // rejected in AddBatch
+    }
+    result.groups.push_back(g);
+  }
+  if (!query_.IsGroupBy() && result.groups.empty() &&
+      (query_.agg == AggFunc::kCount || query_.agg == AggFunc::kSum)) {
+    result.groups.push_back(GroupValue{-1, 0.0, 0, 0.0});
+  }
+  return result;
+}
+
+bool OnlineAggregator::Converged(double target_relative_ci) const {
+  auto current = Current();
+  if (!current.ok() || current->groups.empty()) return false;
+  for (const GroupValue& g : current->groups) {
+    const double denom = std::abs(g.value);
+    const double rel =
+        denom > 0 ? g.ci_half_width / denom : g.ci_half_width;
+    if (rel > target_relative_ci) return false;
+  }
+  return true;
+}
+
+}  // namespace deepaqp::aqp

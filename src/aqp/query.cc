@@ -1,0 +1,118 @@
+#include "aqp/query.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace deepaqp::aqp {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool Condition::Matches(double cell) const {
+  switch (op) {
+    case CmpOp::kEq:
+      return cell == value;
+    case CmpOp::kNe:
+      return cell != value;
+    case CmpOp::kLt:
+      return cell < value;
+    case CmpOp::kGt:
+      return cell > value;
+    case CmpOp::kLe:
+      return cell <= value;
+    case CmpOp::kGe:
+      return cell >= value;
+  }
+  return false;
+}
+
+bool Predicate::Matches(const relation::Table& table, size_t row) const {
+  if (conditions.empty()) return true;
+  if (conjunctive) {
+    for (const Condition& c : conditions) {
+      if (!c.Matches(table.CellAsDouble(row, c.attr))) return false;
+    }
+    return true;
+  }
+  for (const Condition& c : conditions) {
+    if (c.Matches(table.CellAsDouble(row, c.attr))) return true;
+  }
+  return false;
+}
+
+const char* AggFuncName(AggFunc agg) {
+  switch (agg) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kQuantile:
+      return "QUANTILE";
+  }
+  return "?";
+}
+
+std::string AggregateQuery::ToString(const relation::Schema& schema) const {
+  std::string out = "SELECT ";
+  if (IsGroupBy()) {
+    out += schema.attribute(static_cast<size_t>(group_by_attr)).name + ", ";
+  }
+  out += AggFuncName(agg);
+  out += "(";
+  if (agg == AggFunc::kQuantile) {
+    out += util::FormatDouble(quantile, 2) + ", ";
+  }
+  out += agg == AggFunc::kCount
+             ? "*"
+             : schema.attribute(static_cast<size_t>(measure_attr)).name;
+  out += ") FROM R";
+  if (!filter.conditions.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < filter.conditions.size(); ++i) {
+      const Condition& c = filter.conditions[i];
+      if (i > 0) out += filter.conjunctive ? " AND " : " OR ";
+      out += schema.attribute(c.attr).name;
+      out += " ";
+      out += CmpOpName(c.op);
+      out += " ";
+      out += util::FormatDouble(c.value, schema.IsCategorical(c.attr) ? 0 : 3);
+    }
+  }
+  if (IsGroupBy()) {
+    out += " GROUP BY " +
+           schema.attribute(static_cast<size_t>(group_by_attr)).name;
+  }
+  return out;
+}
+
+double QueryResult::Scalar() const {
+  DEEPAQP_CHECK_EQ(groups.size(), 1u);
+  DEEPAQP_CHECK_EQ(groups[0].group, -1);
+  return groups[0].value;
+}
+
+const GroupValue* QueryResult::Find(int32_t group) const {
+  for (const GroupValue& g : groups) {
+    if (g.group == group) return &g;
+  }
+  return nullptr;
+}
+
+}  // namespace deepaqp::aqp

@@ -1,0 +1,102 @@
+#ifndef DEEPAQP_AQP_QUERY_H_
+#define DEEPAQP_AQP_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/table.h"
+
+namespace deepaqp::aqp {
+
+/// Relational comparison operators allowed in filter conditions (Sec. II):
+/// A op CONST with op in {=, !=, <, >, <=, >=}.
+enum class CmpOp {
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+};
+
+const char* CmpOpName(CmpOp op);
+
+/// One filter condition `attr op value`. For categorical attributes `value`
+/// holds the (zero-based) domain code; for numeric attributes the constant
+/// itself. Ordered comparisons on categorical attributes compare codes,
+/// matching the paper's zero-indexed-domain convention.
+struct Condition {
+  size_t attr = 0;
+  CmpOp op = CmpOp::kEq;
+  double value = 0.0;
+
+  bool Matches(double cell) const;
+};
+
+/// Conjunctive or disjunctive combination of conditions. An empty predicate
+/// matches every tuple.
+struct Predicate {
+  std::vector<Condition> conditions;
+  bool conjunctive = true;
+
+  bool Matches(const relation::Table& table, size_t row) const;
+};
+
+/// Aggregate functions studied in the paper. COUNT ignores the measure
+/// attribute. QUANTILE is the paper's Sec. II extension point ("one could
+/// use other aggregates such as QUANTILES as long as a statistical
+/// estimator exists").
+enum class AggFunc {
+  kCount,
+  kSum,
+  kAvg,
+  kQuantile,
+};
+
+const char* AggFuncName(AggFunc agg);
+
+/// SELECT [g,] AGG(A) FROM R WHERE filter [GROUP BY g].
+struct AggregateQuery {
+  AggFunc agg = AggFunc::kCount;
+  /// Measure attribute index; ignored for COUNT. Must be numeric for
+  /// SUM/AVG/QUANTILE.
+  int measure_attr = -1;
+  /// Quantile level in (0, 1) for AggFunc::kQuantile (0.5 = median).
+  double quantile = 0.5;
+  Predicate filter;
+  /// Categorical group-by attribute index, or -1 for a scalar query.
+  int group_by_attr = -1;
+
+  bool IsGroupBy() const { return group_by_attr >= 0; }
+
+  /// SQL-ish rendering for logs and reports.
+  std::string ToString(const relation::Schema& schema) const;
+};
+
+/// One group's aggregate in a result; scalar queries use a single entry with
+/// `group = -1`.
+struct GroupValue {
+  int32_t group = -1;
+  double value = 0.0;
+  /// Rows of the (possibly sample) table contributing to this group.
+  size_t support = 0;
+  /// Half-width of the 95% CLT confidence interval; 0 for exact results.
+  double ci_half_width = 0.0;
+};
+
+/// Result of executing an aggregate query (exactly or approximately).
+struct QueryResult {
+  std::vector<GroupValue> groups;
+
+  /// Scalar convenience accessor: value of the single group. Requires a
+  /// non-group-by result with exactly one entry.
+  double Scalar() const;
+
+  /// Looks up a group's value; returns nullptr when the group is absent.
+  const GroupValue* Find(int32_t group) const;
+};
+
+}  // namespace deepaqp::aqp
+
+#endif  // DEEPAQP_AQP_QUERY_H_

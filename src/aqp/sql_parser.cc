@@ -1,0 +1,339 @@
+#include "aqp/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace deepaqp::aqp {
+
+namespace {
+
+/// Token kinds of the small SQL dialect.
+enum class TokKind {
+  kIdent,    // attribute names, keywords
+  kNumber,   // numeric literal
+  kString,   // 'quoted label'
+  kSymbol,   // ( ) , * and comparison operators
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  util::Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back({TokKind::kIdent, text_.substr(start, pos_ - start)});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          ((c == '-' || c == '+') && pos_ + 1 < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) ||
+            text_[pos_ + 1] == '.'))) {
+        size_t start = pos_;
+        ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' ||
+                ((text_[pos_] == '-' || text_[pos_] == '+') &&
+                 (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+          ++pos_;
+        }
+        out.push_back({TokKind::kNumber, text_.substr(start, pos_ - start)});
+        continue;
+      }
+      if (c == '\'') {
+        size_t start = ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+        if (pos_ >= text_.size()) {
+          return util::Status::InvalidArgument("unterminated string literal");
+        }
+        out.push_back({TokKind::kString, text_.substr(start, pos_ - start)});
+        ++pos_;
+        continue;
+      }
+      // Multi-char comparison operators.
+      if (c == '<' || c == '>' || c == '!') {
+        std::string sym(1, c);
+        ++pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '=' || (c == '<' && text_[pos_] == '>'))) {
+          sym += text_[pos_++];
+        }
+        out.push_back({TokKind::kSymbol, sym});
+        continue;
+      }
+      if (c == '=' || c == '(' || c == ')' || c == ',' || c == '*') {
+        out.push_back({TokKind::kSymbol, std::string(1, c)});
+        ++pos_;
+        continue;
+      }
+      return util::Status::InvalidArgument(
+          std::string("unexpected character '") + c + "' in query");
+    }
+    out.push_back({TokKind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const relation::Table& table)
+      : tokens_(std::move(tokens)), table_(table) {}
+
+  util::Result<AggregateQuery> Parse() {
+    AggregateQuery query;
+    DEEPAQP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    // Optional group-column prefix: SELECT g, AGG(A) ... (Sec. II's form).
+    std::string select_group;
+    if (Peek().kind == TokKind::kIdent && pos_ + 1 < tokens_.size() &&
+        tokens_[pos_ + 1].kind == TokKind::kSymbol &&
+        tokens_[pos_ + 1].text == ",") {
+      select_group = Peek().text;
+      pos_ += 2;
+    }
+    DEEPAQP_RETURN_IF_ERROR(ParseAggregate(&query));
+    DEEPAQP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DEEPAQP_RETURN_IF_ERROR(Expect(TokKind::kIdent));  // relation name
+    if (PeekKeyword("WHERE")) {
+      ++pos_;
+      DEEPAQP_RETURN_IF_ERROR(ParseFilter(&query));
+    }
+    if (PeekKeyword("GROUP")) {
+      ++pos_;
+      DEEPAQP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      DEEPAQP_ASSIGN_OR_RETURN(size_t attr, ParseAttribute());
+      if (!table_.schema().IsCategorical(attr)) {
+        return util::Status::InvalidArgument(
+            "GROUP BY attribute must be categorical");
+      }
+      query.group_by_attr = static_cast<int>(attr);
+    }
+    if (!select_group.empty()) {
+      if (!query.IsGroupBy() ||
+          table_.schema()
+                  .attribute(static_cast<size_t>(query.group_by_attr))
+                  .name != select_group) {
+        return util::Status::InvalidArgument(
+            "SELECT column '" + select_group +
+            "' must match the GROUP BY attribute");
+      }
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return util::Status::InvalidArgument("trailing tokens after query: " +
+                                           Peek().text);
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && Upper(Peek().text) == kw;
+  }
+
+  util::Status Expect(TokKind kind) {
+    if (Peek().kind != kind) {
+      return util::Status::InvalidArgument("unexpected token '" +
+                                           Peek().text + "'");
+    }
+    ++pos_;
+    return util::Status::OK();
+  }
+
+  util::Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return util::Status::InvalidArgument(
+          std::string("expected ") + kw + " but found '" + Peek().text +
+          "'");
+    }
+    ++pos_;
+    return util::Status::OK();
+  }
+
+  util::Status ExpectSymbol(const char* sym) {
+    if (Peek().kind != TokKind::kSymbol || Peek().text != sym) {
+      return util::Status::InvalidArgument(
+          std::string("expected '") + sym + "' but found '" + Peek().text +
+          "'");
+    }
+    ++pos_;
+    return util::Status::OK();
+  }
+
+  util::Result<size_t> ParseAttribute() {
+    if (Peek().kind != TokKind::kIdent) {
+      return util::Status::InvalidArgument("expected attribute name, found '" +
+                                           Peek().text + "'");
+    }
+    const int idx = table_.schema().IndexOf(Peek().text);
+    if (idx < 0) {
+      return util::Status::NotFound("unknown attribute: " + Peek().text);
+    }
+    ++pos_;
+    return static_cast<size_t>(idx);
+  }
+
+  util::Status ParseAggregate(AggregateQuery* query) {
+    if (Peek().kind != TokKind::kIdent) {
+      return util::Status::InvalidArgument("expected aggregate function");
+    }
+    const std::string agg = Upper(Peek().text);
+    ++pos_;
+    DEEPAQP_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (agg == "COUNT") {
+      query->agg = AggFunc::kCount;
+      // COUNT(*) or COUNT(attr) — both count qualifying tuples.
+      if (Peek().kind == TokKind::kSymbol && Peek().text == "*") {
+        ++pos_;
+      } else {
+        DEEPAQP_RETURN_IF_ERROR(ParseAttribute().status());
+      }
+    } else if (agg == "SUM" || agg == "AVG") {
+      query->agg = agg == "SUM" ? AggFunc::kSum : AggFunc::kAvg;
+      DEEPAQP_ASSIGN_OR_RETURN(size_t attr, ParseAttribute());
+      query->measure_attr = static_cast<int>(attr);
+    } else if (agg == "QUANTILE") {
+      query->agg = AggFunc::kQuantile;
+      if (Peek().kind != TokKind::kNumber) {
+        return util::Status::InvalidArgument(
+            "QUANTILE needs a numeric level as its first argument");
+      }
+      double level = 0.0;
+      if (!util::ParseDouble(Peek().text, &level)) {
+        return util::Status::InvalidArgument("bad quantile level");
+      }
+      query->quantile = level;
+      ++pos_;
+      DEEPAQP_RETURN_IF_ERROR(ExpectSymbol(","));
+      DEEPAQP_ASSIGN_OR_RETURN(size_t attr, ParseAttribute());
+      query->measure_attr = static_cast<int>(attr);
+    } else {
+      return util::Status::InvalidArgument("unknown aggregate: " + agg);
+    }
+    return ExpectSymbol(")");
+  }
+
+  util::Status ParseFilter(AggregateQuery* query) {
+    bool saw_and = false, saw_or = false;
+    for (;;) {
+      DEEPAQP_RETURN_IF_ERROR(ParseCondition(query));
+      if (PeekKeyword("AND")) {
+        saw_and = true;
+        ++pos_;
+      } else if (PeekKeyword("OR")) {
+        saw_or = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (saw_and && saw_or) {
+      return util::Status::InvalidArgument(
+          "mixed AND/OR filters are not supported (Sec. II: conjunctive or "
+          "disjunctive)");
+    }
+    query->filter.conjunctive = !saw_or;
+    return util::Status::OK();
+  }
+
+  util::Status ParseCondition(AggregateQuery* query) {
+    DEEPAQP_ASSIGN_OR_RETURN(size_t attr, ParseAttribute());
+    if (Peek().kind != TokKind::kSymbol) {
+      return util::Status::InvalidArgument("expected comparison operator");
+    }
+    const std::string op_text = Peek().text;
+    CmpOp op;
+    if (op_text == "=") {
+      op = CmpOp::kEq;
+    } else if (op_text == "!=" || op_text == "<>") {
+      op = CmpOp::kNe;
+    } else if (op_text == "<") {
+      op = CmpOp::kLt;
+    } else if (op_text == ">") {
+      op = CmpOp::kGt;
+    } else if (op_text == "<=") {
+      op = CmpOp::kLe;
+    } else if (op_text == ">=") {
+      op = CmpOp::kGe;
+    } else {
+      return util::Status::InvalidArgument("unknown operator: " + op_text);
+    }
+    ++pos_;
+
+    double value = 0.0;
+    if (Peek().kind == TokKind::kNumber) {
+      if (!util::ParseDouble(Peek().text, &value)) {
+        return util::Status::InvalidArgument("bad numeric constant");
+      }
+      ++pos_;
+    } else if (Peek().kind == TokKind::kString) {
+      if (!table_.schema().IsCategorical(attr)) {
+        return util::Status::InvalidArgument(
+            "quoted label used on numeric attribute");
+      }
+      const int32_t code = table_.dict(attr).Lookup(Peek().text);
+      if (code < 0) {
+        return util::Status::NotFound("unknown label '" + Peek().text +
+                                      "' for attribute " +
+                                      table_.schema().attribute(attr).name);
+      }
+      value = static_cast<double>(code);
+      ++pos_;
+    } else {
+      return util::Status::InvalidArgument("expected constant, found '" +
+                                           Peek().text + "'");
+    }
+    query->filter.conditions.push_back({attr, op, value});
+    return util::Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  const relation::Table& table_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<AggregateQuery> ParseSql(const std::string& text,
+                                      const relation::Table& table) {
+  Lexer lexer(text);
+  DEEPAQP_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), table);
+  return parser.Parse();
+}
+
+}  // namespace deepaqp::aqp

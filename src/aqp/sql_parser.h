@@ -1,0 +1,34 @@
+#ifndef DEEPAQP_AQP_SQL_PARSER_H_
+#define DEEPAQP_AQP_SQL_PARSER_H_
+
+#include <string>
+
+#include "aqp/query.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace deepaqp::aqp {
+
+/// Parses the paper's query dialect (Sec. II) from SQL-ish text:
+///
+///   SELECT AGG(measure | *) FROM R
+///     [WHERE cond (AND|OR cond)*]
+///     [GROUP BY attr]
+///
+/// with AGG in {COUNT, SUM, AVG, QUANTILE(q, attr)} and cond of the form
+/// `attr op constant`, op in {=, !=, <>, <, >, <=, >=}. Categorical
+/// constants may be quoted labels (resolved through the table's
+/// dictionary) or bare codes. Mixing AND and OR is rejected (the paper's
+/// filters are purely conjunctive or purely disjunctive). Keywords are
+/// case-insensitive; attribute names and labels are case-sensitive.
+///
+/// Examples:
+///   SELECT COUNT(*) FROM R WHERE pickup_borough = 'Manhattan'
+///   SELECT AVG(fare) FROM R WHERE trip_distance > 2.5 GROUP BY hour
+///   SELECT QUANTILE(0.9, dep_delay) FROM R WHERE month = 5
+util::Result<AggregateQuery> ParseSql(const std::string& text,
+                                      const relation::Table& table);
+
+}  // namespace deepaqp::aqp
+
+#endif  // DEEPAQP_AQP_SQL_PARSER_H_

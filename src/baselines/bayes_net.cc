@@ -1,0 +1,167 @@
+#include "baselines/bayes_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace deepaqp::baselines {
+
+namespace {
+
+/// Pairwise mutual information between discretized attributes a and b.
+double MutualInformation(const std::vector<int32_t>& a, int32_t card_a,
+                         const std::vector<int32_t>& b, int32_t card_b) {
+  const size_t n = a.size();
+  std::vector<double> joint(static_cast<size_t>(card_a) * card_b, 0.0);
+  std::vector<double> pa(card_a, 0.0), pb(card_b, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    joint[a[i] * card_b + b[i]] += inv_n;
+    pa[a[i]] += inv_n;
+    pb[b[i]] += inv_n;
+  }
+  double mi = 0.0;
+  for (int32_t x = 0; x < card_a; ++x) {
+    for (int32_t y = 0; y < card_b; ++y) {
+      const double j = joint[x * card_b + y];
+      if (j > 0.0) mi += j * std::log(j / (pa[x] * pb[y]));
+    }
+  }
+  return mi;
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<BayesNetModel>> BayesNetModel::Train(
+    const relation::Table& table, const Options& options) {
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument("cannot train BN on empty table");
+  }
+  auto model = std::unique_ptr<BayesNetModel>(new BayesNetModel());
+  DEEPAQP_ASSIGN_OR_RETURN(model->discretizer_,
+                           Discretizer::Fit(table, options.max_bins));
+  const size_t m = table.num_attributes();
+  const size_t n = table.num_rows();
+
+  // Discretize all cells once.
+  std::vector<std::vector<int32_t>> codes(m, std::vector<int32_t>(n));
+  std::vector<int32_t> card(m);
+  for (size_t c = 0; c < m; ++c) {
+    card[c] = model->discretizer_.Cardinality(c);
+    for (size_t r = 0; r < n; ++r) {
+      codes[c][r] = model->discretizer_.CodeOf(table, r, c);
+    }
+  }
+
+  // Chow-Liu: maximum spanning tree over pairwise mutual information,
+  // grown Prim-style from attribute 0.
+  model->parent_.assign(m, -1);
+  std::vector<bool> in_tree(m, false);
+  std::vector<double> best_mi(m, -1.0);
+  std::vector<int> best_link(m, -1);
+  in_tree[0] = true;
+  for (size_t c = 1; c < m; ++c) {
+    best_mi[c] = MutualInformation(codes[0], card[0], codes[c], card[c]);
+    best_link[c] = 0;
+  }
+  for (size_t added = 1; added < m; ++added) {
+    int pick = -1;
+    for (size_t c = 0; c < m; ++c) {
+      if (!in_tree[c] && (pick < 0 || best_mi[c] > best_mi[pick])) {
+        pick = static_cast<int>(c);
+      }
+    }
+    in_tree[pick] = true;
+    model->parent_[pick] = best_link[pick];
+    for (size_t c = 0; c < m; ++c) {
+      if (in_tree[c]) continue;
+      const double mi = MutualInformation(codes[pick], card[pick], codes[c],
+                                          card[c]);
+      if (mi > best_mi[c]) {
+        best_mi[c] = mi;
+        best_link[c] = pick;
+      }
+    }
+  }
+
+  // Ancestral order: BFS from the root.
+  model->order_.clear();
+  std::queue<size_t> frontier;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const size_t cur = frontier.front();
+    frontier.pop();
+    model->order_.push_back(cur);
+    for (size_t c = 0; c < m; ++c) {
+      if (model->parent_[c] == static_cast<int>(cur)) frontier.push(c);
+    }
+  }
+  DEEPAQP_CHECK_EQ(model->order_.size(), m);
+
+  // CPTs with Laplace smoothing.
+  model->cpt_.resize(m);
+  for (size_t c = 0; c < m; ++c) {
+    const int parent = model->parent_[c];
+    const int32_t pcard = parent < 0 ? 1 : card[parent];
+    std::vector<double>& cpt = model->cpt_[c];
+    cpt.assign(static_cast<size_t>(pcard) * card[c], options.laplace);
+    for (size_t r = 0; r < n; ++r) {
+      const int32_t p = parent < 0 ? 0 : codes[parent][r];
+      cpt[static_cast<size_t>(p) * card[c] + codes[c][r]] += 1.0;
+    }
+    for (int32_t p = 0; p < pcard; ++p) {
+      double total = 0.0;
+      for (int32_t v = 0; v < card[c]; ++v) {
+        total += cpt[static_cast<size_t>(p) * card[c] + v];
+      }
+      for (int32_t v = 0; v < card[c]; ++v) {
+        cpt[static_cast<size_t>(p) * card[c] + v] /= total;
+      }
+    }
+  }
+  return model;
+}
+
+relation::Table BayesNetModel::Generate(size_t n, util::Rng& rng) {
+  const relation::Schema& schema = discretizer_.schema();
+  relation::Table out(schema);
+  const size_t m = schema.num_attributes();
+  for (size_t c = 0; c < m; ++c) {
+    if (schema.IsCategorical(c)) {
+      out.DeclareCardinality(c, discretizer_.Cardinality(c));
+    }
+  }
+  std::vector<int32_t> sampled(m);
+  std::vector<relation::Datum> row(m);
+  std::vector<double> probs;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c : order_) {
+      const int parent = parent_[c];
+      const int32_t card = discretizer_.Cardinality(c);
+      const int32_t p = parent < 0 ? 0 : sampled[parent];
+      probs.assign(cpt_[c].begin() + static_cast<size_t>(p) * card,
+                   cpt_[c].begin() + static_cast<size_t>(p + 1) * card);
+      sampled[c] = static_cast<int32_t>(rng.Categorical(probs));
+      row[c] = discretizer_.Materialize(c, sampled[c], rng);
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+aqp::SampleFn BayesNetModel::MakeSampler(uint64_t seed) {
+  return [this, seed](size_t rows, util::Rng& harness_rng) {
+    util::Rng rng(seed ^ harness_rng.NextUint64());
+    return Generate(rows, rng);
+  };
+}
+
+size_t BayesNetModel::SizeBytes() const {
+  size_t entries = 0;
+  for (const auto& cpt : cpt_) entries += cpt.size();
+  return entries * sizeof(double);
+}
+
+}  // namespace deepaqp::baselines

@@ -1,0 +1,60 @@
+#ifndef DEEPAQP_BASELINES_BAYES_NET_H_
+#define DEEPAQP_BASELINES_BAYES_NET_H_
+
+#include <memory>
+#include <vector>
+
+#include "aqp/evaluation.h"
+#include "baselines/discretizer.h"
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepaqp::baselines {
+
+/// Discrete Bayesian-network baseline (Fig. 11's "BN" bar). Numeric
+/// attributes are entropy-discretized ([12]); the structure is the Chow-Liu
+/// maximum-mutual-information spanning tree; CPTs use Laplace smoothing.
+/// Generation is ancestral sampling from the tree root. Tree-shaped BNs are
+/// the classic tractable middle ground the paper compares against: easy to
+/// train on discrete data, but forced to coarsen large hybrid domains when
+/// the model-size budget is strict.
+class BayesNetModel {
+ public:
+  struct Options {
+    /// Discretization budget per numeric attribute; also bounds CPT sizes.
+    int max_bins = 12;
+    double laplace = 1.0;
+    uint64_t seed = 47;
+  };
+
+  static util::Result<std::unique_ptr<BayesNetModel>> Train(
+      const relation::Table& table, const Options& options);
+
+  relation::Table Generate(size_t n, util::Rng& rng);
+
+  aqp::SampleFn MakeSampler(uint64_t seed = 53);
+
+  /// Total CPT entries * sizeof(double): the shipped model size.
+  size_t SizeBytes() const;
+
+  /// Parent attribute of each attribute in the learned tree (-1 for the
+  /// root). Exposed for tests.
+  const std::vector<int>& parents() const { return parent_; }
+
+ private:
+  BayesNetModel() = default;
+
+  Discretizer discretizer_;
+  /// parent_[a] = attribute index of a's parent, or -1 for the root.
+  std::vector<int> parent_;
+  /// Ancestral sampling order (root first).
+  std::vector<size_t> order_;
+  /// cpt_[a][p_code * card_a + code] = P(a = code | parent = p_code);
+  /// the root uses p_code = 0 only.
+  std::vector<std::vector<double>> cpt_;
+};
+
+}  // namespace deepaqp::baselines
+
+#endif  // DEEPAQP_BASELINES_BAYES_NET_H_

@@ -1,0 +1,235 @@
+#include "baselines/dbest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/logging.h"
+
+namespace deepaqp::baselines {
+
+using aqp::AggFunc;
+using aqp::AggregateQuery;
+using aqp::CmpOp;
+using aqp::GroupValue;
+using aqp::QueryResult;
+
+DbestModel::TemplateKey DbestModel::KeyOf(const AggregateQuery& query) {
+  std::set<size_t> attrs;
+  for (const auto& cond : query.filter.conditions) attrs.insert(cond.attr);
+  if (query.IsGroupBy()) {
+    attrs.insert(static_cast<size_t>(query.group_by_attr));
+  }
+  return TemplateKey(attrs.begin(), attrs.end());
+}
+
+const DbestModel::Template* DbestModel::FindTemplate(
+    const TemplateKey& key) const {
+  for (const auto& t : templates_) {
+    if (t.attrs == key) return &t;
+  }
+  return nullptr;
+}
+
+util::Result<std::unique_ptr<DbestModel>> DbestModel::Build(
+    const relation::Table& table,
+    const std::vector<AggregateQuery>& training_workload,
+    const Options& options) {
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument("cannot build DBEst on empty table");
+  }
+  auto model = std::unique_ptr<DbestModel>(new DbestModel());
+  DEEPAQP_ASSIGN_OR_RETURN(model->discretizer_,
+                           Discretizer::Fit(table, options.max_bins));
+  model->measure_attrs_ = table.schema().NumericIndices();
+  model->total_rows_ = table.num_rows();
+
+  // Distinct templates from the training workload.
+  std::set<TemplateKey> keys;
+  for (const auto& q : training_workload) {
+    if (keys.size() >= options.max_templates) break;
+    keys.insert(KeyOf(q));
+  }
+
+  for (const TemplateKey& key : keys) {
+    Template tmpl;
+    tmpl.attrs = key;
+    uint64_t cells = 1;
+    bool feasible = true;
+    for (size_t attr : key) {
+      const auto card =
+          static_cast<uint64_t>(model->discretizer_.Cardinality(attr));
+      tmpl.dims.push_back(static_cast<int32_t>(card));
+      if (cells > options.max_cells_per_template / std::max<uint64_t>(card,
+                                                                      1)) {
+        feasible = false;
+        break;
+      }
+      cells *= card;
+    }
+    if (!feasible) continue;  // template too wide for the size budget
+
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      uint64_t id = 0;
+      for (size_t k = 0; k < key.size(); ++k) {
+        id = id * static_cast<uint64_t>(tmpl.dims[k]) +
+             static_cast<uint64_t>(
+                 model->discretizer_.CodeOf(table, r, key[k]));
+      }
+      Cell& cell = tmpl.cells[id];
+      if (cell.measure_sums.empty()) {
+        cell.measure_sums.assign(model->measure_attrs_.size(), 0.0);
+      }
+      cell.count += 1.0;
+      for (size_t mi = 0; mi < model->measure_attrs_.size(); ++mi) {
+        cell.measure_sums[mi] +=
+            table.NumValue(r, model->measure_attrs_[mi]);
+      }
+    }
+    model->templates_.push_back(std::move(tmpl));
+  }
+  return model;
+}
+
+util::Result<QueryResult> DbestModel::Answer(
+    const AggregateQuery& query) const {
+  if (!query.filter.conjunctive && query.filter.conditions.size() > 1) {
+    return util::Status::Unimplemented(
+        "DBEst templates cover conjunctive filters only");
+  }
+  if (query.agg == AggFunc::kQuantile) {
+    return util::Status::Unimplemented(
+        "DBEst cells store counts and sums; quantiles are not served");
+  }
+  const TemplateKey key = KeyOf(query);
+  const Template* tmpl = FindTemplate(key);
+  if (tmpl == nullptr) {
+    return util::Status::NotFound("unknown query template");
+  }
+  // Index of the measure among stored sums.
+  int measure_index = -1;
+  if (query.agg != AggFunc::kCount) {
+    for (size_t mi = 0; mi < measure_attrs_.size(); ++mi) {
+      if (measure_attrs_[mi] == static_cast<size_t>(query.measure_attr)) {
+        measure_index = static_cast<int>(mi);
+      }
+    }
+    if (measure_index < 0) {
+      return util::Status::InvalidArgument("measure is not numeric");
+    }
+  }
+
+  struct GroupAcc {
+    double count = 0.0;
+    double sum = 0.0;
+  };
+  std::map<int32_t, GroupAcc> acc;
+  std::vector<int32_t> codes(key.size());
+
+  for (const auto& [id, cell] : tmpl->cells) {
+    // Unpack the mixed-radix cell id into per-attribute codes.
+    uint64_t rest = id;
+    for (size_t k = key.size(); k-- > 0;) {
+      codes[k] = static_cast<int32_t>(
+          rest % static_cast<uint64_t>(tmpl->dims[k]));
+      rest /= static_cast<uint64_t>(tmpl->dims[k]);
+    }
+    // Fraction of the cell satisfying the filter: exact for categorical
+    // codes, interval overlap (uniform-within-bin) for numeric bins.
+    double frac = 1.0;
+    for (size_t k = 0; k < key.size() && frac > 0.0; ++k) {
+      const size_t attr = key[k];
+      if (!discretizer_.IsNumeric(attr)) {
+        const double code = codes[k];
+        for (const auto& cond : query.filter.conditions) {
+          if (cond.attr == attr && !cond.Matches(code)) frac = 0.0;
+        }
+        continue;
+      }
+      auto [lo, hi] = discretizer_.BinRange(attr, codes[k]);
+      double a = lo, b = hi;
+      for (const auto& cond : query.filter.conditions) {
+        if (cond.attr != attr) continue;
+        switch (cond.op) {
+          case CmpOp::kLt:
+          case CmpOp::kLe:
+            b = std::min(b, cond.value);
+            break;
+          case CmpOp::kGt:
+          case CmpOp::kGe:
+            a = std::max(a, cond.value);
+            break;
+          case CmpOp::kEq:
+            // Point predicate on a continuous bin: zero mass unless the
+            // bin is degenerate.
+            if (lo == hi && cond.value == lo) break;
+            frac = 0.0;
+            break;
+          case CmpOp::kNe:
+            break;  // removes measure-zero mass
+        }
+      }
+      if (frac == 0.0) break;
+      frac *= hi == lo ? (a <= lo && lo <= b ? 1.0 : 0.0)
+                       : std::clamp((b - a) / (hi - lo), 0.0, 1.0);
+    }
+    if (frac <= 0.0) continue;
+
+    int32_t group = -1;
+    if (query.IsGroupBy()) {
+      for (size_t k = 0; k < key.size(); ++k) {
+        if (key[k] == static_cast<size_t>(query.group_by_attr)) {
+          group = codes[k];
+        }
+      }
+    }
+    GroupAcc& g = acc[group];
+    g.count += cell.count * frac;
+    if (measure_index >= 0) {
+      g.sum += cell.measure_sums[measure_index] * frac;
+    }
+  }
+
+  QueryResult result;
+  for (const auto& [group, g] : acc) {
+    if (g.count <= 0.0) continue;
+    GroupValue v;
+    v.group = group;
+    v.support = static_cast<size_t>(g.count);
+    switch (query.agg) {
+      case AggFunc::kCount:
+        v.value = g.count;
+        break;
+      case AggFunc::kSum:
+        v.value = g.sum;
+        break;
+      case AggFunc::kAvg:
+        v.value = g.sum / g.count;
+        break;
+      case AggFunc::kQuantile:
+        break;  // rejected above
+    }
+    result.groups.push_back(v);
+  }
+  if (!query.IsGroupBy() && result.groups.empty() &&
+      query.agg != AggFunc::kAvg) {
+    result.groups.push_back(GroupValue{-1, 0.0, 0, 0.0});
+  }
+  return result;
+}
+
+aqp::AnswerFn DbestModel::MakeAnswerer() const {
+  return [this](const AggregateQuery& query) { return Answer(query); };
+}
+
+size_t DbestModel::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& t : templates_) {
+    total += t.cells.size() *
+             (sizeof(uint64_t) + sizeof(double) * (1 + measure_attrs_.size()));
+  }
+  return total;
+}
+
+}  // namespace deepaqp::baselines

@@ -1,0 +1,82 @@
+#ifndef DEEPAQP_BASELINES_DBEST_H_
+#define DEEPAQP_BASELINES_DBEST_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "aqp/evaluation.h"
+#include "baselines/discretizer.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace deepaqp::baselines {
+
+/// DBEst-style baseline (Ma & Triantafillou [33]; Fig. 11's "DBEst" bar):
+/// instead of samples, it pre-builds compact per-template models — here a
+/// joint density over each template's filter/group attributes, discretized,
+/// with per-cell tuple counts and measure sums — and answers matching
+/// queries directly. Queries whose template (set of filter attributes plus
+/// group-by attribute) was not in the training workload, or that use
+/// disjunctive filters, are refused: exactly the ad-hoc-query weakness the
+/// paper reports for this family.
+class DbestModel {
+ public:
+  struct Options {
+    /// Discretization budget per numeric attribute.
+    int max_bins = 16;
+    /// Upper bound on cells per template (coarser bins if exceeded).
+    size_t max_cells_per_template = 65536;
+    /// Upper bound on stored templates.
+    size_t max_templates = 256;
+  };
+
+  /// Builds per-template models for every distinct template appearing in
+  /// `training_workload` (the known query templates of the DBEst setup).
+  static util::Result<std::unique_ptr<DbestModel>> Build(
+      const relation::Table& table,
+      const std::vector<aqp::AggregateQuery>& training_workload,
+      const Options& options);
+
+  /// Answers `query` if its template is known; NotFound otherwise.
+  util::Result<aqp::QueryResult> Answer(
+      const aqp::AggregateQuery& query) const;
+
+  aqp::AnswerFn MakeAnswerer() const;
+
+  size_t num_templates() const { return templates_.size(); }
+  size_t SizeBytes() const;
+
+ private:
+  DbestModel() = default;
+
+  /// Sorted attribute set identifying a template.
+  using TemplateKey = std::vector<size_t>;
+
+  struct Cell {
+    double count = 0.0;
+    /// Sum of each numeric attribute's value over the cell's tuples,
+    /// indexed like `measure_attrs`.
+    std::vector<double> measure_sums;
+  };
+
+  struct Template {
+    TemplateKey attrs;
+    /// Per-attribute number of buckets (product bounded by options).
+    std::vector<int32_t> dims;
+    std::map<uint64_t, Cell> cells;
+  };
+
+  static TemplateKey KeyOf(const aqp::AggregateQuery& query);
+
+  const Template* FindTemplate(const TemplateKey& key) const;
+
+  Discretizer discretizer_;
+  std::vector<size_t> measure_attrs_;  // all numeric attributes
+  size_t total_rows_ = 0;
+  std::vector<Template> templates_;
+};
+
+}  // namespace deepaqp::baselines
+
+#endif  // DEEPAQP_BASELINES_DBEST_H_

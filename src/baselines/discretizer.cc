@@ -1,0 +1,109 @@
+#include "baselines/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepaqp::baselines {
+
+namespace {
+
+/// Recursively splits sorted values into bins by entropy-balancing: each
+/// split point divides the current range's mass as evenly as possible
+/// (maximizing split entropy), recursing until the bin budget is used.
+void EntropySplit(const std::vector<double>& sorted, size_t lo, size_t hi,
+                  int budget, std::vector<double>* edges) {
+  if (budget <= 1 || hi - lo < 2) return;
+  // Balanced-mass split point (ties collapse to the nearest distinct value).
+  size_t mid = lo + (hi - lo) / 2;
+  // Move mid forward past duplicates so the edge separates distinct values.
+  size_t fwd = mid;
+  while (fwd < hi && sorted[fwd] == sorted[mid - 1]) ++fwd;
+  size_t back = mid;
+  while (back > lo + 1 && sorted[back - 1] == sorted[mid - 1]) --back;
+  if (fwd < hi && (mid - back > fwd - mid || back == lo + 1)) {
+    mid = fwd;
+  } else if (back > lo) {
+    mid = back;
+  }
+  if (mid <= lo || mid >= hi) return;
+  if (sorted[mid] == sorted[lo]) return;
+  edges->push_back(sorted[mid]);
+  const int left_budget = budget / 2;
+  EntropySplit(sorted, lo, mid, left_budget, edges);
+  EntropySplit(sorted, mid, hi, budget - left_budget, edges);
+}
+
+}  // namespace
+
+util::Result<Discretizer> Discretizer::Fit(const relation::Table& table,
+                                           int max_bins) {
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument("cannot fit discretizer on empty table");
+  }
+  if (max_bins < 2) {
+    return util::Status::InvalidArgument("max_bins must be >= 2");
+  }
+  Discretizer d;
+  d.schema_ = table.schema();
+  d.attrs_.resize(table.num_attributes());
+  for (size_t c = 0; c < table.num_attributes(); ++c) {
+    AttrInfo& info = d.attrs_[c];
+    if (table.schema().IsCategorical(c)) {
+      info.is_numeric = false;
+      info.cardinality = std::max<int32_t>(1, table.Cardinality(c));
+      continue;
+    }
+    info.is_numeric = true;
+    std::vector<double> values = table.NumColumn(c);
+    std::sort(values.begin(), values.end());
+    std::vector<double> interior;
+    EntropySplit(values, 0, values.size(), max_bins, &interior);
+    std::sort(interior.begin(), interior.end());
+    interior.erase(std::unique(interior.begin(), interior.end()),
+                   interior.end());
+    info.edges.push_back(values.front());
+    for (double e : interior) {
+      if (e > info.edges.back()) info.edges.push_back(e);
+    }
+    info.edges.push_back(std::max(values.back(), info.edges.back()));
+    info.cardinality =
+        std::max<int32_t>(1, static_cast<int32_t>(info.edges.size()) - 1);
+  }
+  return d;
+}
+
+int32_t Discretizer::CodeOf(const relation::Table& table, size_t row,
+                            size_t attr) const {
+  const AttrInfo& info = attrs_[attr];
+  if (!info.is_numeric) return table.CatCode(row, attr);
+  const double v = table.NumValue(row, attr);
+  const auto& e = info.edges;
+  const auto it = std::upper_bound(e.begin() + 1, e.end() - 1, v);
+  return static_cast<int32_t>(it - (e.begin() + 1));
+}
+
+int32_t Discretizer::Cardinality(size_t attr) const {
+  return attrs_[attr].cardinality;
+}
+
+std::pair<double, double> Discretizer::BinRange(size_t attr,
+                                                int32_t code) const {
+  const AttrInfo& info = attrs_[attr];
+  DEEPAQP_CHECK(info.is_numeric);
+  code = std::clamp(code, 0, info.cardinality - 1);
+  return {info.edges[code], info.edges[code + 1]};
+}
+
+relation::Datum Discretizer::Materialize(size_t attr, int32_t code,
+                                         util::Rng& rng) const {
+  const AttrInfo& info = attrs_[attr];
+  if (!info.is_numeric) return relation::Datum::Categorical(code);
+  code = std::clamp(code, 0, info.cardinality - 1);
+  const double lo = info.edges[code];
+  const double hi = info.edges[code + 1];
+  return relation::Datum::Numeric(lo == hi ? lo : rng.Uniform(lo, hi));
+}
+
+}  // namespace deepaqp::baselines

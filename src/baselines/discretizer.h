@@ -1,0 +1,59 @@
+#ifndef DEEPAQP_BASELINES_DISCRETIZER_H_
+#define DEEPAQP_BASELINES_DISCRETIZER_H_
+
+#include <vector>
+
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepaqp::baselines {
+
+/// Maps every attribute of a relation onto a small discrete domain:
+/// categorical attributes pass through (codes), numeric attributes are
+/// discretized into at most `max_bins` bins whose boundaries are chosen by
+/// recursive entropy-balancing splits of the empirical distribution ([12]'s
+/// unsupervised entropy discretization: each split point maximizes the
+/// entropy of the induced two-way partition, i.e., balances probability
+/// mass, recursively to the bin budget). Shared by the Bayesian-network and
+/// MSPN baselines.
+class Discretizer {
+ public:
+  static util::Result<Discretizer> Fit(const relation::Table& table,
+                                       int max_bins);
+
+  /// Discrete code of cell (row, attr).
+  int32_t CodeOf(const relation::Table& table, size_t row,
+                 size_t attr) const;
+
+  /// Domain size of attribute `attr` after discretization.
+  int32_t Cardinality(size_t attr) const;
+
+  /// Value range [lo, hi] of a numeric attribute's bin `code`.
+  std::pair<double, double> BinRange(size_t attr, int32_t code) const;
+
+  /// True if attribute `attr` is numeric (discretized rather than native).
+  bool IsNumeric(size_t attr) const { return attrs_[attr].is_numeric; }
+
+  /// Materializes a representative value for (attr, code): the code itself
+  /// for categorical attributes; a uniform draw within the bin for numeric
+  /// ones.
+  relation::Datum Materialize(size_t attr, int32_t code,
+                              util::Rng& rng) const;
+
+  const relation::Schema& schema() const { return schema_; }
+
+ private:
+  struct AttrInfo {
+    bool is_numeric = false;
+    int32_t cardinality = 0;
+    std::vector<double> edges;  // numeric: cardinality + 1 entries
+  };
+
+  relation::Schema schema_;
+  std::vector<AttrInfo> attrs_;
+};
+
+}  // namespace deepaqp::baselines
+
+#endif  // DEEPAQP_BASELINES_DISCRETIZER_H_

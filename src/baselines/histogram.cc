@@ -1,0 +1,97 @@
+#include "baselines/histogram.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepaqp::baselines {
+
+using relation::Datum;
+using relation::Table;
+
+util::Result<HistogramModel> HistogramModel::Build(const Table& table,
+                                                   const Options& options) {
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument("cannot build histogram on empty table");
+  }
+  HistogramModel model;
+  model.schema_ = table.schema();
+  const size_t m = table.num_attributes();
+  model.attrs_.resize(m);
+  const double n = static_cast<double>(table.num_rows());
+
+  for (size_t c = 0; c < m; ++c) {
+    AttrHistogram& h = model.attrs_[c];
+    if (table.schema().IsCategorical(c)) {
+      h.is_numeric = false;
+      h.probs.assign(table.Cardinality(c), 0.0);
+      for (int32_t code : table.CatColumn(c)) {
+        h.probs[code] += 1.0 / n;
+      }
+    } else {
+      h.is_numeric = true;
+      std::vector<double> values = table.NumColumn(c);
+      std::sort(values.begin(), values.end());
+      h.edges.push_back(values.front());
+      for (int b = 1; b < options.numeric_bins; ++b) {
+        const double e = values[b * values.size() / options.numeric_bins];
+        if (e > h.edges.back()) h.edges.push_back(e);
+      }
+      if (values.back() > h.edges.back()) {
+        h.edges.push_back(values.back());
+      } else {
+        h.edges.push_back(h.edges.back());
+      }
+      h.probs.assign(h.edges.size() - 1, 0.0);
+      for (double v : values) {
+        const auto it = std::upper_bound(h.edges.begin() + 1,
+                                         h.edges.end() - 1, v);
+        h.probs[it - (h.edges.begin() + 1)] += 1.0 / n;
+      }
+    }
+  }
+  return model;
+}
+
+Table HistogramModel::Generate(size_t n, util::Rng& rng) const {
+  Table out(schema_);
+  std::vector<Datum> row(schema_.num_attributes());
+  for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+    if (schema_.IsCategorical(c)) {
+      out.DeclareCardinality(
+          c, static_cast<int32_t>(attrs_[c].probs.size()));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+      const AttrHistogram& h = attrs_[c];
+      const size_t bucket = rng.Categorical(h.probs);
+      if (h.is_numeric) {
+        const double lo = h.edges[bucket];
+        const double hi = h.edges[bucket + 1];
+        row[c] = Datum::Numeric(lo == hi ? lo : rng.Uniform(lo, hi));
+      } else {
+        row[c] = Datum::Categorical(static_cast<int32_t>(bucket));
+      }
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+aqp::SampleFn HistogramModel::MakeSampler(uint64_t seed) const {
+  return [this, seed](size_t rows, util::Rng& harness_rng) {
+    util::Rng rng(seed ^ harness_rng.NextUint64());
+    return Generate(rows, rng);
+  };
+}
+
+size_t HistogramModel::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& h : attrs_) {
+    total += sizeof(double) * (h.probs.size() + h.edges.size());
+  }
+  return total;
+}
+
+}  // namespace deepaqp::baselines

@@ -1,0 +1,52 @@
+#ifndef DEEPAQP_BASELINES_HISTOGRAM_H_
+#define DEEPAQP_BASELINES_HISTOGRAM_H_
+
+#include <vector>
+
+#include "aqp/evaluation.h"
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepaqp::baselines {
+
+/// Classic per-attribute histogram synopsis (the "Hist" bar of Fig. 11).
+/// Each attribute keeps an equi-depth (numeric) or exact (categorical)
+/// frequency histogram; the joint distribution is approximated under the
+/// attribute-independence assumption. Cheap, tiny, and exactly as weak on
+/// correlated predicates as the paper reports.
+class HistogramModel {
+ public:
+  struct Options {
+    int numeric_bins = 32;
+    uint64_t seed = 11;
+  };
+
+  static util::Result<HistogramModel> Build(const relation::Table& table,
+                                            const Options& options);
+
+  /// Draws `n` synthetic tuples (attributes sampled independently).
+  relation::Table Generate(size_t n, util::Rng& rng) const;
+
+  aqp::SampleFn MakeSampler(uint64_t seed = 13) const;
+
+  /// Serialized-synopsis size in bytes (for the equal-model-size budget of
+  /// Fig. 11).
+  size_t SizeBytes() const;
+
+ private:
+  struct AttrHistogram {
+    bool is_numeric = false;
+    /// Bucket probabilities (categorical: one per code; numeric: per bin).
+    std::vector<double> probs;
+    /// Numeric bin edges (probs.size() + 1).
+    std::vector<double> edges;
+  };
+
+  relation::Schema schema_;
+  std::vector<AttrHistogram> attrs_;
+};
+
+}  // namespace deepaqp::baselines
+
+#endif  // DEEPAQP_BASELINES_HISTOGRAM_H_

@@ -1,0 +1,296 @@
+#include "baselines/mspn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace deepaqp::baselines {
+
+namespace {
+
+/// Mutual information between two discretized attributes over a row subset.
+double SubsetMi(const std::vector<int32_t>& a, int32_t card_a,
+                const std::vector<int32_t>& b, int32_t card_b,
+                const std::vector<size_t>& rows) {
+  std::vector<double> joint(static_cast<size_t>(card_a) * card_b, 0.0);
+  std::vector<double> pa(card_a, 0.0), pb(card_b, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(rows.size());
+  for (size_t r : rows) {
+    joint[a[r] * card_b + b[r]] += inv_n;
+    pa[a[r]] += inv_n;
+    pb[b[r]] += inv_n;
+  }
+  double mi = 0.0;
+  for (int32_t x = 0; x < card_a; ++x) {
+    for (int32_t y = 0; y < card_b; ++y) {
+      const double j = joint[x * card_b + y];
+      if (j > 0.0) mi += j * std::log(j / (pa[x] * pb[y]));
+    }
+  }
+  return mi;
+}
+
+/// Union-find over attribute indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+int MspnModel::MakeLeaf(const std::vector<std::vector<int32_t>>& codes,
+                        const std::vector<size_t>& rows, size_t attr) {
+  Node leaf;
+  leaf.type = NodeType::kLeaf;
+  leaf.attr = attr;
+  const int32_t card = discretizer_.Cardinality(attr);
+  leaf.probs.assign(card, 0.5);  // light smoothing
+  for (size_t r : rows) leaf.probs[codes[attr][r]] += 1.0;
+  double total = 0.0;
+  for (double p : leaf.probs) total += p;
+  for (double& p : leaf.probs) p /= total;
+  nodes_.push_back(std::move(leaf));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int MspnModel::BuildNode(const relation::Table& table,
+                         const std::vector<std::vector<int32_t>>& codes,
+                         const std::vector<size_t>& rows,
+                         const std::vector<size_t>& attrs, int depth,
+                         util::Rng& rng, const Options& options) {
+  DEEPAQP_CHECK(!attrs.empty());
+  if (attrs.size() == 1) {
+    return MakeLeaf(codes, rows, attrs[0]);
+  }
+
+  const bool can_split_rows =
+      rows.size() >= 2 * options.min_instances && depth < options.max_depth;
+
+  // Try a product split: cluster attributes by pairwise dependency.
+  {
+    UnionFind uf(attrs.size());
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      for (size_t j = i + 1; j < attrs.size(); ++j) {
+        const double mi =
+            SubsetMi(codes[attrs[i]], discretizer_.Cardinality(attrs[i]),
+                     codes[attrs[j]], discretizer_.Cardinality(attrs[j]),
+                     rows);
+        if (mi > options.dependency_threshold) uf.Union(i, j);
+      }
+    }
+    std::vector<std::vector<size_t>> clusters;
+    std::vector<int> cluster_of(attrs.size(), -1);
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      const size_t root = uf.Find(i);
+      if (cluster_of[root] < 0) {
+        cluster_of[root] = static_cast<int>(clusters.size());
+        clusters.emplace_back();
+      }
+      clusters[cluster_of[root]].push_back(attrs[i]);
+    }
+    if (clusters.size() > 1) {
+      Node prod;
+      prod.type = NodeType::kProduct;
+      const int id = static_cast<int>(nodes_.size());
+      nodes_.push_back(std::move(prod));
+      std::vector<int> children;
+      for (const auto& cluster : clusters) {
+        children.push_back(
+            BuildNode(table, codes, rows, cluster, depth + 1, rng, options));
+      }
+      nodes_[id].children = std::move(children);
+      return id;
+    }
+  }
+
+  if (!can_split_rows) {
+    // Cannot split rows further: factorize fully (independence fallback).
+    Node prod;
+    prod.type = NodeType::kProduct;
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(prod));
+    std::vector<int> children;
+    for (size_t attr : attrs) {
+      children.push_back(MakeLeaf(codes, rows, attr));
+    }
+    nodes_[id].children = std::move(children);
+    return id;
+  }
+
+  // Sum split: 2-means over the discretized codes (normalized).
+  std::vector<size_t> left, right;
+  {
+    const size_t d = attrs.size();
+    auto feature = [&](size_t row, size_t k) {
+      const size_t attr = attrs[k];
+      const int32_t card = discretizer_.Cardinality(attr);
+      return card <= 1 ? 0.0
+                       : static_cast<double>(codes[attr][row]) /
+                             static_cast<double>(card - 1);
+    };
+    std::vector<double> c0(d), c1(d);
+    const size_t seed0 = rows[rng.NextIndex(rows.size())];
+    size_t seed1 = rows[rng.NextIndex(rows.size())];
+    for (int tries = 0; seed1 == seed0 && tries < 8; ++tries) {
+      seed1 = rows[rng.NextIndex(rows.size())];
+    }
+    for (size_t k = 0; k < d; ++k) {
+      c0[k] = feature(seed0, k);
+      c1[k] = feature(seed1, k);
+    }
+    for (int iter = 0; iter < options.kmeans_iterations; ++iter) {
+      left.clear();
+      right.clear();
+      std::vector<double> s0(d, 0.0), s1(d, 0.0);
+      for (size_t r : rows) {
+        double d0 = 0.0, d1 = 0.0;
+        for (size_t k = 0; k < d; ++k) {
+          const double f = feature(r, k);
+          d0 += (f - c0[k]) * (f - c0[k]);
+          d1 += (f - c1[k]) * (f - c1[k]);
+        }
+        if (d0 <= d1) {
+          left.push_back(r);
+          for (size_t k = 0; k < d; ++k) s0[k] += feature(r, k);
+        } else {
+          right.push_back(r);
+          for (size_t k = 0; k < d; ++k) s1[k] += feature(r, k);
+        }
+      }
+      if (left.empty() || right.empty()) break;
+      for (size_t k = 0; k < d; ++k) {
+        c0[k] = s0[k] / static_cast<double>(left.size());
+        c1[k] = s1[k] / static_cast<double>(right.size());
+      }
+    }
+  }
+  if (left.empty() || right.empty() ||
+      left.size() < options.min_instances / 4 ||
+      right.size() < options.min_instances / 4) {
+    // Degenerate clustering: factorize.
+    Node prod;
+    prod.type = NodeType::kProduct;
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(prod));
+    std::vector<int> children;
+    for (size_t attr : attrs) {
+      children.push_back(MakeLeaf(codes, rows, attr));
+    }
+    nodes_[id].children = std::move(children);
+    return id;
+  }
+
+  Node sum;
+  sum.type = NodeType::kSum;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(sum));
+  const double total = static_cast<double>(rows.size());
+  const int left_child =
+      BuildNode(table, codes, left, attrs, depth + 1, rng, options);
+  const int right_child =
+      BuildNode(table, codes, right, attrs, depth + 1, rng, options);
+  nodes_[id].children = {left_child, right_child};
+  nodes_[id].weights = {static_cast<double>(left.size()) / total,
+                        static_cast<double>(right.size()) / total};
+  return id;
+}
+
+util::Result<std::unique_ptr<MspnModel>> MspnModel::Train(
+    const relation::Table& table, const Options& options) {
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument("cannot train MSPN on empty table");
+  }
+  auto model = std::unique_ptr<MspnModel>(new MspnModel());
+  DEEPAQP_ASSIGN_OR_RETURN(model->discretizer_,
+                           Discretizer::Fit(table, options.max_bins));
+  const size_t m = table.num_attributes();
+  const size_t n = table.num_rows();
+  std::vector<std::vector<int32_t>> codes(m, std::vector<int32_t>(n));
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t r = 0; r < n; ++r) {
+      codes[c][r] = model->discretizer_.CodeOf(table, r, c);
+    }
+  }
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<size_t> attrs(m);
+  std::iota(attrs.begin(), attrs.end(), 0);
+  util::Rng rng(options.seed);
+  model->root_ =
+      model->BuildNode(table, codes, rows, attrs, 0, rng, options);
+  return model;
+}
+
+void MspnModel::SampleInto(int node, std::vector<int32_t>* sampled,
+                           util::Rng& rng) const {
+  const Node& n = nodes_[node];
+  switch (n.type) {
+    case NodeType::kLeaf:
+      (*sampled)[n.attr] =
+          static_cast<int32_t>(rng.Categorical(n.probs));
+      break;
+    case NodeType::kSum:
+      SampleInto(n.children[rng.Categorical(n.weights)], sampled, rng);
+      break;
+    case NodeType::kProduct:
+      for (int child : n.children) SampleInto(child, sampled, rng);
+      break;
+  }
+}
+
+relation::Table MspnModel::Generate(size_t n, util::Rng& rng) {
+  const relation::Schema& schema = discretizer_.schema();
+  relation::Table out(schema);
+  const size_t m = schema.num_attributes();
+  for (size_t c = 0; c < m; ++c) {
+    if (schema.IsCategorical(c)) {
+      out.DeclareCardinality(c, discretizer_.Cardinality(c));
+    }
+  }
+  std::vector<int32_t> sampled(m);
+  std::vector<relation::Datum> row(m);
+  for (size_t i = 0; i < n; ++i) {
+    SampleInto(root_, &sampled, rng);
+    for (size_t c = 0; c < m; ++c) {
+      row[c] = discretizer_.Materialize(c, sampled[c], rng);
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+aqp::SampleFn MspnModel::MakeSampler(uint64_t seed) {
+  return [this, seed](size_t rows, util::Rng& harness_rng) {
+    util::Rng rng(seed ^ harness_rng.NextUint64());
+    return Generate(rows, rng);
+  };
+}
+
+size_t MspnModel::num_leaves() const {
+  size_t leaves = 0;
+  for (const auto& n : nodes_) leaves += n.type == NodeType::kLeaf;
+  return leaves;
+}
+
+size_t MspnModel::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& n : nodes_) {
+    total += sizeof(int) * n.children.size();
+    total += sizeof(double) * (n.weights.size() + n.probs.size());
+  }
+  return total;
+}
+
+}  // namespace deepaqp::baselines

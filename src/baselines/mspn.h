@@ -1,0 +1,80 @@
+#ifndef DEEPAQP_BASELINES_MSPN_H_
+#define DEEPAQP_BASELINES_MSPN_H_
+
+#include <memory>
+#include <vector>
+
+#include "aqp/evaluation.h"
+#include "baselines/discretizer.h"
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepaqp::baselines {
+
+/// Mixed sum-product network baseline (Molina et al. [36], used for AQP in
+/// Kulessa et al. [32]; Fig. 11's "MSPN" bar). Structure learning follows
+/// the LearnSPN recipe: product nodes split attributes into clusters that
+/// test as independent (pairwise mutual information under a threshold);
+/// sum nodes split rows by 2-means clustering; leaves are per-attribute
+/// histograms. Sampling is top-down: sum nodes choose a child by weight,
+/// product nodes sample every child, leaves sample their histogram.
+class MspnModel {
+ public:
+  struct Options {
+    /// Stop row-splitting below this many instances.
+    size_t min_instances = 256;
+    /// Attributes with pairwise MI above this are considered dependent.
+    double dependency_threshold = 0.05;
+    /// Discretization budget for numeric attributes (leaves and MI tests).
+    int max_bins = 16;
+    int max_depth = 16;
+    int kmeans_iterations = 8;
+    uint64_t seed = 59;
+  };
+
+  static util::Result<std::unique_ptr<MspnModel>> Train(
+      const relation::Table& table, const Options& options);
+
+  relation::Table Generate(size_t n, util::Rng& rng);
+
+  aqp::SampleFn MakeSampler(uint64_t seed = 61);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const;
+  size_t SizeBytes() const;
+
+ private:
+  MspnModel() = default;
+
+  enum class NodeType { kSum, kProduct, kLeaf };
+
+  struct Node {
+    NodeType type = NodeType::kLeaf;
+    std::vector<int> children;
+    std::vector<double> weights;  // sum nodes, parallel to children
+    // Leaf payload.
+    size_t attr = 0;
+    std::vector<double> probs;  // histogram over discretized codes
+  };
+
+  int BuildNode(const relation::Table& table,
+                const std::vector<std::vector<int32_t>>& codes,
+                const std::vector<size_t>& rows,
+                const std::vector<size_t>& attrs, int depth,
+                util::Rng& rng, const Options& options);
+
+  int MakeLeaf(const std::vector<std::vector<int32_t>>& codes,
+               const std::vector<size_t>& rows, size_t attr);
+
+  void SampleInto(int node, std::vector<int32_t>* sampled,
+                  util::Rng& rng) const;
+
+  Discretizer discretizer_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace deepaqp::baselines
+
+#endif  // DEEPAQP_BASELINES_MSPN_H_

@@ -1,0 +1,256 @@
+#include "baselines/neural_cubes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aqp/executor.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace deepaqp::baselines {
+
+using aqp::AggFunc;
+using aqp::AggregateQuery;
+using aqp::CmpOp;
+using aqp::QueryResult;
+using nn::Matrix;
+
+size_t NeuralCubesModel::feature_dim() const {
+  // Per attribute: [active, lo, hi]; plus agg one-hot (3) and measure
+  // one-hot (numeric attrs + "none").
+  return 3 * schema_.num_attributes() + 3 + measure_attrs_.size() + 1;
+}
+
+bool NeuralCubesModel::Featurize(const AggregateQuery& query,
+                                 float* out) const {
+  if (!query.filter.conjunctive && query.filter.conditions.size() > 1) {
+    return false;
+  }
+  // The query encoding carries one-hot slots for COUNT/SUM/AVG only.
+  if (query.agg == AggFunc::kQuantile) return false;
+  const size_t m = schema_.num_attributes();
+  std::fill(out, out + feature_dim(), 0.0f);
+  // Per-attribute normalized intervals.
+  for (size_t a = 0; a < m; ++a) {
+    out[3 * a + 1] = 0.0f;
+    out[3 * a + 2] = 1.0f;
+  }
+  for (const auto& cond : query.filter.conditions) {
+    const size_t a = cond.attr;
+    const auto [lo, hi] = attr_range_[a];
+    const double span = hi > lo ? hi - lo : 1.0;
+    const double c =
+        std::clamp((cond.value - lo) / span, 0.0, 1.0);
+    float& flo = out[3 * a + 1];
+    float& fhi = out[3 * a + 2];
+    out[3 * a] = 1.0f;  // active
+    switch (cond.op) {
+      case CmpOp::kLt:
+      case CmpOp::kLe:
+        fhi = std::min(fhi, static_cast<float>(c));
+        break;
+      case CmpOp::kGt:
+      case CmpOp::kGe:
+        flo = std::max(flo, static_cast<float>(c));
+        break;
+      case CmpOp::kEq:
+        flo = fhi = static_cast<float>(c);
+        break;
+      case CmpOp::kNe:
+        break;  // full interval minus a point; keep full
+    }
+  }
+  // Aggregate one-hot.
+  out[3 * m + static_cast<size_t>(query.agg)] = 1.0f;
+  // Measure one-hot.
+  size_t measure_slot = measure_attrs_.size();  // "none"
+  if (query.agg != AggFunc::kCount) {
+    for (size_t mi = 0; mi < measure_attrs_.size(); ++mi) {
+      if (measure_attrs_[mi] == static_cast<size_t>(query.measure_attr)) {
+        measure_slot = mi;
+      }
+    }
+  }
+  out[3 * m + 3 + measure_slot] = 1.0f;
+  return true;
+}
+
+util::Result<std::unique_ptr<NeuralCubesModel>> NeuralCubesModel::Train(
+    const relation::Table& table,
+    const std::vector<AggregateQuery>& training_workload,
+    const Options& options) {
+  if (table.num_rows() == 0 || training_workload.empty()) {
+    return util::Status::InvalidArgument(
+        "NeuralCubes needs data and a training workload");
+  }
+  auto model = std::unique_ptr<NeuralCubesModel>(new NeuralCubesModel());
+  model->options_ = options;
+  model->schema_ = table.schema();
+  model->total_rows_ = table.num_rows();
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    if (table.schema().IsCategorical(a)) {
+      model->attr_range_.emplace_back(
+          0.0, std::max<double>(table.Cardinality(a) - 1, 1.0));
+    } else {
+      auto [lo, hi] = table.NumericRange(a);
+      model->attr_range_.emplace_back(lo, hi);
+    }
+  }
+  model->measure_attrs_ = table.schema().NumericIndices();
+  for (size_t a : model->measure_attrs_) {
+    model->measure_range_.push_back(table.NumericRange(a));
+  }
+
+  // Expand the workload into scalar training examples with exact labels.
+  std::vector<AggregateQuery> scalars;
+  for (const AggregateQuery& q : training_workload) {
+    if (!q.filter.conjunctive && q.filter.conditions.size() > 1) continue;
+    if (!q.IsGroupBy()) {
+      scalars.push_back(q);
+      continue;
+    }
+    const auto gattr = static_cast<size_t>(q.group_by_attr);
+    const int32_t card = table.Cardinality(gattr);
+    if (card > options.max_group_cardinality) continue;
+    for (int32_t code = 0; code < card; ++code) {
+      AggregateQuery scalar = q;
+      scalar.group_by_attr = -1;
+      scalar.filter.conditions.push_back(
+          {gattr, CmpOp::kEq, static_cast<double>(code)});
+      scalars.push_back(std::move(scalar));
+    }
+  }
+  if (scalars.empty()) {
+    return util::Status::InvalidArgument("no trainable queries in workload");
+  }
+
+  const size_t fd = model->feature_dim();
+  Matrix features(scalars.size(), fd);
+  Matrix targets(scalars.size(), 2);  // [count fraction, avg normalized]
+  size_t kept = 0;
+  for (const AggregateQuery& q : scalars) {
+    if (!model->Featurize(q, features.Row(kept))) continue;
+    AggregateQuery count_q = q;
+    count_q.agg = AggFunc::kCount;
+    count_q.measure_attr = -1;
+    DEEPAQP_ASSIGN_OR_RETURN(QueryResult count_r,
+                             aqp::ExecuteExact(count_q, table));
+    const double count = count_r.Scalar();
+    targets.At(kept, 0) =
+        static_cast<float>(count / static_cast<double>(table.num_rows()));
+    double avg_norm = 0.0;
+    if (q.agg != AggFunc::kCount && count > 0) {
+      AggregateQuery avg_q = q;
+      avg_q.agg = AggFunc::kAvg;
+      DEEPAQP_ASSIGN_OR_RETURN(QueryResult avg_r,
+                               aqp::ExecuteExact(avg_q, table));
+      if (!avg_r.groups.empty()) {
+        size_t mi = 0;
+        for (size_t i = 0; i < model->measure_attrs_.size(); ++i) {
+          if (model->measure_attrs_[i] ==
+              static_cast<size_t>(q.measure_attr)) {
+            mi = i;
+          }
+        }
+        const auto [lo, hi] = model->measure_range_[mi];
+        avg_norm = hi > lo ? (avg_r.Scalar() - lo) / (hi - lo) : 0.0;
+      }
+    }
+    targets.At(kept, 1) = static_cast<float>(avg_norm);
+    ++kept;
+  }
+  if (kept == 0) {
+    return util::Status::InvalidArgument("no featurizable queries");
+  }
+
+  util::Rng rng(options.seed);
+  model->net_ = nn::MakeMlpTrunk(fd, options.hidden_dim, options.depth, rng);
+  model->net_->Add(
+      std::make_unique<nn::Linear>(options.hidden_dim, 2, rng));
+  model->net_->Add(std::make_unique<nn::Sigmoid>());
+
+  std::vector<nn::Parameter*> params;
+  model->net_->CollectParameters(&params);
+  nn::Adam opt(params, options.learning_rate);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const auto perm = rng.Permutation(kept);
+    for (size_t start = 0; start < kept; start += options.batch_size) {
+      const size_t end = std::min(kept, start + options.batch_size);
+      std::vector<size_t> idx(perm.begin() + start, perm.begin() + end);
+      opt.ZeroGrad();
+      Matrix out = model->net_->Forward(features.GatherRows(idx));
+      auto loss = nn::MeanSquaredError(out, targets.GatherRows(idx));
+      model->net_->Backward(loss.grad);
+      opt.Step();
+    }
+  }
+  return model;
+}
+
+util::Result<double> NeuralCubesModel::AnswerScalar(
+    const AggregateQuery& query) {
+  Matrix features(1, feature_dim());
+  if (!Featurize(query, features.Row(0))) {
+    return util::Status::Unimplemented(
+        "NeuralCubes serves conjunctive filters only");
+  }
+  Matrix out = net_->Forward(features);
+  const double count_frac = std::clamp<double>(out.At(0, 0), 0.0, 1.0);
+  const double count = count_frac * static_cast<double>(total_rows_);
+  if (query.agg == AggFunc::kCount) return count;
+  size_t mi = 0;
+  for (size_t i = 0; i < measure_attrs_.size(); ++i) {
+    if (measure_attrs_[i] == static_cast<size_t>(query.measure_attr)) {
+      mi = i;
+    }
+  }
+  const auto [lo, hi] = measure_range_[mi];
+  const double avg =
+      lo + std::clamp<double>(out.At(0, 1), 0.0, 1.0) * (hi - lo);
+  return query.agg == AggFunc::kAvg ? avg : avg * count;
+}
+
+util::Result<QueryResult> NeuralCubesModel::Answer(
+    const AggregateQuery& query) {
+  QueryResult result;
+  if (!query.IsGroupBy()) {
+    DEEPAQP_ASSIGN_OR_RETURN(double value, AnswerScalar(query));
+    result.groups.push_back(aqp::GroupValue{-1, value, 0, 0.0});
+    return result;
+  }
+  const auto gattr = static_cast<size_t>(query.group_by_attr);
+  const auto [glo, ghi] = attr_range_[gattr];
+  const auto card = static_cast<int32_t>(ghi - glo) + 1;
+  if (card > options_.max_group_cardinality) {
+    return util::Status::Unimplemented("group cardinality too large");
+  }
+  for (int32_t code = 0; code < card; ++code) {
+    AggregateQuery scalar = query;
+    scalar.group_by_attr = -1;
+    scalar.filter.conditions.push_back(
+        {gattr, CmpOp::kEq, static_cast<double>(code)});
+    // Estimated group support gates membership (the model never knows
+    // exactly which groups are empty).
+    AggregateQuery count_q = scalar;
+    count_q.agg = AggFunc::kCount;
+    count_q.measure_attr = -1;
+    DEEPAQP_ASSIGN_OR_RETURN(double count, AnswerScalar(count_q));
+    if (count < 0.5) continue;
+    DEEPAQP_ASSIGN_OR_RETURN(double value, AnswerScalar(scalar));
+    result.groups.push_back(
+        aqp::GroupValue{code, value, static_cast<size_t>(count), 0.0});
+  }
+  return result;
+}
+
+aqp::AnswerFn NeuralCubesModel::MakeAnswerer() {
+  return [this](const AggregateQuery& query) { return Answer(query); };
+}
+
+size_t NeuralCubesModel::NumParameters() {
+  return nn::CountParameters(*net_);
+}
+
+}  // namespace deepaqp::baselines

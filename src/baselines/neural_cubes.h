@@ -1,0 +1,73 @@
+#ifndef DEEPAQP_BASELINES_NEURAL_CUBES_H_
+#define DEEPAQP_BASELINES_NEURAL_CUBES_H_
+
+#include <memory>
+#include <vector>
+
+#include "aqp/evaluation.h"
+#include "nn/layers.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace deepaqp::baselines {
+
+/// NeuralCubes-style baseline (Wang et al. [49]; Fig. 11's "NC" bar): a
+/// neural network trained to map a query description (per-attribute filter
+/// intervals + aggregate spec) directly to the normalized aggregate value.
+/// Answers arrive without touching data or samples, but accuracy is limited
+/// to the query distribution it was trained on and degrades on ad-hoc
+/// shapes; disjunctive filters are refused.
+class NeuralCubesModel {
+ public:
+  struct Options {
+    size_t hidden_dim = 64;
+    int depth = 2;
+    int epochs = 60;
+    size_t batch_size = 64;
+    float learning_rate = 2e-3f;
+    /// Group-by answering enumerates group codes up to this cardinality.
+    int32_t max_group_cardinality = 256;
+    uint64_t seed = 67;
+  };
+
+  /// Trains on `training_workload` against exact answers computed on
+  /// `table` (the server-side precomputation of the NeuralCubes setup).
+  /// Group-by queries are decomposed into per-group scalar examples.
+  static util::Result<std::unique_ptr<NeuralCubesModel>> Train(
+      const relation::Table& table,
+      const std::vector<aqp::AggregateQuery>& training_workload,
+      const Options& options);
+
+  /// Answers a query; Unimplemented for disjunctive filters.
+  util::Result<aqp::QueryResult> Answer(const aqp::AggregateQuery& query);
+
+  aqp::AnswerFn MakeAnswerer();
+
+  size_t NumParameters();
+
+ private:
+  NeuralCubesModel() = default;
+
+  /// Encodes a scalar conjunctive query as a feature row; false if the
+  /// query cannot be encoded.
+  bool Featurize(const aqp::AggregateQuery& query, float* out) const;
+
+  util::Result<double> AnswerScalar(const aqp::AggregateQuery& query);
+
+  size_t feature_dim() const;
+
+  Options options_;
+  relation::Schema schema_;
+  size_t total_rows_ = 0;
+  /// Per-attribute normalization: numeric [min, max]; categorical
+  /// cardinality encoded as [0, card - 1].
+  std::vector<std::pair<double, double>> attr_range_;
+  std::vector<size_t> measure_attrs_;
+  /// Per-measure value range for AVG denormalization.
+  std::vector<std::pair<double, double>> measure_range_;
+  std::unique_ptr<nn::Sequential> net_;
+};
+
+}  // namespace deepaqp::baselines
+
+#endif  // DEEPAQP_BASELINES_NEURAL_CUBES_H_

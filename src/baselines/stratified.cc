@@ -1,0 +1,81 @@
+#include "baselines/stratified.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepaqp::baselines {
+
+util::Result<StratifiedSample> StratifiedSample::Build(
+    const relation::Table& table, const Options& options) {
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument("cannot stratify an empty table");
+  }
+  if (options.strata_attr >= table.num_attributes() ||
+      !table.schema().IsCategorical(options.strata_attr)) {
+    return util::Status::InvalidArgument(
+        "stratification attribute must be categorical");
+  }
+  if (options.senate_fraction < 0.0 || options.senate_fraction > 1.0) {
+    return util::Status::InvalidArgument("senate_fraction must be in [0,1]");
+  }
+
+  // Collect strata.
+  const int32_t card = table.Cardinality(options.strata_attr);
+  std::vector<std::vector<size_t>> strata(card);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    strata[table.CatCode(r, options.strata_attr)].push_back(r);
+  }
+  size_t non_empty = 0;
+  for (const auto& s : strata) non_empty += !s.empty();
+  if (non_empty == 0) {
+    return util::Status::Internal("no strata found");
+  }
+
+  // Allocation: blend of proportional and equal shares, at least 1 row per
+  // non-empty stratum, capped by stratum size.
+  util::Rng rng(options.seed);
+  StratifiedSample out;
+  out.sample_ = relation::Table(table.schema());
+  const double total = static_cast<double>(table.num_rows());
+  std::vector<size_t> rows_to_take;
+  for (const auto& stratum : strata) {
+    if (stratum.empty()) continue;
+    const double proportional =
+        static_cast<double>(options.sample_rows) * stratum.size() / total;
+    const double equal = static_cast<double>(options.sample_rows) /
+                         static_cast<double>(non_empty);
+    auto take = static_cast<size_t>(std::llround(
+        (1.0 - options.senate_fraction) * proportional +
+        options.senate_fraction * equal));
+    take = std::clamp<size_t>(take, 1, stratum.size());
+    const auto pick = rng.SampleWithoutReplacement(stratum.size(), take);
+    const double weight =
+        static_cast<double>(stratum.size()) / static_cast<double>(take);
+    for (size_t i : pick) {
+      rows_to_take.push_back(stratum[i]);
+      out.weights_.push_back(weight);
+    }
+  }
+  out.sample_ = table.Gather(rows_to_take);
+  return out;
+}
+
+relation::Table StratifiedSample::ResampleUniformLike(
+    size_t rows, util::Rng& rng) const {
+  DEEPAQP_CHECK_GT(sample_.num_rows(), 0u);
+  const util::AliasTable alias(weights_);
+  std::vector<size_t> pick(rows);
+  for (size_t i = 0; i < rows; ++i) pick[i] = alias.Sample(rng);
+  return sample_.Gather(pick);
+}
+
+aqp::SampleFn StratifiedSample::MakeSampler(uint64_t seed) const {
+  return [this, seed](size_t rows, util::Rng& harness_rng) {
+    util::Rng rng(seed ^ harness_rng.NextUint64());
+    return ResampleUniformLike(rows, rng);
+  };
+}
+
+}  // namespace deepaqp::baselines

@@ -1,0 +1,58 @@
+#ifndef DEEPAQP_BASELINES_STRATIFIED_H_
+#define DEEPAQP_BASELINES_STRATIFIED_H_
+
+#include <vector>
+
+#include "aqp/evaluation.h"
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepaqp::baselines {
+
+/// Classic server-side pre-computed stratified sample (Chaudhuri et al. [8],
+/// the "traditional AQP" family of Sec. VII). The relation is stratified on
+/// one categorical attribute; each stratum receives an allocation between
+/// proportional ("house") and equal ("senate") controlled by
+/// `senate_fraction`, guaranteeing minority groups representation that
+/// uniform samples lose. Unlike the generative model, the sample is fixed
+/// at build time: a client cannot grow it on demand.
+class StratifiedSample {
+ public:
+  struct Options {
+    /// Stratification attribute (categorical).
+    size_t strata_attr = 0;
+    /// Total stored sample rows.
+    size_t sample_rows = 1000;
+    /// 0 = fully proportional, 1 = equal allocation per stratum.
+    double senate_fraction = 0.5;
+    uint64_t seed = 101;
+  };
+
+  static util::Result<StratifiedSample> Build(const relation::Table& table,
+                                              const Options& options);
+
+  /// The materialized sample with per-row scale-up weights aligned by row:
+  /// weight[i] = stratum_population / stratum_sample_size. Weighted
+  /// estimators (Horvitz-Thompson) use these; the plain harness can also
+  /// resample rows proportionally to weight to get an unbiased uniform-like
+  /// sample of bounded size.
+  const relation::Table& sample() const { return sample_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Draws `rows` tuples from the stored sample with probability
+  /// proportional to weight (with replacement): distributed approximately
+  /// like uniform draws from the original relation, so the standard
+  /// estimator applies unchanged.
+  relation::Table ResampleUniformLike(size_t rows, util::Rng& rng) const;
+
+  aqp::SampleFn MakeSampler(uint64_t seed = 103) const;
+
+ private:
+  relation::Table sample_{relation::Schema()};
+  std::vector<double> weights_;
+};
+
+}  // namespace deepaqp::baselines
+
+#endif  // DEEPAQP_BASELINES_STRATIFIED_H_

@@ -1,0 +1,172 @@
+#include "baselines/wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepaqp::baselines {
+
+using relation::Datum;
+using relation::Table;
+
+void WaveletModel::HaarForward(std::vector<double>* values) {
+  const size_t n = values->size();
+  DEEPAQP_CHECK((n & (n - 1)) == 0 && n > 0);
+  std::vector<double> tmp(n);
+  size_t len = n;
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  while (len > 1) {
+    for (size_t i = 0; i < len / 2; ++i) {
+      tmp[i] = ((*values)[2 * i] + (*values)[2 * i + 1]) * inv_sqrt2;
+      tmp[len / 2 + i] =
+          ((*values)[2 * i] - (*values)[2 * i + 1]) * inv_sqrt2;
+    }
+    std::copy(tmp.begin(), tmp.begin() + len, values->begin());
+    len /= 2;
+  }
+}
+
+void WaveletModel::HaarInverse(std::vector<double>* values) {
+  const size_t n = values->size();
+  DEEPAQP_CHECK((n & (n - 1)) == 0 && n > 0);
+  std::vector<double> tmp(n);
+  size_t len = 2;
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  while (len <= n) {
+    for (size_t i = 0; i < len / 2; ++i) {
+      tmp[2 * i] = ((*values)[i] + (*values)[len / 2 + i]) * inv_sqrt2;
+      tmp[2 * i + 1] = ((*values)[i] - (*values)[len / 2 + i]) * inv_sqrt2;
+    }
+    std::copy(tmp.begin(), tmp.begin() + len, values->begin());
+    len *= 2;
+  }
+}
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+util::Result<WaveletModel> WaveletModel::Build(const Table& table,
+                                               const Options& options) {
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument("cannot build wavelet synopsis on empty table");
+  }
+  WaveletModel model;
+  model.schema_ = table.schema();
+  const size_t m = table.num_attributes();
+  model.attrs_.resize(m);
+
+  for (size_t c = 0; c < m; ++c) {
+    AttrSynopsis& syn = model.attrs_[c];
+    std::vector<double> freq;
+    if (table.schema().IsCategorical(c)) {
+      syn.is_numeric = false;
+      syn.num_buckets = static_cast<size_t>(table.Cardinality(c));
+      freq.assign(syn.num_buckets, 0.0);
+      for (int32_t code : table.CatColumn(c)) freq[code] += 1.0;
+    } else {
+      syn.is_numeric = true;
+      auto [lo, hi] = table.NumericRange(c);
+      if (hi == lo) hi = lo + 1.0;
+      syn.num_buckets = static_cast<size_t>(options.numeric_bins);
+      syn.edges.resize(syn.num_buckets + 1);
+      for (size_t b = 0; b <= syn.num_buckets; ++b) {
+        syn.edges[b] = lo + (hi - lo) * static_cast<double>(b) /
+                                static_cast<double>(syn.num_buckets);
+      }
+      freq.assign(syn.num_buckets, 0.0);
+      for (double v : table.NumColumn(c)) {
+        auto b = static_cast<size_t>((v - lo) / (hi - lo) *
+                                     static_cast<double>(syn.num_buckets));
+        freq[std::min(b, syn.num_buckets - 1)] += 1.0;
+      }
+    }
+    syn.transform_length = NextPowerOfTwo(freq.size());
+    freq.resize(syn.transform_length, 0.0);
+    HaarForward(&freq);
+
+    // Keep the largest-magnitude coefficients (always keep index 0, the
+    // overall average, so reconstruction preserves total mass).
+    std::vector<int> order(freq.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<int>(i);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (a == 0) return true;
+      if (b == 0) return false;
+      return std::abs(freq[a]) > std::abs(freq[b]);
+    });
+    const size_t keep =
+        std::min<size_t>(options.coefficients_kept, freq.size());
+    std::vector<double> kept(freq.size(), 0.0);
+    for (size_t i = 0; i < keep; ++i) {
+      syn.coefficients.emplace_back(order[i], freq[order[i]]);
+      kept[order[i]] = freq[order[i]];
+    }
+
+    HaarInverse(&kept);
+    kept.resize(syn.num_buckets);
+    double total = 0.0;
+    for (double& v : kept) {
+      v = std::max(v, 0.0);
+      total += v;
+    }
+    if (total <= 0.0) {
+      kept.assign(syn.num_buckets, 1.0);
+      total = static_cast<double>(syn.num_buckets);
+    }
+    for (double& v : kept) v /= total;
+    syn.probs = std::move(kept);
+  }
+  return model;
+}
+
+Table WaveletModel::Generate(size_t n, util::Rng& rng) const {
+  Table out(schema_);
+  for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+    if (schema_.IsCategorical(c)) {
+      out.DeclareCardinality(c,
+                             static_cast<int32_t>(attrs_[c].num_buckets));
+    }
+  }
+  std::vector<Datum> row(schema_.num_attributes());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+      const AttrSynopsis& syn = attrs_[c];
+      const size_t bucket = rng.Categorical(syn.probs);
+      if (syn.is_numeric) {
+        row[c] = Datum::Numeric(
+            rng.Uniform(syn.edges[bucket], syn.edges[bucket + 1]));
+      } else {
+        row[c] = Datum::Categorical(static_cast<int32_t>(bucket));
+      }
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+aqp::SampleFn WaveletModel::MakeSampler(uint64_t seed) const {
+  return [this, seed](size_t rows, util::Rng& harness_rng) {
+    util::Rng rng(seed ^ harness_rng.NextUint64());
+    return Generate(rows, rng);
+  };
+}
+
+size_t WaveletModel::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& syn : attrs_) {
+    total += syn.coefficients.size() * (sizeof(int) + sizeof(double));
+    total += syn.edges.size() * sizeof(double);
+  }
+  return total;
+}
+
+}  // namespace deepaqp::baselines

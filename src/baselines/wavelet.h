@@ -1,0 +1,61 @@
+#ifndef DEEPAQP_BASELINES_WAVELET_H_
+#define DEEPAQP_BASELINES_WAVELET_H_
+
+#include <vector>
+
+#include "aqp/evaluation.h"
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepaqp::baselines {
+
+/// Haar-wavelet synopsis (Fig. 11's "Wavelets" bar): each attribute's
+/// frequency vector (categorical codes or numeric equi-width bins, padded
+/// to a power of two) is Haar-transformed and only the `coefficients_kept`
+/// largest-magnitude coefficients are retained. Reconstruction clips
+/// negative frequencies to zero and renormalizes. Attributes are sampled
+/// independently, like the histogram synopsis.
+class WaveletModel {
+ public:
+  struct Options {
+    /// Coefficients retained per attribute.
+    int coefficients_kept = 12;
+    /// Numeric attributes are gridded into this many equi-width bins before
+    /// the transform.
+    int numeric_bins = 64;
+  };
+
+  static util::Result<WaveletModel> Build(const relation::Table& table,
+                                          const Options& options);
+
+  relation::Table Generate(size_t n, util::Rng& rng) const;
+
+  aqp::SampleFn MakeSampler(uint64_t seed = 19) const;
+
+  size_t SizeBytes() const;
+
+  /// Forward/inverse 1-D Haar transform (in place, length must be a power
+  /// of two). Exposed for tests.
+  static void HaarForward(std::vector<double>* values);
+  static void HaarInverse(std::vector<double>* values);
+
+ private:
+  struct AttrSynopsis {
+    bool is_numeric = false;
+    /// Sparse retained coefficients: (index, value).
+    std::vector<std::pair<int, double>> coefficients;
+    size_t transform_length = 0;  // power-of-two padded length
+    size_t num_buckets = 0;       // true domain size before padding
+    /// Reconstructed bucket probabilities (materialized at build).
+    std::vector<double> probs;
+    std::vector<double> edges;  // numeric bin edges (equi-width)
+  };
+
+  relation::Schema schema_;
+  std::vector<AttrSynopsis> attrs_;
+};
+
+}  // namespace deepaqp::baselines
+
+#endif  // DEEPAQP_BASELINES_WAVELET_H_

@@ -1,0 +1,313 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepaqp::data {
+
+using relation::AttrType;
+using relation::Datum;
+using relation::Schema;
+using relation::Table;
+
+namespace {
+
+/// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+void InternDomain(Table& table, size_t col, const char* prefix, int32_t n) {
+  for (int32_t i = 0; i < n; ++i) {
+    table.InternLabel(col, std::string(prefix) + std::to_string(i));
+  }
+}
+
+}  // namespace
+
+Table GenerateCensus(const CensusConfig& config) {
+  Schema schema;
+  // 8 categorical attributes.
+  (void)schema.AddAttribute("workclass", AttrType::kCategorical);       // 0
+  (void)schema.AddAttribute("education", AttrType::kCategorical);       // 1
+  (void)schema.AddAttribute("marital_status", AttrType::kCategorical);  // 2
+  (void)schema.AddAttribute("occupation", AttrType::kCategorical);      // 3
+  (void)schema.AddAttribute("relationship", AttrType::kCategorical);    // 4
+  (void)schema.AddAttribute("race", AttrType::kCategorical);            // 5
+  (void)schema.AddAttribute("sex", AttrType::kCategorical);             // 6
+  (void)schema.AddAttribute("native_region", AttrType::kCategorical);   // 7
+  // 6 numeric attributes.
+  (void)schema.AddAttribute("age", AttrType::kNumeric);             // 8
+  (void)schema.AddAttribute("fnlwgt", AttrType::kNumeric);          // 9
+  (void)schema.AddAttribute("education_num", AttrType::kNumeric);   // 10
+  (void)schema.AddAttribute("capital_gain", AttrType::kNumeric);    // 11
+  (void)schema.AddAttribute("capital_loss", AttrType::kNumeric);    // 12
+  (void)schema.AddAttribute("hours_per_week", AttrType::kNumeric);  // 13
+
+  constexpr int32_t kWorkclass = 8, kEducation = 16, kMarital = 7,
+                    kOccupation = 14, kRelationship = 6, kRace = 5, kSex = 2,
+                    kRegion = 10;
+
+  Table table(schema);
+  InternDomain(table, 0, "work", kWorkclass);
+  InternDomain(table, 1, "edu", kEducation);
+  InternDomain(table, 2, "marital", kMarital);
+  InternDomain(table, 3, "occ", kOccupation);
+  InternDomain(table, 4, "rel", kRelationship);
+  InternDomain(table, 5, "race", kRace);
+  InternDomain(table, 6, "sex", kSex);
+  InternDomain(table, 7, "region", kRegion);
+
+  util::Rng rng(config.seed);
+  const util::ZipfDistribution workclass_dist(kWorkclass, 1.1);
+  const util::ZipfDistribution education_dist(kEducation, 0.7);
+  const util::ZipfDistribution race_dist(kRace, 1.4);
+  const util::ZipfDistribution region_dist(kRegion, 1.2);
+
+  for (size_t i = 0; i < config.rows; ++i) {
+    // Age: mixture of young workers and a broad middle-age bulk.
+    const double age =
+        rng.Bernoulli(0.3) ? Clamp(rng.Gaussian(25, 4), 17, 90)
+                           : Clamp(rng.Gaussian(45, 12), 17, 90);
+
+    // Marital status strongly age-dependent (the conditional dependency the
+    // paper's partitioning experiments exploit).
+    int32_t marital;
+    if (age < 26) {
+      marital = rng.Bernoulli(0.8) ? 0 : static_cast<int32_t>(
+                                             rng.UniformInt(1, kMarital - 1));
+    } else if (age < 50) {
+      marital = rng.Bernoulli(0.6) ? 1 : static_cast<int32_t>(
+                                             rng.UniformInt(0, kMarital - 1));
+    } else {
+      const double u = rng.NextDouble();
+      marital = u < 0.5 ? 1 : (u < 0.75 ? 2 : static_cast<int32_t>(
+                                                  rng.UniformInt(3,
+                                                                 kMarital - 1)));
+    }
+
+    const auto education =
+        static_cast<int32_t>(education_dist.Sample(rng));
+    // education_num is a noisy monotone function of the education category.
+    const double education_num =
+        Clamp(1.0 + (kEducation - 1 - education) + rng.Gaussian(0, 0.7), 1,
+              16);
+
+    const auto workclass = static_cast<int32_t>(workclass_dist.Sample(rng));
+    // Occupation depends on education band and workclass.
+    int32_t occupation;
+    if (education_num >= 12) {
+      occupation = static_cast<int32_t>(rng.UniformInt(0, 4));  // white collar
+    } else if (workclass >= 5) {
+      occupation = static_cast<int32_t>(rng.UniformInt(9, kOccupation - 1));
+    } else {
+      occupation = static_cast<int32_t>(rng.UniformInt(4, 10));
+    }
+
+    const int32_t sex = rng.Bernoulli(0.52) ? 0 : 1;
+    // Relationship loosely tracks marital status.
+    const int32_t relationship =
+        marital == 1 ? (sex == 0 ? 0 : 1)
+                     : static_cast<int32_t>(rng.UniformInt(2,
+                                                           kRelationship - 1));
+    const auto race = static_cast<int32_t>(race_dist.Sample(rng));
+    const auto region = static_cast<int32_t>(region_dist.Sample(rng));
+
+    // Hours: full-time bulk at 40; self-employed (workclass >= 6) work more;
+    // second sex category slightly fewer on average (mirrors Adult data).
+    double hours = 40.0;
+    const double u = rng.NextDouble();
+    if (u < 0.15) {
+      hours = rng.Uniform(5, 35);
+    } else if (u < 0.85) {
+      hours = Clamp(rng.Gaussian(40, 3), 20, 60);
+    } else {
+      hours = Clamp(rng.Gaussian(52, 6), 40, 99);
+    }
+    if (workclass >= 6) hours = Clamp(hours + rng.Uniform(0, 10), 5, 99);
+    if (sex == 1) hours = Clamp(hours - rng.Uniform(0, 6), 5, 99);
+
+    // Zero-inflated capital gain/loss, education-skewed.
+    const double gain_p = 0.05 + 0.15 * (education_num / 16.0);
+    const double capital_gain =
+        rng.Bernoulli(gain_p) ? rng.Exponential(1.0 / 8000.0) : 0.0;
+    const double capital_loss =
+        rng.Bernoulli(0.05) ? rng.Exponential(1.0 / 1800.0) : 0.0;
+
+    const double fnlwgt = Clamp(rng.Gaussian(190000, 90000), 12000, 1500000);
+
+    table.AppendRow({
+        Datum::Categorical(workclass),
+        Datum::Categorical(education),
+        Datum::Categorical(marital),
+        Datum::Categorical(occupation),
+        Datum::Categorical(relationship),
+        Datum::Categorical(race),
+        Datum::Categorical(sex),
+        Datum::Categorical(region),
+        Datum::Numeric(std::round(age)),
+        Datum::Numeric(std::round(fnlwgt)),
+        Datum::Numeric(std::round(education_num)),
+        Datum::Numeric(std::round(capital_gain)),
+        Datum::Numeric(std::round(capital_loss)),
+        Datum::Numeric(std::round(hours)),
+    });
+  }
+  return table;
+}
+
+Table GenerateFlights(const FlightsConfig& config) {
+  Schema schema;
+  // 6 categorical attributes.
+  (void)schema.AddAttribute("origin_state", AttrType::kCategorical);  // 0
+  (void)schema.AddAttribute("dest_state", AttrType::kCategorical);    // 1
+  (void)schema.AddAttribute("carrier", AttrType::kCategorical);       // 2
+  (void)schema.AddAttribute("flight_number", AttrType::kCategorical);  // 3
+  (void)schema.AddAttribute("day_of_week", AttrType::kCategorical);   // 4
+  (void)schema.AddAttribute("month", AttrType::kCategorical);         // 5
+  // 6 numeric attributes.
+  (void)schema.AddAttribute("dep_delay", AttrType::kNumeric);  // 6
+  (void)schema.AddAttribute("arr_delay", AttrType::kNumeric);  // 7
+  (void)schema.AddAttribute("distance", AttrType::kNumeric);   // 8
+  (void)schema.AddAttribute("air_time", AttrType::kNumeric);   // 9
+  (void)schema.AddAttribute("taxi_out", AttrType::kNumeric);   // 10
+  (void)schema.AddAttribute("dep_hour", AttrType::kNumeric);   // 11
+
+  constexpr int32_t kStates = 50, kCarriers = 18, kDays = 7, kMonths = 12;
+  const int32_t kFlights = config.flight_number_cardinality;
+
+  Table table(schema);
+  InternDomain(table, 0, "st", kStates);
+  InternDomain(table, 1, "st", kStates);
+  InternDomain(table, 2, "carrier", kCarriers);
+  table.DeclareCardinality(3, kFlights);
+  InternDomain(table, 4, "dow", kDays);
+  InternDomain(table, 5, "mon", kMonths);
+
+  util::Rng rng(config.seed);
+  const util::ZipfDistribution state_dist(kStates, 1.05);
+  const util::ZipfDistribution carrier_dist(kCarriers, 0.9);
+  const util::ZipfDistribution flight_dist(
+      static_cast<uint64_t>(kFlights), 0.6);
+
+  for (size_t i = 0; i < config.rows; ++i) {
+    const auto origin = static_cast<int32_t>(state_dist.Sample(rng));
+    auto dest = static_cast<int32_t>(state_dist.Sample(rng));
+    if (dest == origin) dest = (dest + 1) % kStates;
+    const auto carrier = static_cast<int32_t>(carrier_dist.Sample(rng));
+    // Flight numbers cluster per carrier: block-offset the zipf sample so
+    // filters on carrier induce correlated filters on flight number.
+    const int32_t block = kFlights / kCarriers;
+    const int32_t flight =
+        (carrier * block +
+         static_cast<int32_t>(flight_dist.Sample(rng)) % std::max(block, 1)) %
+        kFlights;
+    const auto dow = static_cast<int32_t>(rng.NextIndex(kDays));
+    const auto month = static_cast<int32_t>(rng.NextIndex(kMonths));
+
+    // Distance depends on the origin/dest pair deterministically plus noise,
+    // so (origin, dest) -> distance is a near-functional dependency.
+    const double base_distance =
+        150.0 + 40.0 * std::abs(origin - dest) +
+        17.0 * ((origin * 7 + dest * 13) % 29);
+    const double distance = Clamp(
+        base_distance + rng.Gaussian(0, 30), 80, 3000);
+
+    const double dep_hour = Clamp(rng.Gaussian(13, 4.5), 0, 23);
+
+    // Departure delay: mostly small, heavy right tail; worse in evenings,
+    // summer months, and for the tail carriers.
+    double dep_delay = rng.Gaussian(0, 4);
+    if (rng.Bernoulli(0.22 + 0.01 * carrier)) {
+      dep_delay += rng.Exponential(1.0 / (18.0 + 2.5 * (dep_hour - 6)));
+    }
+    if (month >= 5 && month <= 7) dep_delay += rng.Exponential(1.0 / 6.0);
+    dep_delay = Clamp(dep_delay, -15, 600);
+
+    const double air_time =
+        Clamp(distance / 7.5 + rng.Gaussian(0, 6), 20, 500);
+    const double taxi_out = Clamp(rng.Exponential(1.0 / 14.0) + 5, 5, 120);
+    // Arrival delay tracks departure delay with en-route slack.
+    const double arr_delay =
+        Clamp(dep_delay + rng.Gaussian(-3, 8), -60, 650);
+
+    table.AppendRow({
+        Datum::Categorical(origin),
+        Datum::Categorical(dest),
+        Datum::Categorical(carrier),
+        Datum::Categorical(flight),
+        Datum::Categorical(dow),
+        Datum::Categorical(month),
+        Datum::Numeric(std::round(dep_delay)),
+        Datum::Numeric(std::round(arr_delay)),
+        Datum::Numeric(std::round(distance)),
+        Datum::Numeric(std::round(air_time)),
+        Datum::Numeric(std::round(taxi_out)),
+        Datum::Numeric(std::floor(dep_hour)),
+    });
+  }
+  return table;
+}
+
+Table GenerateTaxi(const TaxiConfig& config) {
+  Schema schema;
+  (void)schema.AddAttribute("pickup_borough", AttrType::kCategorical);  // 0
+  (void)schema.AddAttribute("payment_type", AttrType::kCategorical);    // 1
+  (void)schema.AddAttribute("hour", AttrType::kCategorical);            // 2
+  (void)schema.AddAttribute("passengers", AttrType::kNumeric);          // 3
+  (void)schema.AddAttribute("trip_distance", AttrType::kNumeric);       // 4
+  (void)schema.AddAttribute("duration_min", AttrType::kNumeric);        // 5
+  (void)schema.AddAttribute("fare", AttrType::kNumeric);                // 6
+
+  Table table(schema);
+  const char* boroughs[] = {"Manhattan", "Brooklyn", "Queens", "Bronx",
+                            "StatenIsland"};
+  for (const char* b : boroughs) table.InternLabel(0, b);
+  for (const char* p : {"card", "cash", "other"}) table.InternLabel(1, p);
+  for (int h = 0; h < 24; ++h) table.InternLabel(2, "h" + std::to_string(h));
+
+  util::Rng rng(config.seed);
+  const std::vector<double> borough_w = {0.55, 0.2, 0.15, 0.07, 0.03};
+
+  for (size_t i = 0; i < config.rows; ++i) {
+    const auto borough = static_cast<int32_t>(rng.Categorical(borough_w));
+    const int32_t payment = rng.Bernoulli(0.7) ? 0 : (rng.Bernoulli(0.9) ? 1
+                                                                         : 2);
+    // Two daily demand peaks.
+    const double peak = rng.Bernoulli(0.5) ? 8.5 : 18.0;
+    const auto hour = static_cast<int32_t>(
+        Clamp(std::round(rng.Gaussian(peak, 3.5)), 0, 23));
+    const double passengers =
+        rng.Bernoulli(0.7) ? 1 : std::round(rng.Uniform(2, 6));
+    // Manhattan trips are shorter; outer boroughs longer.
+    const double dist_mean = borough == 0 ? 2.2 : 4.5 + borough;
+    const double trip_distance =
+        Clamp(rng.Exponential(1.0 / dist_mean) + 0.3, 0.3, 40);
+    // Rush-hour trips are slower per mile.
+    const bool rush = (hour >= 7 && hour <= 9) || (hour >= 16 && hour <= 19);
+    const double pace = rush ? 6.0 : 3.5;  // minutes per mile
+    const double duration =
+        Clamp(trip_distance * pace + rng.Gaussian(4, 3), 2, 180);
+    const double fare =
+        Clamp(2.5 + 2.6 * trip_distance + 0.35 * duration +
+                  rng.Gaussian(0, 1.5),
+              3, 250);
+
+    table.AppendRow({
+        Datum::Categorical(borough),
+        Datum::Categorical(payment),
+        Datum::Categorical(hour),
+        Datum::Numeric(passengers),
+        Datum::Numeric(trip_distance),
+        Datum::Numeric(duration),
+        Datum::Numeric(fare),
+    });
+  }
+  return table;
+}
+
+}  // namespace deepaqp::data

@@ -1,0 +1,52 @@
+#ifndef DEEPAQP_DATA_GENERATORS_H_
+#define DEEPAQP_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "relation/table.h"
+
+namespace deepaqp::data {
+
+/// Synthetic stand-in for the UCI Adult ("Census") dataset used in the paper:
+/// 8 categorical + 6 numeric attributes with planted correlations and
+/// conditional dependencies (education drives education_num and occupation,
+/// age drives marital status, workclass and sex drive hours_per_week,
+/// capital gains are zero-inflated and education-skewed). The generative
+/// process is fixed given the seed, so scaling `rows` plays the role of the
+/// IDEBench data scaler: more tuples from the same joint distribution.
+struct CensusConfig {
+  size_t rows = 10000;
+  uint64_t seed = 1;
+};
+
+relation::Table GenerateCensus(const CensusConfig& config);
+
+/// Synthetic stand-in for the BTS on-time-performance ("Flights") dataset:
+/// 6 categorical + 6 numeric attributes. Includes a large-cardinality
+/// attribute (flight_number) to reproduce the paper's observation that naive
+/// one-hot encoding breaks down when domains reach the thousands, plus the
+/// strong delay correlations (arr_delay tracks dep_delay; air_time tracks
+/// distance) that make AQP on this dataset hard.
+struct FlightsConfig {
+  size_t rows = 10000;
+  uint64_t seed = 2;
+  /// Domain size of the flight_number attribute.
+  int32_t flight_number_cardinality = 1000;
+};
+
+relation::Table GenerateFlights(const FlightsConfig& config);
+
+/// Small mixed-type table for examples and unit tests: a taxi-trip style
+/// relation (pickup borough, hour, passengers, trip distance, duration,
+/// fare) with hour/duration and distance/fare correlations. Mirrors the
+/// paper's NYC-taxi case study in the introduction.
+struct TaxiConfig {
+  size_t rows = 10000;
+  uint64_t seed = 3;
+};
+
+relation::Table GenerateTaxi(const TaxiConfig& config);
+
+}  // namespace deepaqp::data
+
+#endif  // DEEPAQP_DATA_GENERATORS_H_

@@ -1,0 +1,128 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aqp/executor.h"
+
+namespace deepaqp::data {
+
+using aqp::AggFunc;
+using aqp::AggregateQuery;
+using aqp::CmpOp;
+using aqp::Condition;
+
+namespace {
+
+/// Draws a filter constant for numeric attribute `attr` from the empirical
+/// distribution of the column (a random order statistic), so thresholds are
+/// always inside the data range.
+double NumericConstant(const relation::Table& table, size_t attr,
+                       util::Rng& rng) {
+  const auto& col = table.NumColumn(attr);
+  return col[rng.NextIndex(col.size())];
+}
+
+Condition RandomCondition(const relation::Table& table, util::Rng& rng) {
+  const relation::Schema& schema = table.schema();
+  const size_t attr = rng.NextIndex(schema.num_attributes());
+  Condition c;
+  c.attr = attr;
+  if (schema.IsCategorical(attr)) {
+    // Mostly equality; occasional inequality / ordered comparison on codes.
+    const double u = rng.NextDouble();
+    if (u < 0.7) {
+      c.op = CmpOp::kEq;
+    } else if (u < 0.8) {
+      c.op = CmpOp::kNe;
+    } else {
+      constexpr CmpOp kOrdered[] = {CmpOp::kLt, CmpOp::kGt, CmpOp::kLe,
+                                    CmpOp::kGe};
+      c.op = kOrdered[rng.NextIndex(4)];
+    }
+    // Draw the constant from the data so equality predicates hit existing
+    // codes with data-proportional frequency.
+    const auto& col = table.CatColumn(attr);
+    c.value = static_cast<double>(col[rng.NextIndex(col.size())]);
+  } else {
+    constexpr CmpOp kOps[] = {CmpOp::kLt, CmpOp::kGt, CmpOp::kLe, CmpOp::kGe};
+    c.op = kOps[rng.NextIndex(4)];
+    c.value = NumericConstant(table, attr, rng);
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<AggregateQuery> GenerateWorkload(const relation::Table& table,
+                                             const WorkloadConfig& config) {
+  util::Rng rng(config.seed);
+  const relation::Schema& schema = table.schema();
+  const std::vector<size_t> numeric = schema.NumericIndices();
+  std::vector<size_t> groupable;
+  for (size_t c : schema.CategoricalIndices()) {
+    if (table.Cardinality(c) <= config.max_group_cardinality) {
+      groupable.push_back(c);
+    }
+  }
+
+  std::vector<AggregateQuery> workload;
+  size_t attempts = 0;
+  const size_t max_attempts = config.num_queries * 50 + 1000;
+  while (workload.size() < config.num_queries && attempts < max_attempts) {
+    ++attempts;
+    AggregateQuery q;
+    const double agg_u = rng.NextDouble();
+    if (numeric.empty() || agg_u < 0.34) {
+      q.agg = AggFunc::kCount;
+    } else {
+      q.agg = agg_u < 0.67 ? AggFunc::kSum : AggFunc::kAvg;
+      q.measure_attr =
+          static_cast<int>(numeric[rng.NextIndex(numeric.size())]);
+      if (config.quantile_prob > 0.0 &&
+          rng.Bernoulli(config.quantile_prob)) {
+        q.agg = AggFunc::kQuantile;
+        constexpr double kLevels[] = {0.25, 0.5, 0.9};
+        q.quantile = kLevels[rng.NextIndex(3)];
+      }
+    }
+
+    const int num_preds =
+        static_cast<int>(rng.NextIndex(config.max_predicates + 1));
+    for (int i = 0; i < num_preds; ++i) {
+      q.filter.conditions.push_back(RandomCondition(table, rng));
+    }
+    q.filter.conjunctive =
+        q.filter.conditions.size() < 2 ||
+        rng.Bernoulli(config.conjunctive_prob);
+
+    if (!groupable.empty() && rng.Bernoulli(config.group_by_prob)) {
+      q.group_by_attr =
+          static_cast<int>(groupable[rng.NextIndex(groupable.size())]);
+    }
+
+    if (aqp::Selectivity(q, table) < config.min_selectivity) continue;
+    workload.push_back(std::move(q));
+  }
+  return workload;
+}
+
+SelectivityBuckets BucketBySelectivity(
+    const std::vector<AggregateQuery>& workload,
+    const relation::Table& table) {
+  SelectivityBuckets buckets;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const double s = aqp::Selectivity(workload[i], table);
+    if (s <= 0.0) continue;
+    if (s >= 0.1) {
+      buckets.high.push_back(i);
+    } else if (s >= 0.01) {
+      buckets.mid.push_back(i);
+    } else {
+      buckets.low.push_back(i);
+    }
+  }
+  return buckets;
+}
+
+}  // namespace deepaqp::data

@@ -1,0 +1,57 @@
+#ifndef DEEPAQP_DATA_WORKLOAD_H_
+#define DEEPAQP_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aqp/query.h"
+#include "relation/table.h"
+#include "util/rng.h"
+
+namespace deepaqp::data {
+
+/// IDEBench-style random aggregate-query generation (Sec. VI-A: "queries
+/// that are diverse in various facets such as number of predicates,
+/// selectivity, number of groups, attribute correlation").
+struct WorkloadConfig {
+  size_t num_queries = 100;
+  uint64_t seed = 7;
+  /// Max filter conditions per query (0..max, drawn uniformly).
+  int max_predicates = 3;
+  /// Probability a query has a GROUP BY clause.
+  double group_by_prob = 0.4;
+  /// Probability a multi-condition filter is conjunctive (else disjunctive).
+  double conjunctive_prob = 0.8;
+  /// Discard queries whose exact selectivity is below this floor (queries
+  /// matching nothing exercise neither estimator).
+  double min_selectivity = 0.0005;
+  /// Skip group-by attributes with more than this many distinct values to
+  /// keep per-group supports meaningful.
+  int32_t max_group_cardinality = 64;
+  /// Probability that a SUM/AVG query becomes a QUANTILE query instead
+  /// (level drawn from {0.25, 0.5, 0.9}). 0 keeps the paper's workload mix.
+  double quantile_prob = 0.0;
+};
+
+/// Generates a workload against `table`. Filter constants are drawn from the
+/// data itself (codes that occur, numeric quantiles), so selectivities span
+/// several orders of magnitude without degenerating to zero.
+std::vector<aqp::AggregateQuery> GenerateWorkload(
+    const relation::Table& table, const WorkloadConfig& config);
+
+/// Splits `workload` indices into the paper's Fig. 3 selectivity buckets:
+/// [0.1, 1.0], [0.01, 0.1), (0, 0.01). Queries with zero selectivity are
+/// dropped.
+struct SelectivityBuckets {
+  std::vector<size_t> high;  // 0.1 - 1.0
+  std::vector<size_t> mid;   // 0.01 - 0.1
+  std::vector<size_t> low;   // < 0.01
+};
+
+SelectivityBuckets BucketBySelectivity(
+    const std::vector<aqp::AggregateQuery>& workload,
+    const relation::Table& table);
+
+}  // namespace deepaqp::data
+
+#endif  // DEEPAQP_DATA_WORKLOAD_H_

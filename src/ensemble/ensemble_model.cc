@@ -1,0 +1,122 @@
+#include "ensemble/ensemble_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepaqp::ensemble {
+
+util::Result<std::unique_ptr<EnsembleModel>> EnsembleModel::Train(
+    const relation::Table& table, const std::vector<AtomicGroup>& groups,
+    const Partition& partition, const vae::VaeAqpOptions& options) {
+  if (partition.parts.empty()) {
+    return util::Status::InvalidArgument("partition has no parts");
+  }
+  auto model = std::unique_ptr<EnsembleModel>(new EnsembleModel());
+  size_t total_rows = 0;
+  for (size_t p = 0; p < partition.parts.size(); ++p) {
+    std::vector<size_t> rows;
+    for (int g : partition.parts[p]) {
+      if (g < 0 || static_cast<size_t>(g) >= groups.size()) {
+        return util::Status::InvalidArgument("partition references bad group");
+      }
+      rows.insert(rows.end(), groups[g].rows.begin(), groups[g].rows.end());
+    }
+    if (rows.empty()) {
+      return util::Status::InvalidArgument("empty partition part");
+    }
+    relation::Table part_table = table.Gather(rows);
+    vae::VaeAqpOptions member_options = options;
+    member_options.seed = options.seed + 1000003 * (p + 1);
+    DEEPAQP_ASSIGN_OR_RETURN(
+        auto member, vae::VaeAqpModel::Train(part_table, member_options));
+    model->members_.push_back(std::move(member));
+    model->member_rows_.push_back(std::move(rows));
+    total_rows += model->member_rows_.back().size();
+  }
+  for (const auto& rows : model->member_rows_) {
+    model->weights_.push_back(static_cast<double>(rows.size()) /
+                              static_cast<double>(total_rows));
+  }
+  return model;
+}
+
+relation::Table EnsembleModel::Generate(size_t n, double t, util::Rng& rng) {
+  // Multinomial allocation of n across members by weight.
+  std::vector<size_t> counts(members_.size(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++counts[rng.Categorical(weights_)];
+  }
+  relation::Table out = members_[0]->Generate(counts[0], t, rng);
+  for (size_t m = 1; m < members_.size(); ++m) {
+    if (counts[m] == 0) continue;
+    relation::Table part = members_[m]->Generate(counts[m], t, rng);
+    DEEPAQP_CHECK(out.Append(part).ok());
+  }
+  return out;
+}
+
+aqp::SampleFn EnsembleModel::MakeSampler(double t, uint64_t seed) {
+  return [this, t, seed](size_t rows, util::Rng& harness_rng) {
+    util::Rng rng(seed ^ harness_rng.NextUint64());
+    return Generate(rows, t, rng);
+  };
+}
+
+double EnsembleModel::TotalRElboLoss(const relation::Table& table, double t,
+                                     util::Rng& rng) {
+  double total = 0.0;
+  for (size_t m = 0; m < members_.size(); ++m) {
+    relation::Table part = table.Gather(member_rows_[m]);
+    total += members_[m]->RElboLoss(part, t, rng);
+  }
+  return total;
+}
+
+size_t EnsembleModel::ModelSizeBytes() const {
+  size_t total = 0;
+  for (const auto& member : members_) total += member->ModelSizeBytes();
+  return total;
+}
+
+std::vector<uint8_t> EnsembleModel::Serialize() const {
+  util::ByteWriter w;
+  w.WriteString("deepaqp-ensemble-v1");
+  w.WriteU64(members_.size());
+  w.WriteF64Vector(weights_);
+  for (const auto& member : members_) {
+    const std::vector<uint8_t> bytes = member->Serialize();
+    w.WriteU64(bytes.size());
+    for (uint8_t b : bytes) w.WriteU8(b);
+  }
+  return w.bytes();
+}
+
+util::Result<std::unique_ptr<EnsembleModel>> EnsembleModel::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  DEEPAQP_ASSIGN_OR_RETURN(std::string magic, r.ReadString());
+  if (magic != "deepaqp-ensemble-v1") {
+    return util::Status::InvalidArgument("not a deepaqp ensemble");
+  }
+  auto model = std::unique_ptr<EnsembleModel>(new EnsembleModel());
+  DEEPAQP_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  DEEPAQP_ASSIGN_OR_RETURN(model->weights_, r.ReadF64Vector());
+  if (model->weights_.size() != count || count == 0) {
+    return util::Status::InvalidArgument("ensemble weight count mismatch");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    DEEPAQP_ASSIGN_OR_RETURN(uint64_t size, r.ReadU64());
+    std::vector<uint8_t> member_bytes(size);
+    for (uint64_t b = 0; b < size; ++b) {
+      DEEPAQP_ASSIGN_OR_RETURN(member_bytes[b], r.ReadU8());
+    }
+    DEEPAQP_ASSIGN_OR_RETURN(auto member,
+                             vae::VaeAqpModel::Deserialize(member_bytes));
+    model->members_.push_back(std::move(member));
+    model->member_rows_.emplace_back();  // not shipped with the model
+  }
+  return model;
+}
+
+}  // namespace deepaqp::ensemble

@@ -1,0 +1,65 @@
+#ifndef DEEPAQP_ENSEMBLE_ENSEMBLE_MODEL_H_
+#define DEEPAQP_ENSEMBLE_ENSEMBLE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "aqp/evaluation.h"
+#include "ensemble/partitioning.h"
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "vae/vae_model.h"
+
+namespace deepaqp::ensemble {
+
+/// A collection of per-partition VAEs acting as one generative model of the
+/// whole relation (paper Sec. V): each member learns the finer structure of
+/// its partition; generation draws from members proportionally to partition
+/// size, so the union distribution is preserved.
+class EnsembleModel {
+ public:
+  /// Trains one VAE per part. `groups` are atomic row groups of `table`;
+  /// `partition.parts` lists group indices per part. Member seeds derive
+  /// from options.seed so members differ.
+  static util::Result<std::unique_ptr<EnsembleModel>> Train(
+      const relation::Table& table, const std::vector<AtomicGroup>& groups,
+      const Partition& partition, const vae::VaeAqpOptions& options);
+
+  /// Generates `n` tuples: each member contributes a share proportional to
+  /// its partition's row count (multinomial split of n).
+  relation::Table Generate(size_t n, double t, util::Rng& rng);
+
+  aqp::SampleFn MakeSampler(double t, uint64_t seed = 77);
+
+  /// Sum of members' R-ELBO losses on their own partitions (the paper's
+  /// partition objective Sum_i R-ELBO(s_i)).
+  double TotalRElboLoss(const relation::Table& table, double t,
+                        util::Rng& rng);
+
+  size_t num_members() const { return members_.size(); }
+  vae::VaeAqpModel& member(size_t i) { return *members_[i]; }
+
+  /// Combined serialized size of all members.
+  size_t ModelSizeBytes() const;
+
+  /// Serializes members and mixture weights. A deserialized ensemble can
+  /// Generate and answer queries; TotalRElboLoss additionally needs the
+  /// training-time partition rows, which do not ship with the model, so it
+  /// is only valid on the in-process trained instance.
+  std::vector<uint8_t> Serialize() const;
+  static util::Result<std::unique_ptr<EnsembleModel>> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+ private:
+  EnsembleModel() = default;
+
+  std::vector<std::unique_ptr<vae::VaeAqpModel>> members_;
+  /// Row indices of each member's partition in the training table.
+  std::vector<std::vector<size_t>> member_rows_;
+  std::vector<double> weights_;  // partition fractions, sum to 1
+};
+
+}  // namespace deepaqp::ensemble
+
+#endif  // DEEPAQP_ENSEMBLE_ENSEMBLE_MODEL_H_

@@ -1,0 +1,332 @@
+#include "ensemble/partitioning.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/logging.h"
+
+namespace deepaqp::ensemble {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<AtomicGroup> GroupByAttribute(const relation::Table& table,
+                                          size_t attr, double min_fraction) {
+  DEEPAQP_CHECK(table.schema().IsCategorical(attr));
+  const int32_t card = table.Cardinality(attr);
+  std::vector<AtomicGroup> by_code(card);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    by_code[table.CatCode(r, attr)].rows.push_back(r);
+  }
+  const size_t min_rows = static_cast<size_t>(
+      min_fraction * static_cast<double>(table.num_rows()));
+  std::vector<AtomicGroup> out;
+  AtomicGroup misc;
+  misc.name = "misc";
+  for (int32_t code = 0; code < card; ++code) {
+    auto& g = by_code[code];
+    if (g.rows.empty()) continue;
+    if (g.rows.size() >= min_rows) {
+      g.name = table.dict(attr).size() > code
+                   ? table.dict(attr).LabelOf(code)
+                   : "g" + std::to_string(code);
+      out.push_back(std::move(g));
+    } else {
+      misc.rows.insert(misc.rows.end(), g.rows.begin(), g.rows.end());
+    }
+  }
+  if (!misc.rows.empty()) out.push_back(std::move(misc));
+  return out;
+}
+
+std::vector<int> Hierarchy::LeavesUnder(int n) const {
+  std::vector<int> leaves;
+  std::vector<int> stack = {n};
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    const HierarchyNode& node = nodes[cur];
+    if (node.children.empty()) {
+      leaves.push_back(node.group);
+    } else {
+      // Push in reverse to visit children left-to-right.
+      for (auto it = node.children.rbegin(); it != node.children.rend();
+           ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return leaves;
+}
+
+namespace {
+
+int BuildBalanced(Hierarchy& h, int lo, int hi) {
+  const int id = static_cast<int>(h.nodes.size());
+  h.nodes.emplace_back();
+  if (hi - lo == 1) {
+    h.nodes[id].group = lo;
+    h.nodes[id].name = "leaf" + std::to_string(lo);
+    return id;
+  }
+  const int mid = lo + (hi - lo) / 2;
+  h.nodes[id].name =
+      "span" + std::to_string(lo) + "_" + std::to_string(hi - 1);
+  const int left = BuildBalanced(h, lo, mid);
+  const int right = BuildBalanced(h, mid, hi);
+  h.nodes[id].children = {left, right};
+  return id;
+}
+
+}  // namespace
+
+Hierarchy MakeBalancedHierarchy(int num_groups) {
+  DEEPAQP_CHECK_GT(num_groups, 0);
+  Hierarchy h;
+  h.root = BuildBalanced(h, 0, num_groups);
+  return h;
+}
+
+namespace {
+
+/// Shared state for the tree-cut DP of Eq. 10/11.
+class HierarchyDpSolver {
+ public:
+  HierarchyDpSolver(const Hierarchy& hierarchy, const NodeScoreFn& score,
+                    int max_k)
+      : hierarchy_(hierarchy), score_(score), max_k_(max_k) {}
+
+  double Err(int node, int k) {
+    if (k <= 0) return kInf;
+    k = std::min(k, max_k_);
+    const auto key = std::make_pair(node, k);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    const double unsplit = NodeScore(node);
+    double best = unsplit;
+    const auto& children = hierarchy_.nodes[node].children;
+    if (!children.empty() && k >= 2) {
+      // Sequential allocation over children: each child gets >= 1 part,
+      // totals capped at k (the pairwise-splitting recurrence of Eq. 11
+      // computes exactly this optimum).
+      const int m = static_cast<int>(children.size());
+      if (k >= m) {
+        std::vector<std::vector<double>> a(
+            m + 1, std::vector<double>(k + 1, kInf));
+        a[0][0] = 0.0;
+        for (int j = 1; j <= m; ++j) {
+          for (int t = j; t <= k; ++t) {
+            for (int ki = 1; ki <= t - (j - 1); ++ki) {
+              const double prev = a[j - 1][t - ki];
+              if (prev == kInf) continue;
+              const double child = Err(children[j - 1], ki);
+              if (child == kInf) continue;
+              a[j][t] = std::min(a[j][t], prev + child);
+            }
+          }
+        }
+        for (int t = m; t <= k; ++t) best = std::min(best, a[m][t]);
+      }
+    }
+    memo_[key] = best;
+    return best;
+  }
+
+  /// Reconstructs the optimal cut for (node, k) into `parts`.
+  void Collect(int node, int k, std::vector<std::vector<int>>* parts) {
+    k = std::min(std::max(k, 1), max_k_);
+    const double best = Err(node, k);
+    const double unsplit = NodeScore(node);
+    const auto& children = hierarchy_.nodes[node].children;
+    if (children.empty() || best >= unsplit - 1e-12) {
+      parts->push_back(hierarchy_.LeavesUnder(node));
+      return;
+    }
+    // Re-derive a child allocation achieving `best`.
+    const int m = static_cast<int>(children.size());
+    std::vector<std::vector<double>> a(m + 1,
+                                       std::vector<double>(k + 1, kInf));
+    std::vector<std::vector<int>> choice(m + 1, std::vector<int>(k + 1, 0));
+    a[0][0] = 0.0;
+    for (int j = 1; j <= m; ++j) {
+      for (int t = j; t <= k; ++t) {
+        for (int ki = 1; ki <= t - (j - 1); ++ki) {
+          const double prev = a[j - 1][t - ki];
+          if (prev == kInf) continue;
+          const double cand = prev + Err(children[j - 1], ki);
+          if (cand < a[j][t]) {
+            a[j][t] = cand;
+            choice[j][t] = ki;
+          }
+        }
+      }
+    }
+    int best_t = -1;
+    for (int t = m; t <= k; ++t) {
+      if (a[m][t] <= best + 1e-9) {
+        best_t = t;
+        break;
+      }
+    }
+    DEEPAQP_CHECK_GE(best_t, 0);
+    std::vector<int> alloc(m);
+    for (int j = m, t = best_t; j >= 1; --j) {
+      alloc[j - 1] = choice[j][t];
+      t -= choice[j][t];
+    }
+    for (int j = 0; j < m; ++j) {
+      Collect(children[j], alloc[j], parts);
+    }
+  }
+
+  double NodeScore(int node) {
+    auto it = node_score_.find(node);
+    if (it != node_score_.end()) return it->second;
+    const double s = score_(hierarchy_.LeavesUnder(node));
+    node_score_[node] = s;
+    return s;
+  }
+
+ private:
+  const Hierarchy& hierarchy_;
+  const NodeScoreFn& score_;
+  int max_k_;
+  std::map<std::pair<int, int>, double> memo_;
+  std::map<int, double> node_score_;
+};
+
+util::Status ValidateHierarchy(const Hierarchy& hierarchy) {
+  if (hierarchy.root < 0 ||
+      static_cast<size_t>(hierarchy.root) >= hierarchy.nodes.size()) {
+    return util::Status::InvalidArgument("hierarchy has no valid root");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<Partition> PartitionHierarchyDp(const Hierarchy& hierarchy,
+                                             const NodeScoreFn& score,
+                                             int k) {
+  DEEPAQP_RETURN_IF_ERROR(ValidateHierarchy(hierarchy));
+  if (k < 1) return util::Status::InvalidArgument("k must be >= 1");
+  HierarchyDpSolver solver(hierarchy, score, k);
+  Partition result;
+  result.total_score = solver.Err(hierarchy.root, k);
+  solver.Collect(hierarchy.root, k, &result.parts);
+  return result;
+}
+
+util::Result<Partition> PartitionHierarchyGreedy(const Hierarchy& hierarchy,
+                                                 const NodeScoreFn& score,
+                                                 int k) {
+  DEEPAQP_RETURN_IF_ERROR(ValidateHierarchy(hierarchy));
+  if (k < 1) return util::Status::InvalidArgument("k must be >= 1");
+
+  std::map<int, double> node_score;
+  auto get_score = [&](int node) {
+    auto it = node_score.find(node);
+    if (it != node_score.end()) return it->second;
+    const double s = score(hierarchy.LeavesUnder(node));
+    node_score[node] = s;
+    return s;
+  };
+
+  std::vector<int> cut = {hierarchy.root};
+  while (static_cast<int>(cut.size()) < k) {
+    // Split the worst-scoring internal node in the cut.
+    int pick = -1;
+    double worst = -kInf;
+    for (size_t i = 0; i < cut.size(); ++i) {
+      if (hierarchy.nodes[cut[i]].children.empty()) continue;
+      const double s = get_score(cut[i]);
+      if (s > worst) {
+        worst = s;
+        pick = static_cast<int>(i);
+      }
+    }
+    if (pick < 0) break;  // nothing splittable
+    const int node = cut[pick];
+    const auto& children = hierarchy.nodes[node].children;
+    if (static_cast<int>(cut.size()) - 1 +
+            static_cast<int>(children.size()) >
+        k) {
+      break;  // splitting would exceed the budget
+    }
+    cut.erase(cut.begin() + pick);
+    cut.insert(cut.end(), children.begin(), children.end());
+  }
+
+  Partition result;
+  for (int node : cut) {
+    result.parts.push_back(hierarchy.LeavesUnder(node));
+    result.total_score += get_score(node);
+  }
+  return result;
+}
+
+util::Result<Partition> PartitionContiguousDp(
+    int num_groups, const std::function<double(int, int)>& range_score,
+    int k) {
+  if (num_groups < 1) {
+    return util::Status::InvalidArgument("need at least one group");
+  }
+  if (k < 1) return util::Status::InvalidArgument("k must be >= 1");
+  k = std::min(k, num_groups);
+
+  // dp[t][j]: best cost of covering groups [0, j] with exactly t ranges.
+  std::vector<std::vector<double>> dp(
+      k + 1, std::vector<double>(num_groups, kInf));
+  std::vector<std::vector<int>> from(k + 1,
+                                     std::vector<int>(num_groups, -1));
+  for (int j = 0; j < num_groups; ++j) dp[1][j] = range_score(0, j);
+  for (int t = 2; t <= k; ++t) {
+    for (int j = t - 1; j < num_groups; ++j) {
+      for (int i = t - 1; i <= j; ++i) {
+        const double prev = dp[t - 1][i - 1];
+        if (prev == kInf) continue;
+        const double cand = prev + range_score(i, j);
+        if (cand < dp[t][j]) {
+          dp[t][j] = cand;
+          from[t][j] = i;
+        }
+      }
+    }
+  }
+  int best_t = 1;
+  for (int t = 2; t <= k; ++t) {
+    if (dp[t][num_groups - 1] < dp[best_t][num_groups - 1]) best_t = t;
+  }
+
+  Partition result;
+  result.total_score = dp[best_t][num_groups - 1];
+  int j = num_groups - 1;
+  for (int t = best_t; t >= 1; --t) {
+    const int i = t == 1 ? 0 : from[t][j];
+    std::vector<int> part;
+    for (int g = i; g <= j; ++g) part.push_back(g);
+    result.parts.push_back(std::move(part));
+    j = i - 1;
+  }
+  std::reverse(result.parts.begin(), result.parts.end());
+  return result;
+}
+
+int SelectKByElbow(const std::vector<double>& score_per_k,
+                   double threshold) {
+  if (score_per_k.size() < 2) return 1;
+  const double first_gain = score_per_k[0] - score_per_k[1];
+  if (first_gain <= 0) return 1;
+  for (size_t i = 1; i + 1 < score_per_k.size(); ++i) {
+    const double gain = score_per_k[i] - score_per_k[i + 1];
+    if (gain < threshold * first_gain) {
+      return static_cast<int>(i + 1);
+    }
+  }
+  return static_cast<int>(score_per_k.size());
+}
+
+}  // namespace deepaqp::ensemble

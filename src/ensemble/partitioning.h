@@ -1,0 +1,98 @@
+#ifndef DEEPAQP_ENSEMBLE_PARTITIONING_H_
+#define DEEPAQP_ENSEMBLE_PARTITIONING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace deepaqp::ensemble {
+
+/// One atomic group of tuples (paper Sec. V-A): a semantically meaningful
+/// subset, e.g., all tuples of one country. Partitions are unions of atomic
+/// groups.
+struct AtomicGroup {
+  std::string name;
+  std::vector<size_t> rows;
+};
+
+/// Splits `table` into atomic groups by the values of categorical attribute
+/// `attr`. Groups holding less than `min_fraction` of the rows are merged
+/// into a trailing "misc" group (the paper ensures every group is >= 5% of
+/// the dataset). Groups are ordered by code.
+std::vector<AtomicGroup> GroupByAttribute(const relation::Table& table,
+                                          size_t attr,
+                                          double min_fraction = 0.05);
+
+/// A partition of atomic groups into disjoint parts; each part lists group
+/// indices.
+struct Partition {
+  std::vector<std::vector<int>> parts;
+  /// Sum of per-part scores under the scoring used to build it.
+  double total_score = 0.0;
+};
+
+/// OLAP hierarchy over atomic groups: a rooted tree whose leaves map to
+/// groups (e.g., Nikon Digital Cameras -> Camera -> Electronics). The DP of
+/// Eq. 10/11 selects a K-way tree cut.
+struct HierarchyNode {
+  std::string name;
+  /// Child node indices; empty for leaves.
+  std::vector<int> children;
+  /// Leaf payload: index of the atomic group; -1 for internal nodes.
+  int group = -1;
+};
+
+struct Hierarchy {
+  std::vector<HierarchyNode> nodes;
+  int root = -1;
+
+  /// Atomic-group indices under node `n`, in leaf order.
+  std::vector<int> LeavesUnder(int n) const;
+};
+
+/// Builds a balanced binary hierarchy over `num_groups` leaves, the shape
+/// the paper's binary-tree recurrence (Eq. 10) targets. Internal nodes are
+/// named by their leaf span.
+Hierarchy MakeBalancedHierarchy(int num_groups);
+
+/// Score of training one VAE on the union of a set of atomic groups (lower
+/// is better; the library uses the per-tuple-average R-ELBO loss). The
+/// partitioning algorithms are generic in this so tests can use analytic
+/// scores and benches can use real trained-VAE scores.
+using NodeScoreFn = std::function<double(const std::vector<int>& groups)>;
+
+/// Exact tree-cut DP (paper Eq. 10/11): chooses a partition of the
+/// hierarchy's leaves into at most `k` subtree parts minimizing the sum of
+/// part scores. Handles arbitrary fanout by pairwise splitting of child
+/// lists (Eq. 11). Scores are memoized per node.
+util::Result<Partition> PartitionHierarchyDp(const Hierarchy& hierarchy,
+                                             const NodeScoreFn& score,
+                                             int k);
+
+/// Greedy baseline (Fig. 10's comparator): start from the root cut and
+/// repeatedly split the current part with the worst (highest) score into
+/// its children until `k` parts exist or nothing is splittable.
+util::Result<Partition> PartitionHierarchyGreedy(const Hierarchy& hierarchy,
+                                                 const NodeScoreFn& score,
+                                                 int k);
+
+/// Contiguous-range partitioning (paper Sec. V-C scenario 2): split groups
+/// 0..l-1 into at most `k` contiguous ranges minimizing the sum of range
+/// scores. `range_score(i, j)` scores the inclusive range [i, j]. Classic
+/// O(l^2 k) interval DP.
+util::Result<Partition> PartitionContiguousDp(
+    int num_groups, const std::function<double(int, int)>& range_score,
+    int k);
+
+/// Elbow heuristic for choosing K (paper Sec. V-C): given total scores for
+/// K = 1..max, returns the K after which the marginal improvement drops
+/// below `threshold` times the first improvement.
+int SelectKByElbow(const std::vector<double>& score_per_k,
+                   double threshold = 0.25);
+
+}  // namespace deepaqp::ensemble
+
+#endif  // DEEPAQP_ENSEMBLE_PARTITIONING_H_

@@ -1,0 +1,215 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepaqp::nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim, util::Rng& rng) {
+  weight.value = Matrix(in_dim, out_dim);
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(in_dim + out_dim));
+  weight.value.RandomizeGaussian(rng, stddev);
+  bias.value = Matrix(1, out_dim);
+  weight.ZeroGrad();
+  bias.ZeroGrad();
+}
+
+std::unique_ptr<Linear> Linear::WithHeInit(size_t in_dim, size_t out_dim,
+                                           util::Rng& rng) {
+  auto layer = std::make_unique<Linear>(in_dim, out_dim, rng);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_dim));
+  layer->weight.value.RandomizeGaussian(rng, stddev);
+  return layer;
+}
+
+Matrix Linear::Forward(const Matrix& input) {
+  input_cache_ = input;
+  Matrix out;
+  Gemm(input, false, weight.value, false, 1.0f, 0.0f, &out);
+  AddRowBroadcast(bias.value, &out);
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& grad_output) {
+  // dW += x^T dy ; db += colsum(dy) ; dx = dy W^T.
+  Gemm(input_cache_, true, grad_output, false, 1.0f, 1.0f, &weight.grad);
+  Axpy(1.0f, ColumnSums(grad_output), &bias.grad);
+  Matrix grad_input;
+  Gemm(grad_output, false, weight.value, true, 1.0f, 0.0f, &grad_input);
+  return grad_input;
+}
+
+void Linear::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&weight);
+  out->push_back(&bias);
+}
+
+void Linear::Serialize(util::ByteWriter& w) const {
+  weight.value.Serialize(w);
+  bias.value.Serialize(w);
+}
+
+util::Result<std::unique_ptr<Linear>> Linear::Deserialize(
+    util::ByteReader& r) {
+  auto layer = std::unique_ptr<Linear>(new Linear());
+  DEEPAQP_ASSIGN_OR_RETURN(layer->weight.value, Matrix::Deserialize(r));
+  DEEPAQP_ASSIGN_OR_RETURN(layer->bias.value, Matrix::Deserialize(r));
+  if (layer->bias.value.rows() != 1 ||
+      layer->bias.value.cols() != layer->weight.value.cols()) {
+    return util::Status::InvalidArgument("linear layer shape mismatch");
+  }
+  layer->weight.ZeroGrad();
+  layer->bias.ZeroGrad();
+  return layer;
+}
+
+Matrix Relu::Forward(const Matrix& input) {
+  Matrix out = input;
+  mask_ = Matrix(input.rows(), input.cols());
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] > 0.0f) {
+      mask_.data()[i] = 1.0f;
+    } else {
+      out.data()[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Matrix Relu::Backward(const Matrix& grad_output) {
+  DEEPAQP_CHECK_EQ(grad_output.size(), mask_.size());
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    grad.data()[i] *= mask_.data()[i];
+  }
+  return grad;
+}
+
+Matrix LeakyRelu::Forward(const Matrix& input) {
+  input_cache_ = input;
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] *= slope_;
+  }
+  return out;
+}
+
+Matrix LeakyRelu::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (input_cache_.data()[i] < 0.0f) grad.data()[i] *= slope_;
+  }
+  return grad;
+}
+
+Matrix Tanh::Forward(const Matrix& input) {
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  output_cache_ = out;
+  return out;
+}
+
+Matrix Tanh::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    const float y = output_cache_.data()[i];
+    grad.data()[i] *= 1.0f - y * y;
+  }
+  return grad;
+}
+
+Matrix Sigmoid::Forward(const Matrix& input) {
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+  }
+  output_cache_ = out;
+  return out;
+}
+
+Matrix Sigmoid::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    const float y = output_cache_.data()[i];
+    grad.data()[i] *= y * (1.0f - y);
+  }
+  return grad;
+}
+
+Matrix Sequential::Forward(const Matrix& input) {
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->Backward(g);
+  }
+  return g;
+}
+
+void Sequential::CollectParameters(std::vector<Parameter*>* out) {
+  for (auto& layer : layers_) layer->CollectParameters(out);
+}
+
+void Sequential::Serialize(util::ByteWriter& w) const {
+  w.WriteU64(layers_.size());
+  for (const auto& layer : layers_) {
+    w.WriteString(layer->TypeName());
+    layer->Serialize(w);
+  }
+}
+
+util::Result<std::unique_ptr<Sequential>> Sequential::Deserialize(
+    util::ByteReader& r) {
+  DEEPAQP_ASSIGN_OR_RETURN(uint64_t n, r.ReadU64());
+  auto seq = std::make_unique<Sequential>();
+  for (uint64_t i = 0; i < n; ++i) {
+    DEEPAQP_ASSIGN_OR_RETURN(std::string type, r.ReadString());
+    if (type == "linear") {
+      DEEPAQP_ASSIGN_OR_RETURN(auto layer, Linear::Deserialize(r));
+      seq->Add(std::move(layer));
+    } else if (type == "relu") {
+      seq->Add(std::make_unique<Relu>());
+    } else if (type == "leaky_relu") {
+      DEEPAQP_ASSIGN_OR_RETURN(float slope, r.ReadF32());
+      seq->Add(std::make_unique<LeakyRelu>(slope));
+    } else if (type == "tanh") {
+      seq->Add(std::make_unique<Tanh>());
+    } else if (type == "sigmoid") {
+      seq->Add(std::make_unique<Sigmoid>());
+    } else {
+      return util::Status::InvalidArgument("unknown layer type: " + type);
+    }
+  }
+  return seq;
+}
+
+std::unique_ptr<Sequential> MakeMlpTrunk(size_t in_dim, size_t hidden,
+                                         int depth, util::Rng& rng) {
+  DEEPAQP_CHECK_GE(depth, 1);
+  auto seq = std::make_unique<Sequential>();
+  size_t d = in_dim;
+  for (int i = 0; i < depth; ++i) {
+    seq->Add(Linear::WithHeInit(d, hidden, rng));
+    seq->Add(std::make_unique<Relu>());
+    d = hidden;
+  }
+  return seq;
+}
+
+size_t CountParameters(Layer& layer) {
+  std::vector<Parameter*> params;
+  layer.CollectParameters(&params);
+  size_t total = 0;
+  for (const Parameter* p : params) total += p->value.size();
+  return total;
+}
+
+}  // namespace deepaqp::nn

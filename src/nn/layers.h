@@ -1,0 +1,162 @@
+#ifndef DEEPAQP_NN_LAYERS_H_
+#define DEEPAQP_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace deepaqp::nn {
+
+/// A trainable tensor with its accumulated gradient. Layers own their
+/// parameters; optimizers mutate them through pointers collected via
+/// Layer::CollectParameters.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  void ZeroGrad() {
+    grad = Matrix(value.rows(), value.cols());
+  }
+};
+
+/// Base class for differentiable modules. The training protocol is
+/// Forward -> (loss gradient) -> Backward; Forward caches whatever Backward
+/// needs, so one layer instance processes one batch at a time.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch (rows = examples).
+  virtual Matrix Forward(const Matrix& input) = 0;
+
+  /// Propagates `grad_output` (dL/d output) and accumulates parameter
+  /// gradients; returns dL/d input. Must be called after Forward on the
+  /// same batch.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Appends this layer's parameters to `out`.
+  virtual void CollectParameters(std::vector<Parameter*>* out) {
+    (void)out;
+  }
+
+  /// Tag used by Sequential serialization.
+  virtual std::string TypeName() const = 0;
+
+  virtual void Serialize(util::ByteWriter& w) const { (void)w; }
+};
+
+/// Fully-connected layer: y = x W + b, W is in x out.
+class Linear : public Layer {
+ public:
+  /// Xavier/Glorot-initialized weights; zero bias.
+  Linear(size_t in_dim, size_t out_dim, util::Rng& rng);
+  /// He initialization (preferred in front of ReLU).
+  static std::unique_ptr<Linear> WithHeInit(size_t in_dim, size_t out_dim,
+                                            util::Rng& rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  std::string TypeName() const override { return "linear"; }
+  void Serialize(util::ByteWriter& w) const override;
+  static util::Result<std::unique_ptr<Linear>> Deserialize(
+      util::ByteReader& r);
+
+  size_t in_dim() const { return weight.value.rows(); }
+  size_t out_dim() const { return weight.value.cols(); }
+
+  Parameter weight;
+  Parameter bias;
+
+ private:
+  Linear() = default;
+  Matrix input_cache_;
+};
+
+/// Rectified linear unit.
+class Relu : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string TypeName() const override { return "relu"; }
+
+ private:
+  Matrix mask_;
+};
+
+/// Leaky ReLU with fixed negative slope (used by the WGAN baseline).
+class LeakyRelu : public Layer {
+ public:
+  explicit LeakyRelu(float slope = 0.2f) : slope_(slope) {}
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string TypeName() const override { return "leaky_relu"; }
+  void Serialize(util::ByteWriter& w) const override { w.WriteF32(slope_); }
+
+ private:
+  float slope_;
+  Matrix input_cache_;
+};
+
+/// Hyperbolic tangent.
+class Tanh : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string TypeName() const override { return "tanh"; }
+
+ private:
+  Matrix output_cache_;
+};
+
+/// Logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string TypeName() const override { return "sigmoid"; }
+
+ private:
+  Matrix output_cache_;
+};
+
+/// Ordered stack of layers trained end-to-end.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  void Add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  std::string TypeName() const override { return "sequential"; }
+  void Serialize(util::ByteWriter& w) const override;
+  static util::Result<std::unique_ptr<Sequential>> Deserialize(
+      util::ByteReader& r);
+
+  size_t num_layers() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Builds a standard MLP trunk: `depth` (Linear + ReLU) blocks of width
+/// `hidden`, mapping in_dim -> hidden. depth >= 1.
+std::unique_ptr<Sequential> MakeMlpTrunk(size_t in_dim, size_t hidden,
+                                         int depth, util::Rng& rng);
+
+/// Total number of scalar parameters under `layer` (model-size reporting).
+size_t CountParameters(Layer& layer);
+
+}  // namespace deepaqp::nn
+
+#endif  // DEEPAQP_NN_LAYERS_H_

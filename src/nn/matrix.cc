@@ -1,0 +1,144 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepaqp::nn {
+
+void Matrix::RandomizeGaussian(util::Rng& rng, float stddev) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+}
+
+Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    DEEPAQP_CHECK_LT(indices[i], rows_);
+    std::copy(Row(indices[i]), Row(indices[i]) + cols_, out.Row(i));
+  }
+  return out;
+}
+
+void Matrix::Serialize(util::ByteWriter& w) const {
+  w.WriteU64(rows_);
+  w.WriteU64(cols_);
+  w.WriteF32Vector(data_);
+}
+
+util::Result<Matrix> Matrix::Deserialize(util::ByteReader& r) {
+  DEEPAQP_ASSIGN_OR_RETURN(uint64_t rows, r.ReadU64());
+  DEEPAQP_ASSIGN_OR_RETURN(uint64_t cols, r.ReadU64());
+  DEEPAQP_ASSIGN_OR_RETURN(std::vector<float> data, r.ReadF32Vector());
+  if (data.size() != rows * cols) {
+    return util::Status::InvalidArgument("matrix payload size mismatch");
+  }
+  Matrix m(rows, cols);
+  std::copy(data.begin(), data.end(), m.data());
+  return m;
+}
+
+void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
+          float alpha, float beta, Matrix* c) {
+  const size_t m = trans_a ? a.cols() : a.rows();
+  const size_t k = trans_a ? a.rows() : a.cols();
+  const size_t kb = trans_b ? b.cols() : b.rows();
+  const size_t n = trans_b ? b.rows() : b.cols();
+  DEEPAQP_CHECK_EQ(k, kb);
+  if (beta == 0.0f) {
+    *c = Matrix(m, n);
+  } else {
+    DEEPAQP_CHECK_EQ(c->rows(), m);
+    DEEPAQP_CHECK_EQ(c->cols(), n);
+    if (beta != 1.0f) {
+      for (size_t i = 0; i < c->size(); ++i) c->data()[i] *= beta;
+    }
+  }
+
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // the (logical) B operand for the common non-transposed case.
+  if (!trans_a && !trans_b) {
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c->Row(i);
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = alpha * arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b.Row(kk);
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a.Row(kk);  // a is k x m
+      const float* brow = b.Row(kk);
+      for (size_t i = 0; i < m; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c->Row(i);
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c->Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = b.Row(j);  // b is n x k
+        float acc = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += alpha * acc;
+      }
+    }
+  } else {  // trans_a && trans_b
+    for (size_t i = 0; i < m; ++i) {
+      float* crow = c->Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) {
+          acc += a.At(kk, i) * b.At(j, kk);
+        }
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+void AddRowBroadcast(const Matrix& bias, Matrix* out) {
+  DEEPAQP_CHECK_EQ(bias.rows(), 1u);
+  DEEPAQP_CHECK_EQ(bias.cols(), out->cols());
+  for (size_t r = 0; r < out->rows(); ++r) {
+    float* row = out->Row(r);
+    const float* b = bias.Row(0);
+    for (size_t c = 0; c < out->cols(); ++c) row[c] += b[c];
+  }
+}
+
+Matrix ColumnSums(const Matrix& m) {
+  Matrix out(1, m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.Row(r);
+    float* o = out.Row(0);
+    for (size_t c = 0; c < m.cols(); ++c) o[c] += row[c];
+  }
+  return out;
+}
+
+void Axpy(float scale, const Matrix& b, Matrix* a) {
+  DEEPAQP_CHECK_EQ(a->rows(), b.rows());
+  DEEPAQP_CHECK_EQ(a->cols(), b.cols());
+  for (size_t i = 0; i < a->size(); ++i) {
+    a->data()[i] += scale * b.data()[i];
+  }
+}
+
+double SumSquares(const Matrix& m) {
+  double acc = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    acc += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  return acc;
+}
+
+}  // namespace deepaqp::nn

@@ -1,0 +1,72 @@
+#ifndef DEEPAQP_NN_MATRIX_H_
+#define DEEPAQP_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace deepaqp::nn {
+
+/// Dense row-major fp32 matrix — the tensor type of the NN substrate.
+/// Batches are rows; features are columns. Kept deliberately simple: the
+/// library's models are MLPs, so 2-D is sufficient and keeps every backward
+/// pass auditable.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  /// Fills with N(0, stddev) entries.
+  void RandomizeGaussian(util::Rng& rng, float stddev);
+
+  /// Returns the subset of rows given by `indices` (minibatch gather).
+  Matrix GatherRows(const std::vector<size_t>& indices) const;
+
+  void Serialize(util::ByteWriter& w) const;
+  static util::Result<Matrix> Deserialize(util::ByteReader& r);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// C = alpha * op(A) @ op(B) + beta * C, where op is optional transpose.
+/// Shapes are checked; C is resized only when beta == 0.
+void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
+          float alpha, float beta, Matrix* c);
+
+/// out[r, c] += bias[0, c] for every row. bias must be 1 x cols.
+void AddRowBroadcast(const Matrix& bias, Matrix* out);
+
+/// Column sums of `m` as a 1 x cols matrix (bias gradient).
+Matrix ColumnSums(const Matrix& m);
+
+/// a += scale * b (shapes must match).
+void Axpy(float scale, const Matrix& b, Matrix* a);
+
+/// Element-wise sum of squares (for gradient-norm diagnostics).
+double SumSquares(const Matrix& m);
+
+}  // namespace deepaqp::nn
+
+#endif  // DEEPAQP_NN_MATRIX_H_

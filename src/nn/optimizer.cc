@@ -1,0 +1,108 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepaqp::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (momentum_ == 0.0f) {
+      Axpy(-lr_, p->grad, &p->value);
+      continue;
+    }
+    Matrix& v = velocity_[i];
+    for (size_t j = 0; j < v.size(); ++j) {
+      v.data()[j] = momentum_ * v.data()[j] + p->grad.data()[j];
+      p->value.data()[j] -= lr_ * v.data()[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      const float g = p->grad.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.0f - beta1_) * g;
+      v.data()[j] = beta2_ * v.data()[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m.data()[j] / bc1;
+      const float vhat = v.data()[j] / bc2;
+      p->value.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<Parameter*> params, float lr, float decay,
+                 float eps)
+    : Optimizer(std::move(params)), lr_(lr), decay_(decay), eps_(eps) {
+  cache_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    cache_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void RmsProp::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Matrix& c = cache_[i];
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      const float g = p->grad.data()[j];
+      c.data()[j] = decay_ * c.data()[j] + (1.0f - decay_) * g * g;
+      p->value.data()[j] -= lr_ * g / (std::sqrt(c.data()[j]) + eps_);
+    }
+  }
+}
+
+void ClipParameters(const std::vector<Parameter*>& params, float limit) {
+  for (Parameter* p : params) {
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      p->value.data()[j] =
+          std::clamp(p->value.data()[j], -limit, limit);
+    }
+  }
+}
+
+void ClipGradientNorm(const std::vector<Parameter*>& params, float max_norm) {
+  double total = 0.0;
+  for (const Parameter* p : params) total += SumSquares(p->grad);
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (Parameter* p : params) {
+    for (size_t j = 0; j < p->grad.size(); ++j) p->grad.data()[j] *= scale;
+  }
+}
+
+}  // namespace deepaqp::nn

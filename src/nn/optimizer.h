@@ -1,0 +1,85 @@
+#ifndef DEEPAQP_NN_OPTIMIZER_H_
+#define DEEPAQP_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace deepaqp::nn {
+
+/// Base interface for first-order optimizers over a fixed parameter set.
+/// Usage per batch: ZeroGrad() -> forward/backward -> Step().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->ZeroGrad();
+  }
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction — the default trainer for the
+/// VAE, matching the paper's PyTorch setup.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// RMSProp (no momentum) — the customary optimizer for WGAN with weight
+/// clipping.
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(std::vector<Parameter*> params, float lr, float decay = 0.9f,
+          float eps = 1e-8f);
+  void Step() override;
+
+ private:
+  float lr_, decay_, eps_;
+  std::vector<Matrix> cache_;
+};
+
+/// Clamps every parameter value into [-limit, limit] (WGAN weight clipping).
+void ClipParameters(const std::vector<Parameter*>& params, float limit);
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`.
+void ClipGradientNorm(const std::vector<Parameter*>& params, float max_norm);
+
+}  // namespace deepaqp::nn
+
+#endif  // DEEPAQP_NN_OPTIMIZER_H_

@@ -1,0 +1,93 @@
+#include "relation/csv.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace deepaqp::relation {
+
+util::Status WriteCsv(const Table& table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::IOError("cannot open for write: " + path);
+  }
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    std::fprintf(f, "%s%s", c == 0 ? "" : ",",
+                 schema.attribute(c).name.c_str());
+  }
+  std::fprintf(f, "\n");
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_attributes(); ++c) {
+      if (c > 0) std::fputc(',', f);
+      if (schema.IsCategorical(c)) {
+        const int32_t code = table.CatCode(r, c);
+        if (code < table.dict(c).size()) {
+          std::fputs(table.dict(c).LabelOf(code).c_str(), f);
+        } else {
+          std::fprintf(f, "%d", code);
+        }
+      } else {
+        std::fprintf(f, "%.10g", table.NumValue(r, c));
+      }
+    }
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+  return util::Status::OK();
+}
+
+util::Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return util::Status::IOError("cannot open for read: " + path);
+  }
+  Table table(schema);
+  std::string line;
+  char buf[1 << 16];
+  bool header = true;
+  size_t line_no = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ++line_no;
+    line = util::Trim(buf);
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      const auto names = util::Split(line, ',');
+      if (names.size() != schema.num_attributes()) {
+        std::fclose(f);
+        return util::Status::InvalidArgument(
+            "CSV header has " + std::to_string(names.size()) +
+            " columns, schema expects " +
+            std::to_string(schema.num_attributes()));
+      }
+      continue;
+    }
+    const auto fields = util::Split(line, ',');
+    if (fields.size() != schema.num_attributes()) {
+      std::fclose(f);
+      return util::Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + ": wrong field count");
+    }
+    std::vector<Datum> row(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      if (schema.IsCategorical(c)) {
+        row[c] = Datum::Categorical(table.InternLabel(c, fields[c]));
+      } else {
+        double v = 0.0;
+        if (!util::ParseDouble(fields[c], &v)) {
+          std::fclose(f);
+          return util::Status::InvalidArgument(
+              "CSV line " + std::to_string(line_no) + ": bad numeric field '" +
+              fields[c] + "'");
+        }
+        row[c] = Datum::Numeric(v);
+      }
+    }
+    table.AppendRow(row);
+  }
+  std::fclose(f);
+  return table;
+}
+
+}  // namespace deepaqp::relation

@@ -1,0 +1,22 @@
+#ifndef DEEPAQP_RELATION_CSV_H_
+#define DEEPAQP_RELATION_CSV_H_
+
+#include <string>
+
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace deepaqp::relation {
+
+/// Writes `table` as CSV with a header row. Categorical cells emit their
+/// dictionary label when present, else the bare code.
+util::Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV with a header row into a Table with the given schema (column
+/// order must match the header). Categorical labels are interned; numeric
+/// fields must parse as doubles.
+util::Result<Table> ReadCsv(const std::string& path, const Schema& schema);
+
+}  // namespace deepaqp::relation
+
+#endif  // DEEPAQP_RELATION_CSV_H_

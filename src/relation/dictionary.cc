@@ -1,0 +1,27 @@
+#include "relation/dictionary.h"
+
+#include "util/logging.h"
+
+namespace deepaqp::relation {
+
+int32_t Dictionary::GetOrAdd(const std::string& label) {
+  auto it = index_.find(label);
+  if (it != index_.end()) return it->second;
+  const int32_t code = size();
+  labels_.push_back(label);
+  index_.emplace(label, code);
+  return code;
+}
+
+int32_t Dictionary::Lookup(const std::string& label) const {
+  auto it = index_.find(label);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::LabelOf(int32_t code) const {
+  DEEPAQP_CHECK_GE(code, 0);
+  DEEPAQP_CHECK_LT(code, size());
+  return labels_[static_cast<size_t>(code)];
+}
+
+}  // namespace deepaqp::relation

@@ -1,0 +1,36 @@
+#ifndef DEEPAQP_RELATION_DICTIONARY_H_
+#define DEEPAQP_RELATION_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace deepaqp::relation {
+
+/// Bidirectional mapping between categorical labels and dense zero-based
+/// codes. Codes are assigned in first-seen order, matching the paper's
+/// convention of treating Dom(A_j) as zero-indexed positions.
+class Dictionary {
+ public:
+  /// Returns the code for `label`, inserting it if unseen.
+  int32_t GetOrAdd(const std::string& label);
+
+  /// Returns the code for `label`, or -1 if absent.
+  int32_t Lookup(const std::string& label) const;
+
+  /// Label for `code`. Requires 0 <= code < size().
+  const std::string& LabelOf(int32_t code) const;
+
+  int32_t size() const { return static_cast<int32_t>(labels_.size()); }
+
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace deepaqp::relation
+
+#endif  // DEEPAQP_RELATION_DICTIONARY_H_

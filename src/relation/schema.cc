@@ -1,0 +1,60 @@
+#include "relation/schema.h"
+
+namespace deepaqp::relation {
+
+const char* AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kCategorical:
+      return "categorical";
+    case AttrType::kNumeric:
+      return "numeric";
+  }
+  return "?";
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+util::Status Schema::AddAttribute(const std::string& name, AttrType type) {
+  if (IndexOf(name) >= 0) {
+    return util::Status::InvalidArgument("duplicate attribute: " + name);
+  }
+  attributes_.push_back(Attribute{name, type});
+  return util::Status::OK();
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<size_t> Schema::CategoricalIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (IsCategorical(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Schema::NumericIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (IsNumeric(i)) out.push_back(i);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].type != other.attributes_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace deepaqp::relation

@@ -1,0 +1,63 @@
+#ifndef DEEPAQP_RELATION_SCHEMA_H_
+#define DEEPAQP_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepaqp::relation {
+
+/// Attribute types supported by the engine. Mirrors the paper's setting
+/// (Sec. II): relations mix categorical attributes (finite domains indexed
+/// by zero-based position) and numeric attributes (reals).
+enum class AttrType {
+  kCategorical,
+  kNumeric,
+};
+
+const char* AttrTypeName(AttrType type);
+
+/// One attribute of a relation.
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kCategorical;
+};
+
+/// Ordered attribute list with name lookup. Immutable once a Table is built
+/// on it.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// Appends an attribute; names must be unique.
+  util::Status AddAttribute(const std::string& name, AttrType type);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  bool IsCategorical(size_t i) const {
+    return attributes_[i].type == AttrType::kCategorical;
+  }
+  bool IsNumeric(size_t i) const {
+    return attributes_[i].type == AttrType::kNumeric;
+  }
+
+  /// Indices of all categorical (resp. numeric) attributes, in order.
+  std::vector<size_t> CategoricalIndices() const;
+  std::vector<size_t> NumericIndices() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace deepaqp::relation
+
+#endif  // DEEPAQP_RELATION_SCHEMA_H_

@@ -1,0 +1,221 @@
+#include "stats/matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace deepaqp::stats {
+
+namespace {
+
+util::Status ValidateDistances(const DistanceMatrix& dist) {
+  const size_t n = dist.size();
+  if (n == 0 || n % 2 != 0) {
+    return util::Status::InvalidArgument(
+        "matching requires a non-empty even number of nodes");
+  }
+  for (const auto& row : dist) {
+    if (row.size() != n) {
+      return util::Status::InvalidArgument("distance matrix must be square");
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<std::vector<int>> MinWeightPerfectMatching(
+    const DistanceMatrix& dist) {
+  DEEPAQP_RETURN_IF_ERROR(ValidateDistances(dist));
+  const int n = static_cast<int>(dist.size());
+
+  // Greedy: cheapest edges first.
+  struct Edge {
+    double w;
+    int u, v;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      edges.push_back({dist[i][j], i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.w != b.w) return a.w < b.w;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  std::vector<int> mate(n, -1);
+  int matched = 0;
+  for (const Edge& e : edges) {
+    if (mate[e.u] < 0 && mate[e.v] < 0) {
+      mate[e.u] = e.v;
+      mate[e.v] = e.u;
+      matched += 2;
+      if (matched == n) break;
+    }
+  }
+
+  // Local refinement. 2-opt: for every pair of matched edges try the two
+  // alternative pairings. 3-opt: for every triple of matched edges, re-match
+  // the 6 endpoints exactly (15 candidate matchings via the DP solver).
+  // Both strictly decrease total weight, so the loop terminates.
+  auto collect_pairs = [&] {
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(n / 2);
+    for (int i = 0; i < n; ++i) {
+      if (i < mate[i]) pairs.emplace_back(i, mate[i]);
+    }
+    return pairs;
+  };
+
+  auto two_opt_pass = [&] {
+    bool improved = false;
+    const auto pairs = collect_pairs();
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      for (size_t q = p + 1; q < pairs.size(); ++q) {
+        const auto [a, b] = pairs[p];
+        const auto [c, d] = pairs[q];
+        // mate may have changed within this pass; skip stale entries.
+        if (mate[a] != b || mate[c] != d) continue;
+        const double current = dist[a][b] + dist[c][d];
+        const double alt1 = dist[a][c] + dist[b][d];
+        const double alt2 = dist[a][d] + dist[b][c];
+        if (alt1 < current - 1e-12 && alt1 <= alt2) {
+          mate[a] = c;
+          mate[c] = a;
+          mate[b] = d;
+          mate[d] = b;
+          improved = true;
+        } else if (alt2 < current - 1e-12) {
+          mate[a] = d;
+          mate[d] = a;
+          mate[b] = c;
+          mate[c] = b;
+          improved = true;
+        }
+      }
+    }
+    return improved;
+  };
+
+  auto three_opt_pass = [&] {
+    bool improved = false;
+    const auto pairs = collect_pairs();
+    const size_t k = pairs.size();
+    DistanceMatrix sub(6, std::vector<double>(6));
+    for (size_t p = 0; p < k; ++p) {
+      for (size_t q = p + 1; q < k; ++q) {
+        for (size_t s = q + 1; s < k; ++s) {
+          const int nodes[6] = {pairs[p].first,  pairs[p].second,
+                                pairs[q].first,  pairs[q].second,
+                                pairs[s].first,  pairs[s].second};
+          if (mate[nodes[0]] != nodes[1] || mate[nodes[2]] != nodes[3] ||
+              mate[nodes[4]] != nodes[5]) {
+            continue;
+          }
+          const double current = dist[nodes[0]][nodes[1]] +
+                                 dist[nodes[2]][nodes[3]] +
+                                 dist[nodes[4]][nodes[5]];
+          for (int i = 0; i < 6; ++i) {
+            for (int j = 0; j < 6; ++j) {
+              sub[i][j] = dist[nodes[i]][nodes[j]];
+            }
+          }
+          auto best = ExactMinWeightPerfectMatching(sub);
+          DEEPAQP_CHECK(best.ok());
+          if (MatchingWeight(sub, *best) < current - 1e-12) {
+            for (int i = 0; i < 6; ++i) {
+              mate[nodes[i]] = nodes[(*best)[i]];
+            }
+            improved = true;
+          }
+        }
+      }
+    }
+    return improved;
+  };
+
+  for (;;) {
+    while (two_opt_pass()) {
+    }
+    if (!three_opt_pass()) break;
+  }
+  return mate;
+}
+
+util::Result<std::vector<int>> ExactMinWeightPerfectMatching(
+    const DistanceMatrix& dist) {
+  DEEPAQP_RETURN_IF_ERROR(ValidateDistances(dist));
+  const int n = static_cast<int>(dist.size());
+  if (n > 22) {
+    return util::Status::InvalidArgument(
+        "exact matching limited to n <= 22 nodes");
+  }
+  const uint32_t full = (n == 32) ? 0xFFFFFFFFu : ((1u << n) - 1);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(full + 1, kInf);
+  std::vector<std::pair<int, int>> choice(full + 1, {-1, -1});
+  best[0] = 0.0;
+  for (uint32_t mask = 0; mask < full; ++mask) {
+    if (best[mask] == kInf) continue;
+    // First unmatched node must pair with someone: canonical ordering
+    // prevents revisiting permutations.
+    int i = 0;
+    while (mask & (1u << i)) ++i;
+    for (int j = i + 1; j < n; ++j) {
+      if (mask & (1u << j)) continue;
+      const uint32_t next = mask | (1u << i) | (1u << j);
+      const double w = best[mask] + dist[i][j];
+      if (w < best[next]) {
+        best[next] = w;
+        choice[next] = {i, j};
+      }
+    }
+  }
+  std::vector<int> mate(n, -1);
+  uint32_t mask = full;
+  while (mask != 0) {
+    const auto [i, j] = choice[mask];
+    DEEPAQP_CHECK_GE(i, 0);
+    mate[i] = j;
+    mate[j] = i;
+    mask &= ~(1u << i);
+    mask &= ~(1u << j);
+  }
+  return mate;
+}
+
+double MatchingWeight(const DistanceMatrix& dist,
+                      const std::vector<int>& mate) {
+  double total = 0.0;
+  for (size_t i = 0; i < mate.size(); ++i) {
+    if (static_cast<size_t>(mate[i]) > i) {
+      total += dist[i][mate[i]];
+    }
+  }
+  return total;
+}
+
+DistanceMatrix EuclideanDistances(
+    const std::vector<std::vector<double>>& points) {
+  const size_t n = points.size();
+  DistanceMatrix dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      DEEPAQP_CHECK_EQ(points[i].size(), points[j].size());
+      double acc = 0.0;
+      for (size_t k = 0; k < points[i].size(); ++k) {
+        const double d = points[i][k] - points[j][k];
+        acc += d * d;
+      }
+      dist[i][j] = dist[j][i] = std::sqrt(acc);
+    }
+  }
+  return dist;
+}
+
+}  // namespace deepaqp::stats

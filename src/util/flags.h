@@ -1,0 +1,32 @@
+#ifndef DEEPAQP_UTIL_FLAGS_H_
+#define DEEPAQP_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace deepaqp::util {
+
+/// Minimal command-line flag parser for example/bench binaries. Accepts
+/// "--name=value" and "--name value"; unknown flags are collected so callers
+/// can reject or ignore them. Not intended as a general-purpose flags
+/// library — just enough for reproducible experiment sweeps.
+class Flags {
+ public:
+  /// Parses argv; later occurrences of a flag win.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace deepaqp::util
+
+#endif  // DEEPAQP_UTIL_FLAGS_H_

@@ -1,0 +1,62 @@
+#ifndef DEEPAQP_UTIL_LOGGING_H_
+#define DEEPAQP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace deepaqp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted by DEEPAQP_LOG; messages below it are
+/// dropped. Default is kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Emits "<LEVEL> file:line] message\n" to stderr at
+/// destruction; aborts the process after emitting when `fatal` is true.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace deepaqp::util
+
+#define DEEPAQP_LOG(level)                                             \
+  ::deepaqp::util::internal_logging::LogMessage(                       \
+      ::deepaqp::util::LogLevel::k##level, __FILE__, __LINE__)         \
+      .stream()
+
+/// Internal-invariant check: logs and aborts on failure. Used for programmer
+/// errors that cannot be meaningfully reported to the caller; recoverable
+/// conditions use Status instead.
+#define DEEPAQP_CHECK(cond)                                            \
+  if (!(cond))                                                         \
+  ::deepaqp::util::internal_logging::LogMessage(                       \
+      ::deepaqp::util::LogLevel::kError, __FILE__, __LINE__, true)     \
+          .stream()                                                    \
+      << "Check failed: " #cond " "
+
+#define DEEPAQP_CHECK_EQ(a, b) DEEPAQP_CHECK((a) == (b))
+#define DEEPAQP_CHECK_NE(a, b) DEEPAQP_CHECK((a) != (b))
+#define DEEPAQP_CHECK_LT(a, b) DEEPAQP_CHECK((a) < (b))
+#define DEEPAQP_CHECK_LE(a, b) DEEPAQP_CHECK((a) <= (b))
+#define DEEPAQP_CHECK_GT(a, b) DEEPAQP_CHECK((a) > (b))
+#define DEEPAQP_CHECK_GE(a, b) DEEPAQP_CHECK((a) >= (b))
+
+#endif  // DEEPAQP_UTIL_LOGGING_H_

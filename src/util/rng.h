@@ -1,0 +1,103 @@
+#ifndef DEEPAQP_UTIL_RNG_H_
+#define DEEPAQP_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deepaqp::util {
+
+/// Deterministic pseudo-random number generator (xoshiro256++ seeded via
+/// SplitMix64). One instance per logical stream; not thread-safe, share
+/// nothing across threads. All library randomness flows through this class so
+/// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextIndex(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Exponential with the given rate.
+  double Exponential(double rate);
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle of indices [0, n); returns the permutation.
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Samples k distinct indices from [0, n) uniformly (k <= n), in arbitrary
+  /// order, via partial Fisher-Yates.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child stream (e.g., one per worker or per model).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+/// Zipf distribution over {0, ..., n-1} with exponent s >= 0 (s = 0 is
+/// uniform). Precomputes the CDF once; sampling is O(log n) via binary
+/// search. Rank 0 is the most frequent value.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank k.
+  double Pmf(uint64_t k) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+/// Walker alias table for O(1) sampling from a fixed discrete distribution.
+/// Used on hot sampling paths (decoder output draws, synthetic data
+/// generation) where Rng::Categorical's linear scan is too slow.
+class AliasTable {
+ public:
+  /// Builds from unnormalized non-negative weights (at least one positive).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace deepaqp::util
+
+#endif  // DEEPAQP_UTIL_RNG_H_

@@ -1,0 +1,83 @@
+#ifndef DEEPAQP_UTIL_SERIALIZE_H_
+#define DEEPAQP_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepaqp::util {
+
+/// Append-only little-endian binary writer. Used to serialize trained models
+/// so examples/benches can report the "few hundred KBs" model-size claim and
+/// round-trip models to disk.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { AppendRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s);
+  void WriteF32Vector(const std::vector<float>& v);
+  void WriteF64Vector(const std::vector<double>& v);
+  void WriteI32Vector(const std::vector<int32_t>& v);
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void AppendRaw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential reader over a byte buffer written by ByteWriter. All reads are
+/// bounds-checked and return Status on truncation so corrupted model files
+/// are reported rather than crashing.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<int64_t> ReadI64();
+  Result<float> ReadF32();
+  Result<double> ReadF64();
+  Result<std::string> ReadString();
+  Result<std::vector<float>> ReadF32Vector();
+  Result<std::vector<double>> ReadF64Vector();
+  Result<std::vector<int32_t>> ReadI32Vector();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Take(void* out, size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Writes `bytes` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes);
+
+/// Reads the whole file at `path`.
+Result<std::vector<uint8_t>> ReadFile(const std::string& path);
+
+}  // namespace deepaqp::util
+
+#endif  // DEEPAQP_UTIL_SERIALIZE_H_

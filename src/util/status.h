@@ -1,0 +1,135 @@
+#ifndef DEEPAQP_UTIL_STATUS_H_
+#define DEEPAQP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace deepaqp::util {
+
+/// Error codes used across the library. Mirrors the conventional
+/// database-engine status taxonomy: a small closed set, extended via the
+/// message string rather than new codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIOError,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result for fallible operations. The library does not
+/// throw exceptions across API boundaries; every operation that can fail
+/// returns a `Status` (or `Result<T>` when it also produces a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Modeled after
+/// absl::StatusOr but dependency-free.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps call sites `return value;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status; `status.ok()` is a caller
+  /// bug and is normalized to an Internal error to preserve the invariant
+  /// that a status-holding Result is always an error.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Value accessors. Must only be called when `ok()`.
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace deepaqp::util
+
+/// Propagates a non-OK status to the caller.
+#define DEEPAQP_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::deepaqp::util::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), returns its status on error, otherwise
+/// assigns the value to `lhs`.
+#define DEEPAQP_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto DEEPAQP_CONCAT_(_res_, __LINE__) = (rexpr);    \
+  if (!DEEPAQP_CONCAT_(_res_, __LINE__).ok())         \
+    return DEEPAQP_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(DEEPAQP_CONCAT_(_res_, __LINE__)).value()
+
+#define DEEPAQP_CONCAT_INNER_(a, b) a##b
+#define DEEPAQP_CONCAT_(a, b) DEEPAQP_CONCAT_INNER_(a, b)
+
+#endif  // DEEPAQP_UTIL_STATUS_H_

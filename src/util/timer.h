@@ -1,0 +1,28 @@
+#ifndef DEEPAQP_UTIL_TIMER_H_
+#define DEEPAQP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace deepaqp::util {
+
+/// Wall-clock stopwatch for bench harnesses; starts at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace deepaqp::util
+
+#endif  // DEEPAQP_UTIL_TIMER_H_

@@ -1,0 +1,78 @@
+#include "vae/client.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aqp/estimator.h"
+#include "aqp/sql_parser.h"
+#include "util/logging.h"
+
+namespace deepaqp::vae {
+
+AqpClient::AqpClient(std::unique_ptr<VaeAqpModel> model,
+                     const Options& options)
+    : options_(options),
+      model_(std::move(model)),
+      t_(std::isnan(options.t) ? model_->default_t() : options.t),
+      rng_(options.seed),
+      pool_(model_->tuple_encoder().schema()) {
+  GrowPool(options_.initial_samples);
+}
+
+util::Result<std::unique_ptr<AqpClient>> AqpClient::Open(
+    const std::vector<uint8_t>& model_bytes, const Options& options) {
+  DEEPAQP_ASSIGN_OR_RETURN(auto model,
+                           VaeAqpModel::Deserialize(model_bytes));
+  return std::unique_ptr<AqpClient>(
+      new AqpClient(std::move(model), options));
+}
+
+std::unique_ptr<AqpClient> AqpClient::Wrap(
+    std::unique_ptr<VaeAqpModel> model, const Options& options) {
+  return std::unique_ptr<AqpClient>(
+      new AqpClient(std::move(model), options));
+}
+
+void AqpClient::GrowPool(size_t target_rows) {
+  target_rows = std::min(target_rows, options_.max_samples);
+  if (pool_.num_rows() >= target_rows) return;
+  relation::Table extra =
+      model_->Generate(target_rows - pool_.num_rows(), t_, rng_);
+  if (pool_.num_rows() == 0) {
+    pool_ = std::move(extra);
+  } else {
+    DEEPAQP_CHECK(pool_.Append(extra).ok());
+  }
+}
+
+util::Result<aqp::QueryResult> AqpClient::Query(const std::string& sql) {
+  DEEPAQP_ASSIGN_OR_RETURN(aqp::AggregateQuery query,
+                           aqp::ParseSql(sql, pool_));
+  return Query(query);
+}
+
+util::Result<aqp::QueryResult> AqpClient::Query(
+    const aqp::AggregateQuery& query) {
+  return aqp::EstimateFromSample(query, pool_, options_.population_rows);
+}
+
+util::Result<aqp::QueryResult> AqpClient::QueryWithMaxRelativeCi(
+    const aqp::AggregateQuery& query, double max_relative_ci) {
+  for (;;) {
+    DEEPAQP_ASSIGN_OR_RETURN(aqp::QueryResult result, Query(query));
+    bool tight = true;
+    for (const auto& g : result.groups) {
+      const double denom = std::abs(g.value);
+      const double rel = denom > 0 ? g.ci_half_width / denom
+                                   : g.ci_half_width;
+      if (rel > max_relative_ci) {
+        tight = false;
+        break;
+      }
+    }
+    if (tight || pool_.num_rows() >= options_.max_samples) return result;
+    GrowPool(pool_.num_rows() * 2);
+  }
+}
+
+}  // namespace deepaqp::vae

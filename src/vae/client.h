@@ -1,0 +1,77 @@
+#ifndef DEEPAQP_VAE_CLIENT_H_
+#define DEEPAQP_VAE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aqp/query.h"
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "vae/vae_model.h"
+
+namespace deepaqp::vae {
+
+/// The client-side facade of the paper's deployment story: constructed from
+/// serialized model bytes (no data access), it keeps a cached pool of
+/// synthetic samples and answers SQL-text or AST queries with confidence
+/// intervals. Precision-on-demand: ask for a tighter interval and the
+/// client grows the pool instead of contacting any server.
+class AqpClient {
+ public:
+  struct Options {
+    /// Rows in the initial sample pool.
+    size_t initial_samples = 2000;
+    /// Hard cap on pool growth (WithMaxRelativeCi stops here).
+    size_t max_samples = 200000;
+    /// Population size COUNT/SUM estimates scale to (the original
+    /// relation's row count, shipped alongside the model).
+    size_t population_rows = 1000000;
+    /// Rejection threshold; NaN means the model's calibrated default.
+    double t = std::numeric_limits<double>::quiet_NaN();
+    uint64_t seed = 2027;
+  };
+
+  /// Builds a client from serialized model bytes.
+  static util::Result<std::unique_ptr<AqpClient>> Open(
+      const std::vector<uint8_t>& model_bytes, const Options& options);
+
+  /// Wraps an already-loaded model (takes ownership).
+  static std::unique_ptr<AqpClient> Wrap(
+      std::unique_ptr<VaeAqpModel> model, const Options& options);
+
+  /// Answers a SQL-text query (see aqp::ParseSql for the dialect).
+  util::Result<aqp::QueryResult> Query(const std::string& sql);
+
+  /// Answers an already-built query AST.
+  util::Result<aqp::QueryResult> Query(const aqp::AggregateQuery& query);
+
+  /// Answers, growing the sample pool (up to options.max_samples) until
+  /// every group's CI half-width is within `max_relative_ci` of its value.
+  util::Result<aqp::QueryResult> QueryWithMaxRelativeCi(
+      const aqp::AggregateQuery& query, double max_relative_ci);
+
+  /// Current pool size (grows monotonically).
+  size_t pool_size() const { return pool_.num_rows(); }
+
+  /// The pool itself (e.g., to hand to visualization code).
+  const relation::Table& pool() const { return pool_; }
+
+  VaeAqpModel& model() { return *model_; }
+
+ private:
+  AqpClient(std::unique_ptr<VaeAqpModel> model, const Options& options);
+
+  void GrowPool(size_t target_rows);
+
+  Options options_;
+  std::unique_ptr<VaeAqpModel> model_;
+  double t_;
+  util::Rng rng_;
+  relation::Table pool_;
+};
+
+}  // namespace deepaqp::vae
+
+#endif  // DEEPAQP_VAE_CLIENT_H_

@@ -1,0 +1,310 @@
+#include "vae/vae_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace deepaqp::vae {
+
+using nn::Matrix;
+
+util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
+    const relation::Table& table, const VaeAqpOptions& options,
+    TrainingStats* stats) {
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument("cannot train on empty table");
+  }
+  if (options.epochs < 1 || options.batch_size < 1) {
+    return util::Status::InvalidArgument("epochs and batch_size must be >=1");
+  }
+  util::Stopwatch total_watch;
+
+  auto model = std::unique_ptr<VaeAqpModel>(new VaeAqpModel());
+  model->options_ = options;
+  DEEPAQP_ASSIGN_OR_RETURN(
+      model->encoder_, encoding::TupleEncoder::Fit(table, options.encoder));
+
+  VaeNetOptions net_opts;
+  net_opts.input_dim = model->encoder_.encoded_dim();
+  net_opts.latent_dim =
+      options.latent_dim > 0
+          ? options.latent_dim
+          : std::max<size_t>(
+                2, static_cast<size_t>(options.latent_fraction *
+                                       static_cast<double>(
+                                           net_opts.input_dim)));
+  net_opts.hidden_dim = options.hidden_dim;
+  net_opts.depth = options.depth;
+  net_opts.seed = options.seed;
+  model->net_ = std::make_unique<VaeNet>(net_opts);
+
+  Matrix data = model->encoder_.EncodeAll(table);
+  const size_t n = data.rows();
+
+  nn::Adam opt(model->net_->Parameters(), options.learning_rate);
+  util::Rng rng(options.seed ^ 0xABCDEF);
+
+  // Per-tuple VRS thresholds, maintained as a stochastic-approximation
+  // estimate of -q_{1-target}(r(x)): with T(x) = -q, a fraction `target` of
+  // posterior draws satisfies r >= -T(x) and is accepted outright.
+  std::vector<float> row_t(n, 1e9f);  // effectively "accept all" until warmup ends
+  std::vector<float> neg_quantile(n, 0.0f);
+  std::vector<uint8_t> quantile_initialized(n, 0);
+  const int warmup_epochs = std::max(1, options.epochs / 3);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    util::Stopwatch epoch_watch;
+    EpochStats epoch_stats;
+    epoch_stats.acceptance = 0.0;  // accumulated below, then averaged
+    const bool vrs_active = options.vrs_training && epoch >= warmup_epochs;
+    const auto perm = rng.Permutation(n);
+    size_t batches = 0;
+    for (size_t start = 0; start < n; start += options.batch_size) {
+      const size_t end = std::min(n, start + options.batch_size);
+      std::vector<size_t> idx(perm.begin() + start, perm.begin() + end);
+      Matrix batch = data.GatherRows(idx);
+
+      std::vector<float> batch_t(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) batch_t[i] = row_t[idx[i]];
+      TrainStepOptions step;
+      step.use_vrs = vrs_active;
+      step.row_t = &batch_t;
+      step.max_rounds = options.vrs_rounds;
+
+      StepStats s = model->net_->TrainStep(batch, opt, rng, step);
+      epoch_stats.recon_loss += s.recon_loss;
+      epoch_stats.kl += s.kl;
+      epoch_stats.acceptance += s.acceptance;
+      ++batches;
+
+      // Update per-tuple quantile estimates of r(x) by quantile SGD:
+      // q <- q + eta * (p - 1[r < q]) tracks the p-quantile of r.
+      const float p = static_cast<float>(1.0 - options.train_accept_target);
+      const float eta = 0.5f;
+      for (size_t i = 0; i < idx.size(); ++i) {
+        const float r = s.log_ratio[i];
+        float& q = neg_quantile[idx[i]];
+        if (!quantile_initialized[idx[i]]) {
+          q = r;
+          quantile_initialized[idx[i]] = 1;
+        } else {
+          q += eta * std::abs(q) * (p - (r < q ? 1.0f : 0.0f));
+        }
+        row_t[idx[i]] = -q;
+      }
+    }
+    if (batches > 0) {
+      epoch_stats.recon_loss /= static_cast<double>(batches);
+      epoch_stats.kl /= static_cast<double>(batches);
+      epoch_stats.acceptance /= static_cast<double>(batches);
+    }
+    epoch_stats.seconds = epoch_watch.ElapsedSeconds();
+    if (stats != nullptr) stats->epochs.push_back(epoch_stats);
+  }
+
+  // Calibrate per-tuple thresholds T(x) with a dedicated Monte-Carlo pass
+  // (Sec. VI-A): for each tuple draw several posterior samples, estimate
+  // the (1 - accept_target) quantile of the log-ratio r = log p(x,z) -
+  // log q(z|x), and set T(x) = -q so draws are accepted with probability
+  // ~accept_target. The default generation threshold is the 90th
+  // percentile of the T(x) distribution.
+  {
+    const size_t calib_rows = std::min<size_t>(n, 4096);
+    const auto rows = rng.SampleWithoutReplacement(n, calib_rows);
+    constexpr int kDraws = 8;
+    std::vector<float> t_values;
+    t_values.reserve(calib_rows);
+    const size_t batch_size = 256;
+    for (size_t start = 0; start < calib_rows; start += batch_size) {
+      const size_t end = std::min(calib_rows, start + batch_size);
+      std::vector<size_t> idx(rows.begin() + start, rows.begin() + end);
+      Matrix batch = data.GatherRows(idx);
+      VaeNet::Posterior post = model->net_->Encode(batch);
+      std::vector<std::vector<float>> draws(idx.size());
+      for (int d = 0; d < kDraws; ++d) {
+        Matrix eps(idx.size(), model->net_->latent_dim());
+        for (size_t i = 0; i < eps.size(); ++i) {
+          eps.data()[i] = static_cast<float>(rng.NextGaussian());
+        }
+        Matrix z = VaeNet::Reparameterize(post, eps);
+        Matrix ratio = model->net_->LogRatioRows(batch, post, z);
+        for (size_t i = 0; i < idx.size(); ++i) {
+          draws[i].push_back(ratio.At(i, 0));
+        }
+      }
+      const auto q_index = static_cast<size_t>(
+          (1.0 - options.train_accept_target) * (kDraws - 1));
+      for (auto& d : draws) {
+        std::sort(d.begin(), d.end());
+        t_values.push_back(-d[q_index]);
+      }
+    }
+    std::sort(t_values.begin(), t_values.end());
+    model->default_t_ =
+        t_values[static_cast<size_t>(0.9 * (t_values.size() - 1))];
+  }
+
+  if (stats != nullptr) stats->total_seconds = total_watch.ElapsedSeconds();
+  return model;
+}
+
+relation::Table VaeAqpModel::Generate(size_t n, double t, util::Rng& rng) {
+  relation::Table out(encoder_.schema());
+  for (size_t c = 0; c < encoder_.schema().num_attributes(); ++c) {
+    if (encoder_.schema().IsCategorical(c)) {
+      out.DeclareCardinality(c, encoder_.layout()[c].cardinality);
+      for (const std::string& label : encoder_.layout()[c].labels) {
+        out.InternLabel(c, label);
+      }
+    }
+  }
+  const bool reject = t != kTPlusInf;
+  const size_t window = std::max<size_t>(128, std::min<size_t>(1024, n));
+
+  while (out.num_rows() < n) {
+    const size_t remaining = n - out.num_rows();
+    const size_t batch = std::min(window, std::max<size_t>(remaining, 64));
+    Matrix z = net_->SamplePrior(batch, rng);
+    Matrix logits = net_->DecodeLogits(z);
+
+    std::vector<size_t> accepted;
+    if (!reject) {
+      accepted.resize(batch);
+      for (size_t i = 0; i < batch; ++i) accepted[i] = i;
+    } else {
+      // Candidate bits x' ~ Bernoulli(sigmoid(logits)): the acceptance test
+      // runs on the encoded representation; attribute decoding of accepted
+      // rows happens afterwards with the configured strategy.
+      Matrix bits(batch, logits.cols());
+      for (size_t i = 0; i < bits.size(); ++i) {
+        const float prob =
+            1.0f / (1.0f + std::exp(-logits.data()[i]));
+        bits.data()[i] = rng.Bernoulli(prob) ? 1.0f : 0.0f;
+      }
+      VaeNet::Posterior post = net_->Encode(bits);
+      // Encode() ran decoder-independent layers; LogRatio re-runs the
+      // decoder on z, which is cheap and side-effect free here.
+      Matrix ratio = net_->LogRatioRows(bits, post, z);
+      size_t best = 0;
+      for (size_t i = 0; i < batch; ++i) {
+        if (ratio.At(i, 0) > ratio.At(best, 0)) best = i;
+        if (t == kTMinusInf) continue;
+        const double log_a = std::min(0.0, t + ratio.At(i, 0));
+        if (std::log(std::max(rng.NextDouble(), 1e-300)) <= log_a) {
+          accepted.push_back(i);
+        }
+      }
+      // Guarantee progress: a fully rejected window (always, at t = -inf)
+      // contributes its single best-ratio candidate.
+      if (accepted.empty()) accepted.push_back(best);
+    }
+    if (accepted.size() > remaining) accepted.resize(remaining);
+    Matrix kept = logits.GatherRows(accepted);
+    relation::Table decoded =
+        encoder_.DecodeLogits(kept, options_.decode, rng);
+    DEEPAQP_CHECK(out.Append(decoded).ok());
+  }
+  return out;
+}
+
+relation::Table VaeAqpModel::GenerateWhere(size_t n,
+                                           const aqp::Predicate& predicate,
+                                           double t, util::Rng& rng,
+                                           size_t max_candidates) {
+  relation::Table out(encoder_.schema());
+  for (size_t c = 0; c < encoder_.schema().num_attributes(); ++c) {
+    if (encoder_.schema().IsCategorical(c)) {
+      out.DeclareCardinality(c, encoder_.layout()[c].cardinality);
+      for (const std::string& label : encoder_.layout()[c].labels) {
+        out.InternLabel(c, label);
+      }
+    }
+  }
+  size_t candidates = 0;
+  while (out.num_rows() < n && candidates < max_candidates) {
+    const size_t batch =
+        std::min<size_t>(1024, max_candidates - candidates);
+    relation::Table sample = Generate(batch, t, rng);
+    candidates += sample.num_rows();
+    std::vector<size_t> matching;
+    for (size_t r = 0; r < sample.num_rows(); ++r) {
+      if (predicate.Matches(sample, r)) matching.push_back(r);
+    }
+    if (matching.size() > n - out.num_rows()) {
+      matching.resize(n - out.num_rows());
+    }
+    if (!matching.empty()) {
+      DEEPAQP_CHECK(out.Append(sample.Gather(matching)).ok());
+    }
+  }
+  return out;
+}
+
+aqp::SampleFn VaeAqpModel::MakeSampler(double t, uint64_t seed) {
+  // The sampler owns an independent RNG stream; the harness's rng argument
+  // seeds per-draw variation.
+  return [this, t, seed](size_t rows, util::Rng& harness_rng) {
+    util::Rng rng(seed ^ harness_rng.NextUint64());
+    return Generate(rows, t, rng);
+  };
+}
+
+double VaeAqpModel::RElboLoss(const relation::Table& table, double t,
+                              util::Rng& rng, size_t max_rows) {
+  const size_t n = std::min(table.num_rows(), max_rows);
+  std::vector<size_t> rows =
+      table.num_rows() <= max_rows
+          ? [&] {
+              std::vector<size_t> all(table.num_rows());
+              for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+              return all;
+            }()
+          : rng.SampleWithoutReplacement(table.num_rows(), n);
+  Matrix x = encoder_.EncodeRows(table, rows);
+  return net_->RElboLoss(x, t, rng);
+}
+
+double VaeAqpModel::ElboLoss(const relation::Table& table, util::Rng& rng,
+                             size_t max_rows) {
+  return RElboLoss(table, kTPlusInf, rng, max_rows);
+}
+
+size_t VaeAqpModel::ModelSizeBytes() const { return Serialize().size(); }
+
+std::vector<uint8_t> VaeAqpModel::Serialize() const {
+  util::ByteWriter w;
+  w.WriteString("deepaqp-vae-v1");
+  w.WriteF64(default_t_);
+  w.WriteU8(static_cast<uint8_t>(options_.decode.strategy));
+  w.WriteI32(options_.decode.draws);
+  encoder_.Serialize(w);
+  net_->Serialize(w);
+  return w.bytes();
+}
+
+util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  DEEPAQP_ASSIGN_OR_RETURN(std::string magic, r.ReadString());
+  if (magic != "deepaqp-vae-v1") {
+    return util::Status::InvalidArgument("not a deepaqp VAE model");
+  }
+  auto model = std::unique_ptr<VaeAqpModel>(new VaeAqpModel());
+  DEEPAQP_ASSIGN_OR_RETURN(model->default_t_, r.ReadF64());
+  DEEPAQP_ASSIGN_OR_RETURN(uint8_t strategy, r.ReadU8());
+  if (strategy > static_cast<uint8_t>(
+                     encoding::DecodeStrategy::kWeightedRandom)) {
+    return util::Status::InvalidArgument("bad decode strategy");
+  }
+  model->options_.decode.strategy =
+      static_cast<encoding::DecodeStrategy>(strategy);
+  DEEPAQP_ASSIGN_OR_RETURN(model->options_.decode.draws, r.ReadI32());
+  DEEPAQP_ASSIGN_OR_RETURN(model->encoder_,
+                           encoding::TupleEncoder::Deserialize(r));
+  DEEPAQP_ASSIGN_OR_RETURN(model->net_, VaeNet::Deserialize(r));
+  return model;
+}
+
+}  // namespace deepaqp::vae

@@ -1,0 +1,142 @@
+#ifndef DEEPAQP_VAE_VAE_MODEL_H_
+#define DEEPAQP_VAE_VAE_MODEL_H_
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "aqp/evaluation.h"
+#include "encoding/tuple_encoder.h"
+#include "relation/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "vae/vae_net.h"
+
+namespace deepaqp::vae {
+
+/// Sentinels for the rejection threshold sweep of Fig. 8. kTPlusInf accepts
+/// every sample (no rejection); kTMinusInf accepts only the best-ratio
+/// candidate per generation window (the practical T -> -inf limit).
+inline constexpr double kTPlusInf = std::numeric_limits<double>::infinity();
+inline constexpr double kTMinusInf =
+    -std::numeric_limits<double>::infinity();
+
+/// Everything needed to train a VAE AQP model (paper Sec. VI-A defaults).
+struct VaeAqpOptions {
+  encoding::EncoderOptions encoder;
+  /// Latent dimensionality as a fraction of the encoded input dimension
+  /// (Fig. 4 sweeps 10%-100%; 50% is the paper's sweet spot). Ignored when
+  /// `latent_dim` is set explicitly.
+  double latent_fraction = 0.5;
+  size_t latent_dim = 0;
+  size_t hidden_dim = 64;
+  /// Encoder/decoder depth (Fig. 5; paper default 2).
+  int depth = 2;
+  int epochs = 15;
+  size_t batch_size = 128;
+  float learning_rate = 1e-3f;
+  uint64_t seed = 1234;
+  /// Train with variational rejection sampling: per-tuple thresholds T(x)
+  /// maintained so posterior draws are accepted with probability ~
+  /// `train_accept_target` (paper: 0.9). Kicks in after a warmup of
+  /// epochs/3 plain-ELBO epochs.
+  bool vrs_training = true;
+  double train_accept_target = 0.9;
+  int vrs_rounds = 3;
+  /// Output decoding (Fig. 7; paper recommends aggregated decoding).
+  encoding::DecodeOptions decode;
+};
+
+/// Per-epoch training diagnostics.
+struct EpochStats {
+  double recon_loss = 0.0;
+  double kl = 0.0;
+  double acceptance = 1.0;
+  double seconds = 0.0;
+};
+
+struct TrainingStats {
+  std::vector<EpochStats> epochs;
+  double total_seconds = 0.0;
+};
+
+/// The paper's primary artifact: a trained VAE + fitted tuple encoder that
+/// generates synthetic relational samples for client-side AQP. Construction
+/// is via Train() or Deserialize(); generation applies variational rejection
+/// sampling at a caller-chosen threshold T.
+class VaeAqpModel {
+ public:
+  /// Trains on `table`. `stats`, when non-null, receives per-epoch
+  /// diagnostics (Fig. 12's training-time measurements).
+  static util::Result<std::unique_ptr<VaeAqpModel>> Train(
+      const relation::Table& table, const VaeAqpOptions& options,
+      TrainingStats* stats = nullptr);
+
+  /// Generates `n` synthetic tuples with rejection threshold `t`
+  /// (kTPlusInf = no rejection). Candidate tuples x' are sampled from the
+  /// decoder; each is accepted with probability
+  /// min(1, e^t * p(x',z) / q(z|x')) (Eq. 8 with M' = e^{-t}). If a whole
+  /// candidate window is rejected, the best-ratio candidate is taken so
+  /// generation always terminates (this implements the T -> -inf limit).
+  relation::Table Generate(size_t n, double t, util::Rng& rng);
+
+  /// Generates with the calibrated default threshold (90th percentile of
+  /// the per-tuple T(x) distribution from the final training epoch).
+  relation::Table Generate(size_t n, util::Rng& rng) {
+    return Generate(n, default_t_, rng);
+  }
+
+  /// Conditional generation (the paper's Sec. VIII extension): produces up
+  /// to `n` tuples satisfying `predicate` by rejecting non-matching model
+  /// samples. Returns fewer rows if `max_candidates` model samples do not
+  /// yield enough matches (very selective predicates) — callers should
+  /// check `num_rows()`.
+  relation::Table GenerateWhere(size_t n, const aqp::Predicate& predicate,
+                                double t, util::Rng& rng,
+                                size_t max_candidates = 1 << 20);
+
+  /// Adapts this model to the evaluation harness's SampleFn interface.
+  aqp::SampleFn MakeSampler(double t, uint64_t seed = 99);
+
+  /// Resampled-ELBO loss of this model on `table` at threshold `t` (lower
+  /// is better; Sec. V-B). Evaluated on at most `max_rows` rows.
+  double RElboLoss(const relation::Table& table, double t, util::Rng& rng,
+                   size_t max_rows = 2048);
+
+  /// Plain ELBO loss (equivalent to RElboLoss at t = +inf).
+  double ElboLoss(const relation::Table& table, util::Rng& rng,
+                  size_t max_rows = 2048);
+
+  /// Calibrated generation threshold (Sec. VI-A's 90th-percentile rule).
+  double default_t() const { return default_t_; }
+
+  /// Serialized model size in bytes — the paper's "few hundred KBs"
+  /// shipping artifact.
+  size_t ModelSizeBytes() const;
+
+  std::vector<uint8_t> Serialize() const;
+  static util::Result<std::unique_ptr<VaeAqpModel>> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+  const encoding::TupleEncoder& tuple_encoder() const { return encoder_; }
+  VaeNet& net() { return *net_; }
+  const VaeAqpOptions& options() const { return options_; }
+
+  /// Output decoding is a client-side generation knob (Fig. 7); it can be
+  /// changed after training without touching the learned weights.
+  void set_decode_options(const encoding::DecodeOptions& decode) {
+    options_.decode = decode;
+  }
+
+ private:
+  VaeAqpModel() = default;
+
+  VaeAqpOptions options_;
+  encoding::TupleEncoder encoder_;
+  std::unique_ptr<VaeNet> net_;
+  double default_t_ = 0.0;
+};
+
+}  // namespace deepaqp::vae
+
+#endif  // DEEPAQP_VAE_VAE_MODEL_H_

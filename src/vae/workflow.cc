@@ -1,0 +1,57 @@
+#include "vae/workflow.h"
+
+#include <algorithm>
+
+namespace deepaqp::vae {
+
+std::vector<std::vector<double>> ProjectToLatent(
+    VaeAqpModel& model, const relation::Table& table) {
+  nn::Matrix x = model.tuple_encoder().EncodeAll(table);
+  VaeNet::Posterior post = model.net().Encode(x);
+  std::vector<std::vector<double>> points(post.mu.rows());
+  for (size_t r = 0; r < post.mu.rows(); ++r) {
+    points[r].resize(post.mu.cols());
+    for (size_t c = 0; c < post.mu.cols(); ++c) {
+      points[r][c] = post.mu.At(r, c);
+    }
+  }
+  return points;
+}
+
+util::Result<BiasEliminationResult> EliminateModelBias(
+    VaeAqpModel& model, const relation::Table& data,
+    const BiasEliminationOptions& options) {
+  if (data.num_rows() < 2 * options.test_points) {
+    return util::Status::InvalidArgument(
+        "data too small for the requested cross-match sample size");
+  }
+  util::Rng rng(options.seed);
+  BiasEliminationResult result;
+  double t = options.initial_t;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    result.final_t = t;
+
+    // Fresh real and synthetic samples each round (Algorithm 1 lines 2-8).
+    relation::Table real = data.SampleRows(options.test_points, rng);
+    relation::Table synthetic = model.Generate(options.test_points, t, rng);
+
+    const auto points_d = ProjectToLatent(model, real);
+    const auto points_m = ProjectToLatent(model, synthetic);
+    DEEPAQP_ASSIGN_OR_RETURN(stats::CrossMatchResult test,
+                             stats::CrossMatchTest(points_d, points_m, rng));
+    result.tests.push_back(test);
+
+    if (!test.Reject(options.alpha)) {
+      result.passed = true;
+      return result;
+    }
+    // H0 rejected: distributions still distinguishable; tighten T.
+    t -= options.t_step;
+  }
+  result.passed = false;
+  return result;
+}
+
+}  // namespace deepaqp::vae

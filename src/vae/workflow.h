@@ -1,0 +1,56 @@
+#ifndef DEEPAQP_VAE_WORKFLOW_H_
+#define DEEPAQP_VAE_WORKFLOW_H_
+
+#include <vector>
+
+#include "relation/table.h"
+#include "stats/cross_match.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "vae/vae_model.h"
+
+namespace deepaqp::vae {
+
+/// Options for the model-bias elimination loop (paper Algorithm 1).
+struct BiasEliminationOptions {
+  /// Significance level for rejecting H0 : P_D = P_M.
+  double alpha = 0.05;
+  /// Starting rejection threshold (Algorithm 1 starts at T = 0).
+  double initial_t = 0.0;
+  /// T decrement per failed test (Algorithm 1: T = T - 1).
+  double t_step = 1.0;
+  /// Abort after this many decrements even if the test still rejects.
+  int max_iterations = 6;
+  /// Points per side for the cross-match test.
+  size_t test_points = 128;
+  uint64_t seed = 17;
+};
+
+/// Diagnostics of one Algorithm 1 run.
+struct BiasEliminationResult {
+  /// Threshold at which the hypothesis test finally passed (or the last
+  /// attempted threshold when `passed` is false).
+  double final_t = 0.0;
+  bool passed = false;
+  int iterations = 0;
+  /// p-value and statistic per iteration, in order.
+  std::vector<stats::CrossMatchResult> tests;
+};
+
+/// Runs Algorithm 1: generate a model sample at threshold T, project both a
+/// real sample and the model sample into the VAE's latent space (posterior
+/// means), cross-match-test H0 : P_D = P_M, and lower T by `t_step` until
+/// the test stops rejecting. The model is only used for data exploration
+/// after it has passed the test (paper Sec. IV-D).
+util::Result<BiasEliminationResult> EliminateModelBias(
+    VaeAqpModel& model, const relation::Table& data,
+    const BiasEliminationOptions& options);
+
+/// Latent-space projection used by the test: posterior mean mu(x) of each
+/// row of `table`, as dense double vectors.
+std::vector<std::vector<double>> ProjectToLatent(VaeAqpModel& model,
+                                                 const relation::Table& table);
+
+}  // namespace deepaqp::vae
+
+#endif  // DEEPAQP_VAE_WORKFLOW_H_

@@ -1,0 +1,178 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqp/bootstrap.h"
+#include "aqp/estimator.h"
+#include "aqp/executor.h"
+#include "aqp/online.h"
+#include "data/generators.h"
+
+namespace deepaqp::aqp {
+namespace {
+
+TEST(BootstrapTest, RejectsBadOptions) {
+  auto table = data::GenerateTaxi({.rows = 500, .seed = 1});
+  AggregateQuery q;
+  q.agg = AggFunc::kCount;
+  BootstrapOptions bad;
+  bad.resamples = 1;
+  EXPECT_FALSE(BootstrapEstimate(q, table, 500, bad).ok());
+  bad = BootstrapOptions{};
+  bad.confidence = 1.5;
+  EXPECT_FALSE(BootstrapEstimate(q, table, 500, bad).ok());
+}
+
+TEST(BootstrapTest, PointEstimateMatchesEstimator) {
+  auto table = data::GenerateTaxi({.rows = 5000, .seed = 2});
+  util::Rng rng(3);
+  auto sample = table.SampleRows(500, rng);
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  auto boot = BootstrapEstimate(q, sample, table.num_rows(), {});
+  auto plain = EstimateFromSample(q, sample, table.num_rows());
+  ASSERT_TRUE(boot.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(boot->Scalar(), plain->Scalar());
+  EXPECT_GT(boot->groups[0].ci_half_width, 0.0);
+}
+
+TEST(BootstrapTest, CiCoversTruthAtNominalRate) {
+  auto table = data::GenerateCensus({.rows = 20000, .seed = 4});
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("age");
+  const double truth = ExecuteExact(q, table)->Scalar();
+  util::Rng rng(5);
+  int covered = 0;
+  const int trials = 40;
+  BootstrapOptions opts;
+  opts.resamples = 120;
+  for (int t = 0; t < trials; ++t) {
+    auto sample = table.SampleRows(400, rng);
+    opts.seed = 900 + t;
+    auto est = BootstrapEstimate(q, sample, table.num_rows(), opts);
+    ASSERT_TRUE(est.ok());
+    if (std::abs(est->Scalar() - truth) <=
+        est->groups[0].ci_half_width) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered, 32);  // nominal 95% with slack
+}
+
+TEST(BootstrapTest, BootstrapWidthTracksCltWidth) {
+  auto table = data::GenerateCensus({.rows = 10000, .seed = 6});
+  AggregateQuery q;
+  q.agg = AggFunc::kSum;
+  q.measure_attr = table.schema().IndexOf("hours_per_week");
+  util::Rng rng(7);
+  auto sample = table.SampleRows(600, rng);
+  auto boot = BootstrapEstimate(q, sample, table.num_rows(), {});
+  auto plain = EstimateFromSample(q, sample, table.num_rows());
+  ASSERT_TRUE(boot.ok());
+  const double bw = boot->groups[0].ci_half_width;
+  const double cw = plain->groups[0].ci_half_width;
+  EXPECT_GT(bw, 0.5 * cw);
+  EXPECT_LT(bw, 2.0 * cw);
+}
+
+TEST(BootstrapTest, GroupByIntervalsPerGroup) {
+  auto table = data::GenerateTaxi({.rows = 8000, .seed = 8});
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  q.group_by_attr = table.schema().IndexOf("pickup_borough");
+  util::Rng rng(9);
+  auto sample = table.SampleRows(800, rng);
+  auto boot = BootstrapEstimate(q, sample, table.num_rows(), {});
+  ASSERT_TRUE(boot.ok());
+  ASSERT_GE(boot->groups.size(), 3u);
+  for (const auto& g : boot->groups) {
+    EXPECT_GT(g.ci_half_width, 0.0);
+  }
+}
+
+TEST(OnlineAggregatorTest, RequiresDataBeforeCurrent) {
+  AggregateQuery q;
+  q.agg = AggFunc::kCount;
+  OnlineAggregator agg(q, 1000);
+  EXPECT_FALSE(agg.Current().ok());
+  EXPECT_FALSE(agg.Converged(0.1));
+}
+
+TEST(OnlineAggregatorTest, MatchesBatchEstimator) {
+  auto table = data::GenerateTaxi({.rows = 6000, .seed = 10});
+  util::Rng rng(11);
+  auto sample = table.SampleRows(900, rng);
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  q.group_by_attr = table.schema().IndexOf("payment_type");
+
+  OnlineAggregator agg(q, table.num_rows());
+  // Feed in three uneven batches.
+  std::vector<size_t> idx;
+  for (size_t r = 0; r < sample.num_rows(); ++r) idx.push_back(r);
+  ASSERT_TRUE(agg.AddBatch(sample.Gather({idx.begin(), idx.begin() + 100}))
+                  .ok());
+  ASSERT_TRUE(
+      agg.AddBatch(sample.Gather({idx.begin() + 100, idx.begin() + 500}))
+          .ok());
+  ASSERT_TRUE(
+      agg.AddBatch(sample.Gather({idx.begin() + 500, idx.end()})).ok());
+  EXPECT_EQ(agg.tuples_seen(), 900u);
+
+  auto online = agg.Current();
+  auto batch = EstimateFromSample(q, sample, table.num_rows());
+  ASSERT_TRUE(online.ok());
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(online->groups.size(), batch->groups.size());
+  for (const auto& g : online->groups) {
+    const GroupValue* b = batch->Find(g.group);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NEAR(g.value, b->value, 1e-9);
+    EXPECT_NEAR(g.ci_half_width, b->ci_half_width, 1e-6);
+  }
+}
+
+TEST(OnlineAggregatorTest, ConvergesWithMoreData) {
+  auto table = data::GenerateCensus({.rows = 20000, .seed = 12});
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("age");
+  OnlineAggregator agg(q, table.num_rows());
+  util::Rng rng(13);
+  int batches = 0;
+  while (!agg.Converged(0.01) && batches < 100) {
+    ASSERT_TRUE(agg.AddBatch(table.SampleRows(200, rng)).ok());
+    ++batches;
+  }
+  EXPECT_TRUE(agg.Converged(0.01));
+  // CI of an AVG at 1% needs on the order of thousands of tuples.
+  EXPECT_GT(batches, 1);
+  const double truth = ExecuteExact(q, table)->Scalar();
+  EXPECT_NEAR(agg.Current()->Scalar(), truth, truth * 0.02);
+}
+
+TEST(OnlineAggregatorTest, RejectsQuantiles) {
+  auto table = data::GenerateTaxi({.rows = 100, .seed = 14});
+  AggregateQuery q;
+  q.agg = AggFunc::kQuantile;
+  q.measure_attr = table.schema().IndexOf("fare");
+  OnlineAggregator agg(q, 100);
+  EXPECT_FALSE(agg.AddBatch(table).ok());
+}
+
+TEST(OnlineAggregatorTest, CountScalesWithPopulation) {
+  auto table = data::GenerateTaxi({.rows = 1000, .seed = 15});
+  AggregateQuery q;
+  q.agg = AggFunc::kCount;
+  OnlineAggregator agg(q, 50000);
+  ASSERT_TRUE(agg.AddBatch(table).ok());
+  EXPECT_DOUBLE_EQ(agg.Current()->Scalar(), 50000.0);
+}
+
+}  // namespace
+}  // namespace deepaqp::aqp

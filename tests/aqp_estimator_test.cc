@@ -1,0 +1,130 @@
+#include "aqp/estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqp/evaluation.h"
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "util/rng.h"
+
+namespace deepaqp::aqp {
+namespace {
+
+using relation::Table;
+
+TEST(EstimatorTest, FullSampleReproducesExactAnswers) {
+  auto table = data::GenerateTaxi({.rows = 3000, .seed = 1});
+  AggregateQuery q;
+  q.agg = AggFunc::kSum;
+  q.measure_attr = table.schema().IndexOf("fare");
+  // Using the whole table as "sample" with scale 1 must be exact.
+  auto est = EstimateFromSample(q, table, table.num_rows());
+  auto exact = ExecuteExact(q, table);
+  ASSERT_TRUE(est.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(est->Scalar(), exact->Scalar(), 1e-6 * exact->Scalar());
+}
+
+TEST(EstimatorTest, CountScalesWithPopulation) {
+  auto table = data::GenerateTaxi({.rows = 1000, .seed = 2});
+  AggregateQuery q;
+  q.agg = AggFunc::kCount;
+  auto est = EstimateFromSample(q, table, 5000);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->Scalar(), 5000.0);
+}
+
+TEST(EstimatorTest, EmptySampleIsError) {
+  auto table = data::GenerateTaxi({.rows = 100, .seed = 3});
+  Table empty(table.schema());
+  AggregateQuery q;
+  q.agg = AggFunc::kCount;
+  EXPECT_FALSE(EstimateFromSample(q, empty, 100).ok());
+}
+
+TEST(EstimatorTest, SampledEstimateConvergesToTruth) {
+  auto table = data::GenerateCensus({.rows = 20000, .seed = 4});
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("hours_per_week");
+  const double truth = ExecuteExact(q, table)->Scalar();
+  util::Rng rng(11);
+  double err_small = 0.0, err_large = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    auto small = table.SampleRows(100, rng);
+    auto large = table.SampleRows(5000, rng);
+    err_small += RelativeError(
+        EstimateFromSample(q, small, table.num_rows())->Scalar(), truth);
+    err_large += RelativeError(
+        EstimateFromSample(q, large, table.num_rows())->Scalar(), truth);
+  }
+  // Larger samples must shrink the average error.
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(EstimatorTest, ConfidenceIntervalCoversTruthMostly) {
+  auto table = data::GenerateCensus({.rows = 20000, .seed = 5});
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("age");
+  const double truth = ExecuteExact(q, table)->Scalar();
+  util::Rng rng(13);
+  int covered = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    auto s = table.SampleRows(400, rng);
+    auto est = EstimateFromSample(q, s, table.num_rows());
+    ASSERT_TRUE(est.ok());
+    const auto& g = est->groups[0];
+    if (std::abs(g.value - truth) <= g.ci_half_width) ++covered;
+  }
+  // Nominal 95%; allow sampling slack (finite-population draws are slightly
+  // less dispersed than the CLT assumes, so coverage skews high).
+  EXPECT_GE(covered, 85);
+}
+
+TEST(EstimatorTest, CountCiCoversTruth) {
+  auto table = data::GenerateCensus({.rows = 20000, .seed = 6});
+  AggregateQuery q;
+  q.agg = AggFunc::kCount;
+  q.filter.conditions.push_back(
+      {static_cast<size_t>(table.schema().IndexOf("sex")), CmpOp::kEq, 0.0});
+  const double truth = ExecuteExact(q, table)->Scalar();
+  util::Rng rng(17);
+  int covered = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    auto s = table.SampleRows(500, rng);
+    auto est = EstimateFromSample(q, s, table.num_rows());
+    ASSERT_TRUE(est.ok());
+    const auto& g = est->groups[0];
+    if (std::abs(g.value - truth) <= g.ci_half_width) ++covered;
+  }
+  EXPECT_GE(covered, 85);
+}
+
+TEST(EvaluationTest, UniformSamplerRedIsNearZero) {
+  // RED of a uniform sampler against the uniform reference must be small:
+  // it is the same estimator, differing only in RNG draws.
+  auto table = data::GenerateTaxi({.rows = 10000, .seed = 7});
+  data::WorkloadConfig wcfg;
+  wcfg.num_queries = 30;
+  auto workload = data::GenerateWorkload(table, wcfg);
+  ASSERT_GT(workload.size(), 10u);
+  EvalOptions opts;
+  opts.sample_fraction = 0.05;
+  opts.num_trials = 5;
+  auto red = RelativeErrorDifferences(workload, table,
+                                      UniformTableSampler(table), opts);
+  ASSERT_TRUE(red.ok());
+  const auto summary = DistributionSummary::FromValues(*red);
+  EXPECT_LT(summary.median, 0.1);
+}
+
+}  // namespace
+}  // namespace deepaqp::aqp

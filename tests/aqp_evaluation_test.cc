@@ -1,0 +1,185 @@
+#include "aqp/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "ensemble/partitioning.h"
+
+namespace deepaqp::aqp {
+namespace {
+
+TEST(EvaluationTest, OracleSamplerHasZeroModelError) {
+  // A "sampler" that returns true uniform samples should produce the same
+  // error as the reference, so WorkloadRelativeErrors must be small and
+  // shrink with the sample fraction.
+  auto table = data::GenerateTaxi({.rows = 8000, .seed = 1});
+  data::WorkloadConfig wcfg;
+  wcfg.num_queries = 25;
+  auto workload = data::GenerateWorkload(table, wcfg);
+  EvalOptions small, large;
+  small.sample_fraction = 0.01;
+  small.num_trials = 4;
+  large.sample_fraction = 0.20;
+  large.num_trials = 4;
+  auto e_small = WorkloadRelativeErrors(workload, table,
+                                        UniformTableSampler(table), small);
+  auto e_large = WorkloadRelativeErrors(workload, table,
+                                        UniformTableSampler(table), large);
+  ASSERT_TRUE(e_small.ok());
+  ASSERT_TRUE(e_large.ok());
+  EXPECT_LT(DistributionSummary::FromValues(*e_large).median,
+            DistributionSummary::FromValues(*e_small).median + 1e-12);
+}
+
+TEST(EvaluationTest, BrokenSamplerGetsPenalizedNotCrash) {
+  // A sampler returning no rows at all: estimation fails per query and the
+  // harness assigns the bounded maximal error instead of crashing.
+  auto table = data::GenerateTaxi({.rows = 2000, .seed = 2});
+  data::WorkloadConfig wcfg;
+  wcfg.num_queries = 10;
+  auto workload = data::GenerateWorkload(table, wcfg);
+  SampleFn broken = [&table](size_t, util::Rng&) {
+    return relation::Table(table.schema());
+  };
+  EvalOptions opts;
+  opts.num_trials = 2;
+  auto errors = WorkloadRelativeErrors(workload, table, broken, opts);
+  ASSERT_TRUE(errors.ok());
+  for (double e : *errors) EXPECT_DOUBLE_EQ(e, 1.0);
+}
+
+TEST(EvaluationTest, DirectOracleHasZeroError) {
+  auto table = data::GenerateTaxi({.rows = 3000, .seed = 3});
+  data::WorkloadConfig wcfg;
+  wcfg.num_queries = 15;
+  auto workload = data::GenerateWorkload(table, wcfg);
+  AnswerFn oracle = [&table](const AggregateQuery& q) {
+    return ExecuteExact(q, table);
+  };
+  auto errors = WorkloadRelativeErrorsDirect(workload, table, oracle);
+  ASSERT_TRUE(errors.ok());
+  for (double e : *errors) EXPECT_NEAR(e, 0.0, 1e-12);
+}
+
+TEST(EvaluationTest, DirectRefusalsGetMaximalError) {
+  auto table = data::GenerateTaxi({.rows = 3000, .seed = 4});
+  data::WorkloadConfig wcfg;
+  wcfg.num_queries = 12;
+  auto workload = data::GenerateWorkload(table, wcfg);
+  AnswerFn refuses = [](const AggregateQuery&) {
+    return util::Result<QueryResult>(
+        util::Status::Unimplemented("cannot serve"));
+  };
+  auto errors = WorkloadRelativeErrorsDirect(workload, table, refuses);
+  ASSERT_TRUE(errors.ok());
+  for (double e : *errors) EXPECT_DOUBLE_EQ(e, 1.0);
+}
+
+TEST(EvaluationTest, RedIsDeterministicForFixedSeeds) {
+  auto table = data::GenerateTaxi({.rows = 4000, .seed = 5});
+  data::WorkloadConfig wcfg;
+  wcfg.num_queries = 10;
+  auto workload = data::GenerateWorkload(table, wcfg);
+  EvalOptions opts;
+  opts.num_trials = 3;
+  auto a = RelativeErrorDifferences(workload, table,
+                                    UniformTableSampler(table), opts);
+  auto b = RelativeErrorDifferences(workload, table,
+                                    UniformTableSampler(table), opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace deepaqp::aqp
+
+namespace deepaqp::ensemble {
+namespace {
+
+TEST(HierarchyFanoutTest, DpHandlesTernaryNodes) {
+  // Hand-built hierarchy: root with 3 children (one internal).
+  Hierarchy h;
+  h.nodes.resize(6);
+  h.nodes[0].name = "root";
+  h.nodes[0].children = {1, 2, 3};
+  h.nodes[1].group = 0;
+  h.nodes[2].group = 1;
+  h.nodes[3].name = "pair";
+  h.nodes[3].children = {4, 5};
+  h.nodes[4].group = 2;
+  h.nodes[5].group = 3;
+  h.root = 0;
+
+  auto leaves = h.LeavesUnder(0);
+  EXPECT_EQ(leaves, (std::vector<int>{0, 1, 2, 3}));
+
+  // Scores: group 2 and 3 are wildly different; everything else cheap.
+  std::vector<double> v = {0, 0, 0, 100};
+  auto score = [&v](const std::vector<int>& groups) {
+    double lo = 1e18, hi = -1e18;
+    for (int g : groups) {
+      lo = std::min(lo, v[g]);
+      hi = std::max(hi, v[g]);
+    }
+    return 1.0 + (hi - lo);
+  };
+  // K=1: the whole tree, cost 1 + 100.
+  auto p1 = PartitionHierarchyDp(h, score, 1);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_DOUBLE_EQ(p1->total_score, 101.0);
+  // K=3: the only 3-cut of a ternary root is {0},{1},{2,3} at
+  // 1 + 1 + 101 = 103, worse than not splitting — the DP must keep 1 part.
+  auto p3 = PartitionHierarchyDp(h, score, 3);
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(p3->parts.size(), 1u);
+  EXPECT_DOUBLE_EQ(p3->total_score, 101.0);
+  // K=4 can additionally split the expensive pair: 1+1+1+1 = 4 wins.
+  auto p4 = PartitionHierarchyDp(h, score, 4);
+  ASSERT_TRUE(p4.ok());
+  EXPECT_EQ(p4->parts.size(), 4u);
+  EXPECT_DOUBLE_EQ(p4->total_score, 4.0);
+  EXPECT_LT(p4->total_score, p3->total_score);
+}
+
+TEST(HierarchyFanoutTest, GreedyHandlesTernaryNodes) {
+  Hierarchy h;
+  h.nodes.resize(4);
+  h.nodes[0].children = {1, 2, 3};
+  h.nodes[1].group = 0;
+  h.nodes[2].group = 1;
+  h.nodes[3].group = 2;
+  h.root = 0;
+  auto score = [](const std::vector<int>& groups) {
+    return static_cast<double>(groups.size());
+  };
+  // Splitting the root needs 3 slots at once; K=2 cannot split a ternary
+  // node, so greedy must keep the root cut.
+  auto p2 = PartitionHierarchyGreedy(h, score, 2);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->parts.size(), 1u);
+  auto p3 = PartitionHierarchyGreedy(h, score, 3);
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(p3->parts.size(), 3u);
+}
+
+TEST(ContiguousDpTest, KLargerThanGroupsClamps) {
+  // Superadditive range cost: full splitting is the strict optimum, and k
+  // beyond the group count must clamp to one range per group.
+  auto part = PartitionContiguousDp(
+      3,
+      [](int i, int j) {
+        const double len = j - i + 1;
+        return len * len;  // strictly superadditive
+      },
+      10);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->parts.size(), 3u);
+  EXPECT_DOUBLE_EQ(part->total_score, 3.0);
+}
+
+}  // namespace
+}  // namespace deepaqp::ensemble

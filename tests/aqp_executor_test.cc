@@ -1,0 +1,166 @@
+#include "aqp/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace deepaqp::aqp {
+namespace {
+
+using relation::AttrType;
+using relation::Datum;
+using relation::Schema;
+using relation::Table;
+
+Table MakeTable() {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("grp", AttrType::kCategorical).ok());
+  EXPECT_TRUE(s.AddAttribute("val", AttrType::kNumeric).ok());
+  Table t(s);
+  // grp 0: values 1, 2, 3; grp 1: values 10, 20.
+  t.AppendRow({Datum::Categorical(0), Datum::Numeric(1)});
+  t.AppendRow({Datum::Categorical(0), Datum::Numeric(2)});
+  t.AppendRow({Datum::Categorical(0), Datum::Numeric(3)});
+  t.AppendRow({Datum::Categorical(1), Datum::Numeric(10)});
+  t.AppendRow({Datum::Categorical(1), Datum::Numeric(20)});
+  return t;
+}
+
+TEST(ExecutorTest, ScalarCount) {
+  Table t = MakeTable();
+  AggregateQuery q;
+  q.agg = AggFunc::kCount;
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Scalar(), 5.0);
+}
+
+TEST(ExecutorTest, ScalarSumWithFilter) {
+  Table t = MakeTable();
+  AggregateQuery q;
+  q.agg = AggFunc::kSum;
+  q.measure_attr = 1;
+  q.filter.conditions.push_back({0, CmpOp::kEq, 1.0});
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Scalar(), 30.0);
+}
+
+TEST(ExecutorTest, ScalarAvg) {
+  Table t = MakeTable();
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = 1;
+  q.filter.conditions.push_back({0, CmpOp::kEq, 0.0});
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Scalar(), 2.0);
+}
+
+TEST(ExecutorTest, GroupByAvg) {
+  Table t = MakeTable();
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = 1;
+  q.group_by_attr = 0;
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->groups.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->Find(0)->value, 2.0);
+  EXPECT_DOUBLE_EQ(r->Find(1)->value, 15.0);
+  EXPECT_EQ(r->Find(0)->support, 3u);
+}
+
+TEST(ExecutorTest, EmptySelectionCountIsZero) {
+  Table t = MakeTable();
+  AggregateQuery q;
+  q.agg = AggFunc::kCount;
+  q.filter.conditions.push_back({1, CmpOp::kGt, 1000.0});
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Scalar(), 0.0);
+}
+
+TEST(ExecutorTest, EmptySelectionAvgHasNoGroups) {
+  Table t = MakeTable();
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = 1;
+  q.filter.conditions.push_back({1, CmpOp::kGt, 1000.0});
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(ExecutorTest, DisjunctiveFilter) {
+  Table t = MakeTable();
+  AggregateQuery q;
+  q.agg = AggFunc::kCount;
+  q.filter.conjunctive = false;
+  q.filter.conditions.push_back({1, CmpOp::kLe, 1.0});   // 1 row
+  q.filter.conditions.push_back({1, CmpOp::kGe, 20.0});  // 1 row
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Scalar(), 2.0);
+}
+
+TEST(ExecutorTest, ValidationRejectsBadQueries) {
+  Table t = MakeTable();
+  AggregateQuery sum_on_cat;
+  sum_on_cat.agg = AggFunc::kSum;
+  sum_on_cat.measure_attr = 0;
+  EXPECT_FALSE(ExecuteExact(sum_on_cat, t).ok());
+
+  AggregateQuery group_on_num;
+  group_on_num.agg = AggFunc::kCount;
+  group_on_num.group_by_attr = 1;
+  EXPECT_FALSE(ExecuteExact(group_on_num, t).ok());
+
+  AggregateQuery bad_measure;
+  bad_measure.agg = AggFunc::kAvg;
+  bad_measure.measure_attr = 9;
+  EXPECT_FALSE(ExecuteExact(bad_measure, t).ok());
+
+  AggregateQuery bad_filter;
+  bad_filter.agg = AggFunc::kCount;
+  bad_filter.filter.conditions.push_back({9, CmpOp::kEq, 0.0});
+  EXPECT_FALSE(ExecuteExact(bad_filter, t).ok());
+}
+
+TEST(ExecutorTest, SelectivityMatchesManualCount) {
+  Table t = MakeTable();
+  AggregateQuery q;
+  q.filter.conditions.push_back({0, CmpOp::kEq, 0.0});
+  EXPECT_DOUBLE_EQ(Selectivity(q, t), 0.6);
+  AggregateQuery all;
+  EXPECT_DOUBLE_EQ(Selectivity(all, t), 1.0);
+}
+
+TEST(ExecutorTest, GroupBySumOnGeneratedData) {
+  // Cross-check group-by against scalar per-group queries on real-ish data.
+  auto table = data::GenerateTaxi({.rows = 2000, .seed = 99});
+  AggregateQuery q;
+  q.agg = AggFunc::kSum;
+  q.measure_attr = table.schema().IndexOf("fare");
+  q.group_by_attr = table.schema().IndexOf("pickup_borough");
+  auto grouped = ExecuteExact(q, table);
+  ASSERT_TRUE(grouped.ok());
+  double total = 0.0;
+  for (const auto& g : grouped->groups) {
+    AggregateQuery scalar = q;
+    scalar.group_by_attr = -1;
+    scalar.filter.conditions.push_back(
+        {static_cast<size_t>(q.group_by_attr), CmpOp::kEq,
+         static_cast<double>(g.group)});
+    auto r = ExecuteExact(scalar, table);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r->Scalar(), g.value);
+    total += g.value;
+  }
+  AggregateQuery all = q;
+  all.group_by_attr = -1;
+  EXPECT_NEAR(ExecuteExact(all, table)->Scalar(), total, 1e-6);
+}
+
+}  // namespace
+}  // namespace deepaqp::aqp

@@ -1,0 +1,85 @@
+#include "aqp/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace deepaqp::aqp {
+namespace {
+
+TEST(MetricsTest, RelativeErrorBasics) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(-90.0, -100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 100.0), 0.0);
+}
+
+TEST(MetricsTest, ZeroTruthConvention) {
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0), 1.0);
+}
+
+TEST(MetricsTest, AverageRelativeError) {
+  EXPECT_DOUBLE_EQ(AverageRelativeError({0.1, 0.3}), 0.2);
+  EXPECT_DOUBLE_EQ(AverageRelativeError({}), 0.0);
+}
+
+QueryResult MakeResult(std::vector<std::pair<int32_t, double>> pairs) {
+  QueryResult r;
+  for (auto [g, v] : pairs) r.groups.push_back(GroupValue{g, v, 1, 0.0});
+  return r;
+}
+
+TEST(MetricsTest, GroupByErrorAveragesOverTruthGroups) {
+  auto truth = MakeResult({{0, 100.0}, {1, 200.0}});
+  auto est = MakeResult({{0, 110.0}, {1, 180.0}});
+  EXPECT_DOUBLE_EQ(ResultRelativeError(est, truth), (0.1 + 0.1) / 2.0);
+}
+
+TEST(MetricsTest, MissingGroupCountsAsFullError) {
+  // Paper Eq. 3: missing groups are assigned 100% relative error.
+  auto truth = MakeResult({{0, 100.0}, {1, 200.0}});
+  auto est = MakeResult({{0, 100.0}});
+  EXPECT_DOUBLE_EQ(ResultRelativeError(est, truth), 0.5);
+}
+
+TEST(MetricsTest, SpuriousExtraGroupsAreIgnored) {
+  auto truth = MakeResult({{0, 100.0}});
+  auto est = MakeResult({{0, 100.0}, {7, 5.0}});
+  EXPECT_DOUBLE_EQ(ResultRelativeError(est, truth), 0.0);
+}
+
+TEST(MetricsTest, EmptyTruth) {
+  auto empty = MakeResult({});
+  EXPECT_DOUBLE_EQ(ResultRelativeError(empty, empty), 0.0);
+  auto est = MakeResult({{0, 1.0}});
+  EXPECT_DOUBLE_EQ(ResultRelativeError(est, empty), 1.0);
+}
+
+TEST(MetricsTest, ScalarResultsDegradeToEq1) {
+  auto truth = MakeResult({{-1, 50.0}});
+  auto est = MakeResult({{-1, 60.0}});
+  EXPECT_DOUBLE_EQ(ResultRelativeError(est, truth), 0.2);
+}
+
+TEST(DistributionSummaryTest, OrderStatistics) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  auto s = DistributionSummary::FromValues(v);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p5, 5.95, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_LT(s.p25, s.median);
+  EXPECT_LT(s.median, s.p75);
+}
+
+TEST(DistributionSummaryTest, SingleValueAndEmpty) {
+  auto one = DistributionSummary::FromValues({3.0});
+  EXPECT_DOUBLE_EQ(one.median, 3.0);
+  EXPECT_DOUBLE_EQ(one.p5, 3.0);
+  EXPECT_DOUBLE_EQ(one.p95, 3.0);
+  auto none = DistributionSummary::FromValues({});
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace deepaqp::aqp

@@ -1,0 +1,150 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqp/estimator.h"
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+#include "data/generators.h"
+
+namespace deepaqp::aqp {
+namespace {
+
+using relation::AttrType;
+using relation::Datum;
+using relation::Schema;
+using relation::Table;
+
+Table ValuesTable(const std::vector<double>& values) {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("g", AttrType::kCategorical).ok());
+  EXPECT_TRUE(s.AddAttribute("v", AttrType::kNumeric).ok());
+  Table t(s);
+  for (double v : values) {
+    t.AppendRow({Datum::Categorical(0), Datum::Numeric(v)});
+  }
+  return t;
+}
+
+TEST(EmpiricalQuantileTest, MatchesHandValues) {
+  EXPECT_DOUBLE_EQ(EmpiricalQuantile({1, 2, 3, 4, 5}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(EmpiricalQuantile({5, 1, 3, 2, 4}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(EmpiricalQuantile({5, 1, 3, 2, 4}, 1.0), 5.0);
+  // Interpolation: q=0.25 of {1..4} -> 1.75.
+  EXPECT_DOUBLE_EQ(EmpiricalQuantile({1, 2, 3, 4}, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(EmpiricalQuantile({7}, 0.3), 7.0);
+}
+
+TEST(QuantileExecutorTest, ExactMedian) {
+  Table t = ValuesTable({9, 1, 5, 3, 7});
+  AggregateQuery q;
+  q.agg = AggFunc::kQuantile;
+  q.measure_attr = 1;
+  q.quantile = 0.5;
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Scalar(), 5.0);
+}
+
+TEST(QuantileExecutorTest, ExactQuantileWithFilter) {
+  Table t = ValuesTable({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  AggregateQuery q;
+  q.agg = AggFunc::kQuantile;
+  q.measure_attr = 1;
+  q.quantile = 0.9;
+  q.filter.conditions.push_back({1, CmpOp::kLe, 8.0});  // values 1..8
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->Scalar(), 7.3, 1e-9);  // 0.9 * 7 = 6.3 -> 7.3 interp
+}
+
+TEST(QuantileExecutorTest, GroupByQuantile) {
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("g", AttrType::kCategorical).ok());
+  ASSERT_TRUE(s.AddAttribute("v", AttrType::kNumeric).ok());
+  Table t(s);
+  for (int i = 1; i <= 5; ++i) {
+    t.AppendRow({Datum::Categorical(0), Datum::Numeric(i)});
+    t.AppendRow({Datum::Categorical(1), Datum::Numeric(i * 100)});
+  }
+  AggregateQuery q;
+  q.agg = AggFunc::kQuantile;
+  q.measure_attr = 1;
+  q.quantile = 0.5;
+  q.group_by_attr = 0;
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Find(0)->value, 3.0);
+  EXPECT_DOUBLE_EQ(r->Find(1)->value, 300.0);
+}
+
+TEST(QuantileExecutorTest, RejectsBadLevels) {
+  Table t = ValuesTable({1, 2, 3});
+  AggregateQuery q;
+  q.agg = AggFunc::kQuantile;
+  q.measure_attr = 1;
+  q.quantile = 0.0;
+  EXPECT_FALSE(ExecuteExact(q, t).ok());
+  q.quantile = 1.0;
+  EXPECT_FALSE(ExecuteExact(q, t).ok());
+  q.quantile = 0.5;
+  q.measure_attr = 0;  // categorical measure
+  EXPECT_FALSE(ExecuteExact(q, t).ok());
+}
+
+TEST(QuantileExecutorTest, EmptySelectionHasNoGroups) {
+  Table t = ValuesTable({1, 2, 3});
+  AggregateQuery q;
+  q.agg = AggFunc::kQuantile;
+  q.measure_attr = 1;
+  q.filter.conditions.push_back({1, CmpOp::kGt, 100.0});
+  auto r = ExecuteExact(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(QuantileEstimatorTest, SampleQuantileConvergesToTruth) {
+  auto table = data::GenerateCensus({.rows = 20000, .seed = 21});
+  AggregateQuery q;
+  q.agg = AggFunc::kQuantile;
+  q.measure_attr = table.schema().IndexOf("age");
+  q.quantile = 0.5;
+  const double truth = ExecuteExact(q, table)->Scalar();
+  util::Rng rng(4);
+  double err_small = 0, err_large = 0;
+  for (int t = 0; t < 15; ++t) {
+    auto s1 = table.SampleRows(100, rng);
+    auto s2 = table.SampleRows(4000, rng);
+    err_small += RelativeError(
+        EstimateFromSample(q, s1, table.num_rows())->Scalar(), truth);
+    err_large += RelativeError(
+        EstimateFromSample(q, s2, table.num_rows())->Scalar(), truth);
+  }
+  EXPECT_LT(err_large, err_small + 1e-12);
+  EXPECT_LT(err_large / 15, 0.05);
+}
+
+TEST(QuantileEstimatorTest, OrderStatisticCiCoversTruth) {
+  auto table = data::GenerateCensus({.rows = 20000, .seed = 22});
+  AggregateQuery q;
+  q.agg = AggFunc::kQuantile;
+  q.measure_attr = table.schema().IndexOf("hours_per_week");
+  q.quantile = 0.75;
+  const double truth = ExecuteExact(q, table)->Scalar();
+  util::Rng rng(5);
+  int covered = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    auto s = table.SampleRows(500, rng);
+    auto est = EstimateFromSample(q, s, table.num_rows());
+    ASSERT_TRUE(est.ok());
+    const auto& g = est->groups[0];
+    if (std::abs(g.value - truth) <= g.ci_half_width + 1e-9) ++covered;
+  }
+  // Discrete-valued column makes the interval conservative; expect high
+  // coverage.
+  EXPECT_GE(covered, 48);
+}
+
+}  // namespace
+}  // namespace deepaqp::aqp

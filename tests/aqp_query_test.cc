@@ -1,0 +1,93 @@
+#include "aqp/query.h"
+
+#include <gtest/gtest.h>
+
+namespace deepaqp::aqp {
+namespace {
+
+using relation::AttrType;
+using relation::Datum;
+using relation::Schema;
+using relation::Table;
+
+Schema MakeSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("cat", AttrType::kCategorical).ok());
+  EXPECT_TRUE(s.AddAttribute("num", AttrType::kNumeric).ok());
+  return s;
+}
+
+TEST(ConditionTest, AllOperators) {
+  Condition c{0, CmpOp::kEq, 5.0};
+  EXPECT_TRUE(c.Matches(5.0));
+  EXPECT_FALSE(c.Matches(4.0));
+  c.op = CmpOp::kNe;
+  EXPECT_TRUE(c.Matches(4.0));
+  EXPECT_FALSE(c.Matches(5.0));
+  c.op = CmpOp::kLt;
+  EXPECT_TRUE(c.Matches(4.9));
+  EXPECT_FALSE(c.Matches(5.0));
+  c.op = CmpOp::kGt;
+  EXPECT_TRUE(c.Matches(5.1));
+  EXPECT_FALSE(c.Matches(5.0));
+  c.op = CmpOp::kLe;
+  EXPECT_TRUE(c.Matches(5.0));
+  EXPECT_FALSE(c.Matches(5.1));
+  c.op = CmpOp::kGe;
+  EXPECT_TRUE(c.Matches(5.0));
+  EXPECT_FALSE(c.Matches(4.9));
+}
+
+TEST(PredicateTest, EmptyMatchesEverything) {
+  Table t(MakeSchema());
+  t.AppendRow({Datum::Categorical(0), Datum::Numeric(1.0)});
+  Predicate p;
+  EXPECT_TRUE(p.Matches(t, 0));
+}
+
+TEST(PredicateTest, ConjunctionAndDisjunction) {
+  Table t(MakeSchema());
+  t.AppendRow({Datum::Categorical(1), Datum::Numeric(10.0)});
+  Predicate p;
+  p.conditions.push_back({0, CmpOp::kEq, 1.0});
+  p.conditions.push_back({1, CmpOp::kGt, 20.0});
+  p.conjunctive = true;
+  EXPECT_FALSE(p.Matches(t, 0));
+  p.conjunctive = false;
+  EXPECT_TRUE(p.Matches(t, 0));
+}
+
+TEST(QueryTest, ToStringRendersSqlLikeText) {
+  Schema s = MakeSchema();
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = 1;
+  q.filter.conditions.push_back({0, CmpOp::kEq, 2.0});
+  q.group_by_attr = 0;
+  const std::string text = q.ToString(s);
+  EXPECT_NE(text.find("AVG(num)"), std::string::npos);
+  EXPECT_NE(text.find("WHERE cat = 2"), std::string::npos);
+  EXPECT_NE(text.find("GROUP BY cat"), std::string::npos);
+}
+
+TEST(QueryTest, ToStringCountStar) {
+  Schema s = MakeSchema();
+  AggregateQuery q;
+  q.agg = AggFunc::kCount;
+  EXPECT_EQ(q.ToString(s), "SELECT COUNT(*) FROM R");
+}
+
+TEST(QueryResultTest, ScalarAndFind) {
+  QueryResult r;
+  r.groups.push_back(GroupValue{-1, 42.0, 10, 0.0});
+  EXPECT_EQ(r.Scalar(), 42.0);
+  QueryResult g;
+  g.groups.push_back(GroupValue{3, 1.0, 1, 0.0});
+  g.groups.push_back(GroupValue{5, 2.0, 1, 0.0});
+  ASSERT_NE(g.Find(5), nullptr);
+  EXPECT_EQ(g.Find(5)->value, 2.0);
+  EXPECT_EQ(g.Find(4), nullptr);
+}
+
+}  // namespace
+}  // namespace deepaqp::aqp

@@ -1,0 +1,201 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+#include "baselines/bayes_net.h"
+#include "baselines/discretizer.h"
+#include "baselines/mspn.h"
+#include "data/generators.h"
+
+namespace deepaqp::baselines {
+namespace {
+
+double Correlation(const relation::Table& t, size_t a, size_t b) {
+  double ma = 0, mb = 0;
+  const size_t n = t.num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    ma += t.CellAsDouble(r, a);
+    mb += t.CellAsDouble(r, b);
+  }
+  ma /= n;
+  mb /= n;
+  double sab = 0, saa = 0, sbb = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const double da = t.CellAsDouble(r, a) - ma;
+    const double db = t.CellAsDouble(r, b) - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  return sab / std::sqrt(saa * sbb);
+}
+
+TEST(DiscretizerTest, CategoricalPassThrough) {
+  auto table = data::GenerateTaxi({.rows = 500, .seed = 1});
+  auto d = Discretizer::Fit(table, 8);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->Cardinality(0), 5);
+  EXPECT_EQ(d->CodeOf(table, 7, 0), table.CatCode(7, 0));
+  EXPECT_FALSE(d->IsNumeric(0));
+}
+
+TEST(DiscretizerTest, NumericBinsRespectBudgetAndCoverRange) {
+  auto table = data::GenerateTaxi({.rows = 2000, .seed = 2});
+  const auto fare = static_cast<size_t>(table.schema().IndexOf("fare"));
+  auto d = Discretizer::Fit(table, 8);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(d->Cardinality(fare), 8);
+  EXPECT_GE(d->Cardinality(fare), 2);
+  for (size_t r = 0; r < 100; ++r) {
+    const int32_t code = d->CodeOf(table, r, fare);
+    EXPECT_GE(code, 0);
+    EXPECT_LT(code, d->Cardinality(fare));
+    auto [lo, hi] = d->BinRange(fare, code);
+    EXPECT_LE(lo, hi);
+  }
+}
+
+TEST(DiscretizerTest, EntropyBinsBalanceMass) {
+  auto table = data::GenerateCensus({.rows = 8000, .seed = 3});
+  const auto age = static_cast<size_t>(table.schema().IndexOf("age"));
+  auto d = Discretizer::Fit(table, 8);
+  ASSERT_TRUE(d.ok());
+  std::vector<int> counts(d->Cardinality(age), 0);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    ++counts[d->CodeOf(table, r, age)];
+  }
+  // Entropy-balanced bins: no bin should hold more than 3x its fair share.
+  const int fair = static_cast<int>(table.num_rows()) / d->Cardinality(age);
+  for (int c : counts) EXPECT_LE(c, 3 * fair);
+}
+
+TEST(DiscretizerTest, MaterializeStaysInBin) {
+  auto table = data::GenerateTaxi({.rows = 1000, .seed = 4});
+  const auto fare = static_cast<size_t>(table.schema().IndexOf("fare"));
+  auto d = Discretizer::Fit(table, 8);
+  ASSERT_TRUE(d.ok());
+  util::Rng rng(5);
+  for (int32_t code = 0; code < d->Cardinality(fare); ++code) {
+    auto [lo, hi] = d->BinRange(fare, code);
+    for (int i = 0; i < 10; ++i) {
+      const double v = d->Materialize(fare, code, rng).num;
+      EXPECT_GE(v, lo);
+      EXPECT_LE(v, hi);
+    }
+  }
+}
+
+TEST(BayesNetTest, LearnsTreeAndGenerates) {
+  auto table = data::GenerateCensus({.rows = 6000, .seed = 6});
+  auto model = BayesNetModel::Train(table, {});
+  ASSERT_TRUE(model.ok());
+  // Exactly one root; every other attribute has a parent.
+  int roots = 0;
+  for (int p : (*model)->parents()) roots += p < 0;
+  EXPECT_EQ(roots, 1);
+
+  util::Rng rng(7);
+  auto sample = (*model)->Generate(4000, rng);
+  EXPECT_EQ(sample.num_rows(), 4000u);
+  EXPECT_TRUE(sample.schema() == table.schema());
+}
+
+TEST(BayesNetTest, ChowLiuLinksStronglyDependentAttributes) {
+  auto table = data::GenerateCensus({.rows = 8000, .seed = 8});
+  auto model = BayesNetModel::Train(table, {});
+  ASSERT_TRUE(model.ok());
+  // education (1) and education_num (10) are nearly functionally dependent;
+  // Chow-Liu must connect them directly.
+  const auto& parents = (*model)->parents();
+  const int edu = table.schema().IndexOf("education");
+  const int edu_num = table.schema().IndexOf("education_num");
+  EXPECT_TRUE(parents[edu] == edu_num || parents[edu_num] == edu);
+}
+
+TEST(BayesNetTest, PreservesTreeCorrelations) {
+  auto table = data::GenerateCensus({.rows = 8000, .seed = 9});
+  auto model = BayesNetModel::Train(table, {});
+  ASSERT_TRUE(model.ok());
+  util::Rng rng(10);
+  auto sample = (*model)->Generate(8000, rng);
+  const auto edu = static_cast<size_t>(table.schema().IndexOf("education"));
+  const auto edu_num =
+      static_cast<size_t>(table.schema().IndexOf("education_num"));
+  const double real_corr = Correlation(table, edu, edu_num);
+  const double synth_corr = Correlation(sample, edu, edu_num);
+  // Direction preserved and magnitude substantial (discretization softens).
+  EXPECT_LT(real_corr, -0.8);
+  EXPECT_LT(synth_corr, -0.5);
+}
+
+TEST(BayesNetTest, SizeBytesGrowsWithBins) {
+  auto table = data::GenerateCensus({.rows = 3000, .seed = 11});
+  BayesNetModel::Options small, large;
+  small.max_bins = 4;
+  large.max_bins = 24;
+  auto a = BayesNetModel::Train(table, small);
+  auto b = BayesNetModel::Train(table, large);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT((*a)->SizeBytes(), (*b)->SizeBytes());
+}
+
+TEST(MspnTest, BuildsAndSamples) {
+  auto table = data::GenerateCensus({.rows = 6000, .seed = 12});
+  auto model = MspnModel::Train(table, {});
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->num_nodes(), 5u);
+  EXPECT_GE((*model)->num_leaves(), table.num_attributes());
+  util::Rng rng(13);
+  auto sample = (*model)->Generate(2000, rng);
+  EXPECT_EQ(sample.num_rows(), 2000u);
+  EXPECT_TRUE(sample.schema() == table.schema());
+}
+
+TEST(MspnTest, SumSplitsCaptureRowStructure) {
+  // Census has age-dependent structure; the learned SPN should contain at
+  // least one sum node (row split) when rows are plentiful.
+  auto table = data::GenerateCensus({.rows = 8000, .seed = 14});
+  MspnModel::Options opts;
+  opts.min_instances = 512;
+  opts.dependency_threshold = 0.4;  // force row splits over attr splits
+  auto model = MspnModel::Train(table, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->num_nodes(), table.num_attributes() + 1);
+}
+
+TEST(MspnTest, PreservesMarginalsRoughly) {
+  auto table = data::GenerateTaxi({.rows = 6000, .seed = 15});
+  auto model = MspnModel::Train(table, {});
+  ASSERT_TRUE(model.ok());
+  util::Rng rng(16);
+  auto sample = (*model)->Generate(6000, rng);
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  const double truth = aqp::ExecuteExact(q, table)->Scalar();
+  const double est = aqp::ExecuteExact(q, sample)->Scalar();
+  EXPECT_LT(aqp::RelativeError(est, truth), 0.2);
+}
+
+TEST(MspnTest, RetainsSomeCorrelationUnlikeIndependenceModels) {
+  auto table = data::GenerateTaxi({.rows = 8000, .seed = 17});
+  MspnModel::Options opts;
+  opts.min_instances = 256;
+  opts.dependency_threshold = 0.02;
+  auto model = MspnModel::Train(table, opts);
+  ASSERT_TRUE(model.ok());
+  util::Rng rng(18);
+  auto sample = (*model)->Generate(8000, rng);
+  const auto dist =
+      static_cast<size_t>(table.schema().IndexOf("trip_distance"));
+  const auto fare = static_cast<size_t>(table.schema().IndexOf("fare"));
+  EXPECT_GT(Correlation(table, dist, fare), 0.8);
+  // The SPN's mixture-of-products keeps a meaningful share of it.
+  EXPECT_GT(Correlation(sample, dist, fare), 0.3);
+}
+
+}  // namespace
+}  // namespace deepaqp::baselines

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "aqp/evaluation.h"
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+#include "baselines/dbest.h"
+#include "baselines/neural_cubes.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace deepaqp::baselines {
+namespace {
+
+std::vector<aqp::AggregateQuery> MakeWorkload(const relation::Table& table,
+                                              size_t n, uint64_t seed) {
+  data::WorkloadConfig cfg;
+  cfg.num_queries = n;
+  cfg.seed = seed;
+  return data::GenerateWorkload(table, cfg);
+}
+
+TEST(DbestTest, AnswersKnownTemplatesAccurately) {
+  auto table = data::GenerateCensus({.rows = 10000, .seed = 1});
+  auto workload = MakeWorkload(table, 40, 2);
+  auto model = DbestModel::Build(table, workload, {});
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->num_templates(), 0u);
+
+  // Evaluate exactly the training templates.
+  double total_err = 0.0;
+  int answered = 0;
+  for (const auto& q : workload) {
+    if (!q.filter.conjunctive && q.filter.conditions.size() > 1) continue;
+    auto est = (*model)->Answer(q);
+    if (!est.ok()) continue;
+    auto truth = aqp::ExecuteExact(q, table);
+    ASSERT_TRUE(truth.ok());
+    total_err += aqp::ResultRelativeError(*est, *truth);
+    ++answered;
+  }
+  ASSERT_GT(answered, 10);
+  EXPECT_LT(total_err / answered, 0.25);
+}
+
+TEST(DbestTest, RefusesUnknownTemplatesAndDisjunctions) {
+  auto table = data::GenerateCensus({.rows = 3000, .seed = 3});
+  auto workload = MakeWorkload(table, 10, 4);
+  auto model = DbestModel::Build(table, workload, {});
+  ASSERT_TRUE(model.ok());
+
+  // A template over an attribute pair unlikely to be in 10 queries.
+  aqp::AggregateQuery novel;
+  novel.agg = aqp::AggFunc::kCount;
+  novel.filter.conditions.push_back({0, aqp::CmpOp::kEq, 1.0});
+  novel.filter.conditions.push_back({5, aqp::CmpOp::kEq, 1.0});
+  novel.filter.conditions.push_back({9, aqp::CmpOp::kGt, 0.0});
+  auto r = (*model)->Answer(novel);
+  EXPECT_FALSE(r.ok());
+
+  aqp::AggregateQuery disjunctive = workload[0];
+  disjunctive.filter.conditions.push_back({0, aqp::CmpOp::kEq, 0.0});
+  disjunctive.filter.conditions.push_back({1, aqp::CmpOp::kEq, 0.0});
+  disjunctive.filter.conjunctive = false;
+  EXPECT_FALSE((*model)->Answer(disjunctive).ok());
+}
+
+TEST(DbestTest, CountScalarNoFilterIsExact) {
+  auto table = data::GenerateTaxi({.rows = 2000, .seed = 5});
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kCount;
+  auto model = DbestModel::Build(table, {q}, {});
+  ASSERT_TRUE(model.ok());
+  auto r = (*model)->Answer(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Scalar(), 2000.0);
+}
+
+TEST(DbestTest, GroupByUsesTemplateDimensions) {
+  auto table = data::GenerateTaxi({.rows = 5000, .seed = 6});
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  q.group_by_attr = table.schema().IndexOf("pickup_borough");
+  auto model = DbestModel::Build(table, {q}, {});
+  ASSERT_TRUE(model.ok());
+  auto est = (*model)->Answer(q);
+  ASSERT_TRUE(est.ok());
+  auto truth = aqp::ExecuteExact(q, table);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_LT(aqp::ResultRelativeError(*est, *truth), 0.1);
+}
+
+TEST(NeuralCubesTest, TrainRejectsDegenerateInput) {
+  auto table = data::GenerateTaxi({.rows = 500, .seed = 7});
+  EXPECT_FALSE(NeuralCubesModel::Train(table, {}, {}).ok());
+}
+
+TEST(NeuralCubesTest, LearnsTrainingDistributionQueries) {
+  auto table = data::GenerateTaxi({.rows = 8000, .seed = 8});
+  auto train = MakeWorkload(table, 120, 9);
+  NeuralCubesModel::Options opts;
+  opts.epochs = 80;
+  auto model = NeuralCubesModel::Train(table, train, opts);
+  ASSERT_TRUE(model.ok());
+
+  // In-distribution evaluation: same generator, fresh seed.
+  auto eval = MakeWorkload(table, 30, 10);
+  auto errors = aqp::WorkloadRelativeErrorsDirect(eval, table,
+                                                  (*model)->MakeAnswerer());
+  ASSERT_TRUE(errors.ok());
+  const auto summary = aqp::DistributionSummary::FromValues(*errors);
+  // A learned aggregate regressor: decent in-distribution, far from exact.
+  EXPECT_LT(summary.median, 0.7);
+}
+
+TEST(NeuralCubesTest, RefusesDisjunctiveFilters) {
+  auto table = data::GenerateTaxi({.rows = 2000, .seed = 11});
+  auto train = MakeWorkload(table, 20, 12);
+  auto model = NeuralCubesModel::Train(table, train, {});
+  ASSERT_TRUE(model.ok());
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kCount;
+  q.filter.conditions.push_back({0, aqp::CmpOp::kEq, 0.0});
+  q.filter.conditions.push_back({1, aqp::CmpOp::kEq, 0.0});
+  q.filter.conjunctive = false;
+  EXPECT_FALSE((*model)->Answer(q).ok());
+}
+
+TEST(NeuralCubesTest, GroupByDecomposition) {
+  auto table = data::GenerateTaxi({.rows = 6000, .seed = 13});
+  auto train = MakeWorkload(table, 100, 14);
+  NeuralCubesModel::Options opts;
+  opts.epochs = 60;
+  auto model = NeuralCubesModel::Train(table, train, opts);
+  ASSERT_TRUE(model.ok());
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kCount;
+  q.group_by_attr = table.schema().IndexOf("pickup_borough");
+  auto est = (*model)->Answer(q);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GE(est->groups.size(), 2u);
+  EXPECT_GT((*model)->NumParameters(), 100u);
+}
+
+TEST(DirectHarnessTest, RedDirectMatchesManualComputation) {
+  auto table = data::GenerateTaxi({.rows = 3000, .seed = 15});
+  auto workload = MakeWorkload(table, 10, 16);
+  // An oracle answerer: exact execution => model error 0, so RED equals the
+  // uniform sampler's own error.
+  aqp::AnswerFn oracle = [&table](const aqp::AggregateQuery& q) {
+    return aqp::ExecuteExact(q, table);
+  };
+  aqp::EvalOptions opts;
+  opts.num_trials = 3;
+  auto red = aqp::RelativeErrorDifferencesDirect(workload, table, oracle,
+                                                 opts);
+  ASSERT_TRUE(red.ok());
+  // With an exact oracle, RED reduces to the uniform sampler's own relative
+  // error: non-negative and finite (it can exceed 1 on low-support scalar
+  // over-estimates).
+  for (double r : *red) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 20.0);
+  }
+}
+
+}  // namespace
+}  // namespace deepaqp::baselines

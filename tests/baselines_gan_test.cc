@@ -1,0 +1,89 @@
+#include "baselines/gan.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+#include "data/generators.h"
+
+namespace deepaqp::baselines {
+namespace {
+
+WganModel::Options FastOptions() {
+  WganModel::Options opts;
+  opts.epochs = 10;
+  opts.hidden_dim = 48;
+  opts.noise_dim = 16;
+  opts.encoder.numeric_bins = 16;
+  opts.seed = 3;
+  return opts;
+}
+
+TEST(WganTest, RejectsEmptyTable) {
+  relation::Schema s;
+  ASSERT_TRUE(s.AddAttribute("x", relation::AttrType::kNumeric).ok());
+  relation::Table empty(s);
+  EXPECT_FALSE(WganModel::Train(empty, FastOptions()).ok());
+}
+
+TEST(WganTest, GeneratesValidSchemaAndDomains) {
+  auto table = data::GenerateTaxi({.rows = 2000, .seed = 1});
+  auto model = WganModel::Train(table, FastOptions());
+  ASSERT_TRUE(model.ok());
+  util::Rng rng(2);
+  auto sample = (*model)->Generate(300, rng);
+  EXPECT_EQ(sample.num_rows(), 300u);
+  EXPECT_TRUE(sample.schema() == table.schema());
+  for (size_t r = 0; r < sample.num_rows(); ++r) {
+    EXPECT_GE(sample.CatCode(r, 0), 0);
+    EXPECT_LT(sample.CatCode(r, 0), 5);
+  }
+}
+
+TEST(WganTest, CriticSeparatesThenConverges) {
+  auto table = data::GenerateTaxi({.rows = 3000, .seed = 4});
+  WganModel::TrainDiagnostics diag;
+  WganModel::Options opts = FastOptions();
+  opts.epochs = 12;
+  auto model = WganModel::Train(table, opts, &diag);
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(diag.wasserstein.size(), 12u);
+  // All estimates finite; the Wasserstein gap should not blow up.
+  for (double w : diag.wasserstein) {
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_LT(std::abs(w), 100.0);
+  }
+}
+
+TEST(WganTest, LearnsCoarseMarginals) {
+  auto table = data::GenerateTaxi({.rows = 5000, .seed = 5});
+  WganModel::Options opts = FastOptions();
+  opts.epochs = 25;
+  auto model = WganModel::Train(table, opts);
+  ASSERT_TRUE(model.ok());
+  util::Rng rng(6);
+  auto sample = (*model)->Generate(2000, rng);
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  const double truth = aqp::ExecuteExact(q, table)->Scalar();
+  const double est = aqp::ExecuteExact(q, sample)->Scalar();
+  // GANs are finicky (the paper makes the same observation); require the
+  // mean to land within 60%.
+  EXPECT_LT(aqp::RelativeError(est, truth), 0.6);
+}
+
+TEST(WganTest, SamplerInterface) {
+  auto table = data::GenerateTaxi({.rows = 1000, .seed = 7});
+  auto model = WganModel::Train(table, FastOptions());
+  ASSERT_TRUE(model.ok());
+  auto sampler = (*model)->MakeSampler();
+  util::Rng rng(8);
+  EXPECT_EQ(sampler(123, rng).num_rows(), 123u);
+  EXPECT_GT((*model)->GeneratorParameters(), 100u);
+}
+
+}  // namespace
+}  // namespace deepaqp::baselines

@@ -1,0 +1,174 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqp/evaluation.h"
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+#include "baselines/histogram.h"
+#include "baselines/wavelet.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace deepaqp::baselines {
+namespace {
+
+TEST(HistogramModelTest, RejectsEmptyTable) {
+  relation::Schema s;
+  ASSERT_TRUE(s.AddAttribute("x", relation::AttrType::kNumeric).ok());
+  relation::Table empty(s);
+  EXPECT_FALSE(HistogramModel::Build(empty, {}).ok());
+}
+
+TEST(HistogramModelTest, PreservesMarginals) {
+  auto table = data::GenerateCensus({.rows = 10000, .seed = 1});
+  auto model = HistogramModel::Build(table, {});
+  ASSERT_TRUE(model.ok());
+  util::Rng rng(2);
+  auto sample = model->Generate(10000, rng);
+  ASSERT_EQ(sample.num_rows(), 10000u);
+
+  // Categorical marginal (sex) and numeric mean (age) preserved.
+  auto frac = [](const relation::Table& t, size_t col, int32_t code) {
+    size_t hits = 0;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      hits += t.CatCode(r, col) == code;
+    }
+    return static_cast<double>(hits) / t.num_rows();
+  };
+  const auto sex = static_cast<size_t>(table.schema().IndexOf("sex"));
+  EXPECT_NEAR(frac(sample, sex, 0), frac(table, sex, 0), 0.03);
+
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("age");
+  const double truth = aqp::ExecuteExact(q, table)->Scalar();
+  const double est = aqp::ExecuteExact(q, sample)->Scalar();
+  EXPECT_LT(aqp::RelativeError(est, truth), 0.05);
+}
+
+TEST(HistogramModelTest, LosesCorrelations) {
+  // The independence assumption breaks correlated predicates: the planted
+  // education -> education_num correlation must be (mostly) gone.
+  auto table = data::GenerateCensus({.rows = 8000, .seed = 3});
+  auto model = HistogramModel::Build(table, {});
+  ASSERT_TRUE(model.ok());
+  util::Rng rng(4);
+  auto sample = model->Generate(8000, rng);
+  auto corr = [](const relation::Table& t, size_t a, size_t b) {
+    double ma = 0, mb = 0;
+    const size_t n = t.num_rows();
+    for (size_t r = 0; r < n; ++r) {
+      ma += t.CellAsDouble(r, a);
+      mb += t.CellAsDouble(r, b);
+    }
+    ma /= n;
+    mb /= n;
+    double sab = 0, saa = 0, sbb = 0;
+    for (size_t r = 0; r < n; ++r) {
+      const double da = t.CellAsDouble(r, a) - ma;
+      const double db = t.CellAsDouble(r, b) - mb;
+      sab += da * db;
+      saa += da * da;
+      sbb += db * db;
+    }
+    return sab / std::sqrt(saa * sbb);
+  };
+  const auto edu = static_cast<size_t>(table.schema().IndexOf("education"));
+  const auto edu_num =
+      static_cast<size_t>(table.schema().IndexOf("education_num"));
+  EXPECT_LT(std::abs(corr(sample, edu, edu_num)), 0.2);
+  EXPECT_GT(std::abs(corr(table, edu, edu_num)), 0.8);
+}
+
+TEST(HistogramModelTest, SamplerAndSize) {
+  auto table = data::GenerateTaxi({.rows = 3000, .seed = 5});
+  auto model = HistogramModel::Build(table, {});
+  ASSERT_TRUE(model.ok());
+  auto sampler = model->MakeSampler();
+  util::Rng rng(6);
+  EXPECT_EQ(sampler(100, rng).num_rows(), 100u);
+  EXPECT_GT(model->SizeBytes(), 100u);
+  EXPECT_LT(model->SizeBytes(), 100000u);
+}
+
+TEST(WaveletTest, HaarTransformRoundTrips) {
+  std::vector<double> v = {4, 2, 5, 5, 1, 0, 7, 2};
+  auto orig = v;
+  WaveletModel::HaarForward(&v);
+  WaveletModel::HaarInverse(&v);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], orig[i], 1e-9);
+  }
+}
+
+TEST(WaveletTest, HaarPreservesEnergy) {
+  std::vector<double> v = {1, 2, 3, 4};
+  double energy = 0;
+  for (double x : v) energy += x * x;
+  WaveletModel::HaarForward(&v);
+  double tenergy = 0;
+  for (double x : v) tenergy += x * x;
+  EXPECT_NEAR(energy, tenergy, 1e-9);
+}
+
+TEST(WaveletModelTest, PreservesCoarseMarginals) {
+  auto table = data::GenerateTaxi({.rows = 8000, .seed = 7});
+  WaveletModel::Options opts;
+  opts.coefficients_kept = 16;
+  auto model = WaveletModel::Build(table, opts);
+  ASSERT_TRUE(model.ok());
+  util::Rng rng(8);
+  auto sample = model->Generate(8000, rng);
+
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  const double truth = aqp::ExecuteExact(q, table)->Scalar();
+  const double est = aqp::ExecuteExact(q, sample)->Scalar();
+  EXPECT_LT(aqp::RelativeError(est, truth), 0.25);
+}
+
+TEST(WaveletModelTest, CompressionLosesDetailComparedToHistogram) {
+  // With very few retained coefficients, the wavelet marginal is coarser
+  // than the histogram's: RED over a workload should not be better.
+  auto table = data::GenerateCensus({.rows = 6000, .seed = 9});
+  WaveletModel::Options wopts;
+  wopts.coefficients_kept = 4;
+  auto wavelet = WaveletModel::Build(table, wopts);
+  auto hist = HistogramModel::Build(table, {});
+  ASSERT_TRUE(wavelet.ok());
+  ASSERT_TRUE(hist.ok());
+
+  data::WorkloadConfig wcfg;
+  wcfg.num_queries = 25;
+  wcfg.seed = 10;
+  auto workload = data::GenerateWorkload(table, wcfg);
+  aqp::EvalOptions eopts;
+  eopts.num_trials = 3;
+  eopts.sample_fraction = 0.05;
+  auto red_w = aqp::RelativeErrorDifferences(workload, table,
+                                             wavelet->MakeSampler(), eopts);
+  auto red_h = aqp::RelativeErrorDifferences(workload, table,
+                                             hist->MakeSampler(), eopts);
+  ASSERT_TRUE(red_w.ok());
+  ASSERT_TRUE(red_h.ok());
+  const double mw = aqp::DistributionSummary::FromValues(*red_w).median;
+  const double mh = aqp::DistributionSummary::FromValues(*red_h).median;
+  EXPECT_GE(mw, mh - 0.05);
+}
+
+TEST(WaveletModelTest, SizeScalesWithCoefficients) {
+  auto table = data::GenerateTaxi({.rows = 2000, .seed = 11});
+  WaveletModel::Options small, large;
+  small.coefficients_kept = 4;
+  large.coefficients_kept = 32;
+  auto a = WaveletModel::Build(table, small);
+  auto b = WaveletModel::Build(table, large);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->SizeBytes(), b->SizeBytes());
+}
+
+}  // namespace
+}  // namespace deepaqp::baselines

@@ -1,0 +1,177 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+#include "baselines/stratified.h"
+#include "data/generators.h"
+#include "vae/client.h"
+
+namespace deepaqp {
+namespace {
+
+vae::VaeAqpOptions FastOptions() {
+  vae::VaeAqpOptions opts;
+  opts.epochs = 10;
+  opts.hidden_dim = 48;
+  opts.seed = 81;
+  opts.encoder.numeric_bins = 16;
+  return opts;
+}
+
+TEST(AqpClientTest, OpensFromBytesAndAnswersSql) {
+  auto table = data::GenerateTaxi({.rows = 5000, .seed = 1});
+  auto model = vae::VaeAqpModel::Train(table, FastOptions());
+  ASSERT_TRUE(model.ok());
+  vae::AqpClient::Options copts;
+  copts.population_rows = table.num_rows();
+  copts.initial_samples = 1500;
+  auto client = vae::AqpClient::Open((*model)->Serialize(), copts);
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ((*client)->pool_size(), 1500u);
+
+  auto result = (*client)->Query("SELECT AVG(fare) FROM R");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  const double truth = aqp::ExecuteExact(q, table)->Scalar();
+  EXPECT_LT(aqp::RelativeError(result->Scalar(), truth), 0.4);
+}
+
+TEST(AqpClientTest, SqlLabelsResolveThroughShippedDictionaries) {
+  auto table = data::GenerateTaxi({.rows = 3000, .seed = 2});
+  auto model = vae::VaeAqpModel::Train(table, FastOptions());
+  ASSERT_TRUE(model.ok());
+  auto client = vae::AqpClient::Wrap(std::move(model).value(), {});
+  auto result = client->Query(
+      "SELECT COUNT(*) FROM R WHERE pickup_borough = 'Manhattan'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->Scalar(), 0.0);
+}
+
+TEST(AqpClientTest, BadSqlSurfacesParserError) {
+  auto table = data::GenerateTaxi({.rows = 1000, .seed = 3});
+  auto model = vae::VaeAqpModel::Train(table, FastOptions());
+  ASSERT_TRUE(model.ok());
+  auto client = vae::AqpClient::Wrap(std::move(model).value(), {});
+  EXPECT_FALSE(client->Query("SELECT MAX(fare) FROM R").ok());
+  EXPECT_FALSE(client->Query("garbage").ok());
+}
+
+TEST(AqpClientTest, PrecisionOnDemandGrowsPool) {
+  auto table = data::GenerateTaxi({.rows = 6000, .seed = 4});
+  auto model = vae::VaeAqpModel::Train(table, FastOptions());
+  ASSERT_TRUE(model.ok());
+  vae::AqpClient::Options copts;
+  copts.population_rows = table.num_rows();
+  copts.initial_samples = 200;
+  copts.max_samples = 20000;
+  auto client = vae::AqpClient::Wrap(std::move(model).value(), copts);
+
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  const size_t before = client->pool_size();
+  auto result = client->QueryWithMaxRelativeCi(q, 0.02);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(client->pool_size(), before);
+  const auto& g = result->groups[0];
+  EXPECT_LE(g.ci_half_width / std::abs(g.value), 0.02 + 1e-9);
+}
+
+TEST(AqpClientTest, PoolGrowthRespectsCap) {
+  auto table = data::GenerateTaxi({.rows = 2000, .seed = 5});
+  auto model = vae::VaeAqpModel::Train(table, FastOptions());
+  ASSERT_TRUE(model.ok());
+  vae::AqpClient::Options copts;
+  copts.initial_samples = 100;
+  copts.max_samples = 400;
+  auto client = vae::AqpClient::Wrap(std::move(model).value(), copts);
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  // Unreachable precision: growth must stop at the cap, not loop forever.
+  auto result = client->QueryWithMaxRelativeCi(q, 1e-9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(client->pool_size(), 400u);
+}
+
+TEST(StratifiedTest, BuildValidatesInputs) {
+  auto table = data::GenerateTaxi({.rows = 1000, .seed = 6});
+  baselines::StratifiedSample::Options opts;
+  opts.strata_attr = 99;
+  EXPECT_FALSE(baselines::StratifiedSample::Build(table, opts).ok());
+  opts = {};
+  opts.strata_attr = static_cast<size_t>(
+      table.schema().IndexOf("fare"));  // numeric
+  EXPECT_FALSE(baselines::StratifiedSample::Build(table, opts).ok());
+  opts = {};
+  opts.senate_fraction = 2.0;
+  EXPECT_FALSE(baselines::StratifiedSample::Build(table, opts).ok());
+}
+
+TEST(StratifiedTest, SenateAllocationCoversMinorityStrata) {
+  auto table = data::GenerateTaxi({.rows = 10000, .seed = 7});
+  baselines::StratifiedSample::Options opts;
+  opts.strata_attr = 0;  // borough, heavily skewed to Manhattan
+  opts.sample_rows = 500;
+  opts.senate_fraction = 1.0;  // equal allocation
+  auto strat = baselines::StratifiedSample::Build(table, opts);
+  ASSERT_TRUE(strat.ok());
+  // Every borough should get ~100 rows; Staten Island (~3%) would get ~15
+  // in a uniform 500-row sample.
+  std::vector<int> counts(5, 0);
+  for (size_t r = 0; r < strat->sample().num_rows(); ++r) {
+    ++counts[strat->sample().CatCode(r, 0)];
+  }
+  for (int c : counts) EXPECT_GE(c, 60);
+}
+
+TEST(StratifiedTest, WeightsRecoverPopulationTotals) {
+  auto table = data::GenerateTaxi({.rows = 8000, .seed = 8});
+  baselines::StratifiedSample::Options opts;
+  opts.strata_attr = 0;
+  opts.sample_rows = 600;
+  opts.senate_fraction = 0.7;
+  auto strat = baselines::StratifiedSample::Build(table, opts);
+  ASSERT_TRUE(strat.ok());
+  double total_weight = 0.0;
+  for (double w : strat->weights()) total_weight += w;
+  // Horvitz-Thompson: weights sum to the population size.
+  EXPECT_NEAR(total_weight, 8000.0, 8000.0 * 0.02);
+}
+
+TEST(StratifiedTest, UniformLikeResampleIsUnbiased) {
+  auto table = data::GenerateTaxi({.rows = 10000, .seed = 9});
+  baselines::StratifiedSample::Options opts;
+  opts.strata_attr = 0;
+  opts.sample_rows = 1500;
+  opts.senate_fraction = 1.0;  // most distorted allocation
+  auto strat = baselines::StratifiedSample::Build(table, opts);
+  ASSERT_TRUE(strat.ok());
+  util::Rng rng(10);
+  auto resample = strat->ResampleUniformLike(8000, rng);
+  // Weighted resampling must undo the senate distortion: the Manhattan
+  // fraction should match the population again.
+  auto frac = [](const relation::Table& t, int32_t code) {
+    size_t hits = 0;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      hits += t.CatCode(r, 0) == code;
+    }
+    return static_cast<double>(hits) / t.num_rows();
+  };
+  EXPECT_NEAR(frac(resample, 0), frac(table, 0), 0.05);
+
+  // And the harness-facing sampler produces working estimates.
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  const double truth = aqp::ExecuteExact(q, table)->Scalar();
+  const double est = aqp::ExecuteExact(q, resample)->Scalar();
+  EXPECT_LT(aqp::RelativeError(est, truth), 0.1);
+}
+
+}  // namespace
+}  // namespace deepaqp

@@ -1,0 +1,154 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqp/executor.h"
+
+namespace deepaqp::data {
+namespace {
+
+double Correlation(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  const size_t n = x.size();
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+TEST(CensusGeneratorTest, SchemaShapeMatchesPaper) {
+  auto t = GenerateCensus({.rows = 100, .seed = 1});
+  // The paper: 8 categorical + 6 numeric attributes.
+  EXPECT_EQ(t.schema().CategoricalIndices().size(), 8u);
+  EXPECT_EQ(t.schema().NumericIndices().size(), 6u);
+  EXPECT_EQ(t.num_rows(), 100u);
+}
+
+TEST(CensusGeneratorTest, DeterministicForSeed) {
+  auto a = GenerateCensus({.rows = 50, .seed = 9});
+  auto b = GenerateCensus({.rows = 50, .seed = 9});
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(a.CatCode(r, 1), b.CatCode(r, 1));
+    EXPECT_EQ(a.NumValue(r, 8), b.NumValue(r, 8));
+  }
+}
+
+TEST(CensusGeneratorTest, ValueRangesAreSane) {
+  auto t = GenerateCensus({.rows = 5000, .seed = 2});
+  const auto age = t.schema().IndexOf("age");
+  const auto hours = t.schema().IndexOf("hours_per_week");
+  auto [age_min, age_max] = t.NumericRange(age);
+  EXPECT_GE(age_min, 17.0);
+  EXPECT_LE(age_max, 90.0);
+  auto [h_min, h_max] = t.NumericRange(hours);
+  EXPECT_GE(h_min, 5.0);
+  EXPECT_LE(h_max, 99.0);
+}
+
+TEST(CensusGeneratorTest, EducationDrivesEducationNum) {
+  auto t = GenerateCensus({.rows = 5000, .seed = 3});
+  std::vector<double> edu, edu_num;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    edu.push_back(t.CatCode(r, 1));
+    edu_num.push_back(t.NumValue(r, 10));
+  }
+  // Planted negative correlation (low code = high education).
+  EXPECT_LT(Correlation(edu, edu_num), -0.8);
+}
+
+TEST(CensusGeneratorTest, MaritalStatusDependsOnAge) {
+  auto t = GenerateCensus({.rows = 8000, .seed = 4});
+  const auto age = t.schema().IndexOf("age");
+  double young_single = 0, young_total = 0, old_single = 0, old_total = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const bool single = t.CatCode(r, 2) == 0;
+    if (t.NumValue(r, age) < 26) {
+      young_total += 1;
+      young_single += single;
+    } else if (t.NumValue(r, age) > 40) {
+      old_total += 1;
+      old_single += single;
+    }
+  }
+  ASSERT_GT(young_total, 100);
+  ASSERT_GT(old_total, 100);
+  EXPECT_GT(young_single / young_total, 2 * old_single / old_total);
+}
+
+TEST(FlightsGeneratorTest, SchemaShapeMatchesPaper) {
+  auto t = GenerateFlights({.rows = 100, .seed = 1});
+  EXPECT_EQ(t.schema().CategoricalIndices().size(), 6u);
+  EXPECT_EQ(t.schema().NumericIndices().size(), 6u);
+}
+
+TEST(FlightsGeneratorTest, LargeCardinalityAttribute) {
+  FlightsConfig cfg;
+  cfg.rows = 2000;
+  cfg.flight_number_cardinality = 5000;
+  auto t = GenerateFlights(cfg);
+  EXPECT_EQ(t.Cardinality(3), 5000);
+}
+
+TEST(FlightsGeneratorTest, ArrivalTracksDeparture) {
+  auto t = GenerateFlights({.rows = 5000, .seed = 5});
+  std::vector<double> dep, arr;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    dep.push_back(t.NumValue(r, 6));
+    arr.push_back(t.NumValue(r, 7));
+  }
+  EXPECT_GT(Correlation(dep, arr), 0.8);
+}
+
+TEST(FlightsGeneratorTest, AirTimeTracksDistance) {
+  auto t = GenerateFlights({.rows = 5000, .seed = 6});
+  std::vector<double> dist, air;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    dist.push_back(t.NumValue(r, 8));
+    air.push_back(t.NumValue(r, 9));
+  }
+  EXPECT_GT(Correlation(dist, air), 0.9);
+}
+
+TEST(TaxiGeneratorTest, RushHourIsSlower) {
+  auto t = GenerateTaxi({.rows = 10000, .seed = 7});
+  double rush_pace = 0, rush_n = 0, off_pace = 0, off_n = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const int hour = t.CatCode(r, 2);
+    const double pace = t.NumValue(r, 5) / t.NumValue(r, 4);
+    const bool rush = (hour >= 7 && hour <= 9) || (hour >= 16 && hour <= 19);
+    if (rush) {
+      rush_pace += pace;
+      rush_n += 1;
+    } else {
+      off_pace += pace;
+      off_n += 1;
+    }
+  }
+  ASSERT_GT(rush_n, 100);
+  ASSERT_GT(off_n, 100);
+  EXPECT_GT(rush_pace / rush_n, off_pace / off_n);
+}
+
+TEST(TaxiGeneratorTest, ManhattanDominatesPickups) {
+  auto t = GenerateTaxi({.rows = 5000, .seed = 8});
+  aqp::AggregateQuery q;
+  q.agg = aqp::AggFunc::kCount;
+  q.filter.conditions.push_back({0, aqp::CmpOp::kEq, 0.0});
+  const double manhattan = aqp::ExecuteExact(q, t)->Scalar();
+  EXPECT_GT(manhattan / t.num_rows(), 0.4);
+}
+
+}  // namespace
+}  // namespace deepaqp::data

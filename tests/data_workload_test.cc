@@ -1,0 +1,106 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "aqp/executor.h"
+#include "data/generators.h"
+
+namespace deepaqp::data {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  auto table = GenerateCensus({.rows = 5000, .seed = 1});
+  WorkloadConfig cfg;
+  cfg.num_queries = 50;
+  auto workload = GenerateWorkload(table, cfg);
+  EXPECT_EQ(workload.size(), 50u);
+}
+
+TEST(WorkloadTest, AllQueriesValidateAndMeetSelectivityFloor) {
+  auto table = GenerateCensus({.rows = 5000, .seed = 2});
+  WorkloadConfig cfg;
+  cfg.num_queries = 80;
+  cfg.min_selectivity = 0.001;
+  auto workload = GenerateWorkload(table, cfg);
+  for (const auto& q : workload) {
+    EXPECT_TRUE(aqp::ValidateQuery(q, table).ok());
+    EXPECT_GE(aqp::Selectivity(q, table), 0.001);
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  auto table = GenerateTaxi({.rows = 2000, .seed = 3});
+  WorkloadConfig cfg;
+  cfg.num_queries = 20;
+  auto a = GenerateWorkload(table, cfg);
+  auto b = GenerateWorkload(table, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(table.schema()), b[i].ToString(table.schema()));
+  }
+}
+
+TEST(WorkloadTest, IsDiverse) {
+  auto table = GenerateCensus({.rows = 8000, .seed = 4});
+  WorkloadConfig cfg;
+  cfg.num_queries = 200;
+  auto workload = GenerateWorkload(table, cfg);
+  int count_q = 0, sum_q = 0, avg_q = 0, group_q = 0, filtered_q = 0,
+      disjunctive_q = 0;
+  for (const auto& q : workload) {
+    count_q += q.agg == aqp::AggFunc::kCount;
+    sum_q += q.agg == aqp::AggFunc::kSum;
+    avg_q += q.agg == aqp::AggFunc::kAvg;
+    group_q += q.IsGroupBy();
+    filtered_q += !q.filter.conditions.empty();
+    disjunctive_q +=
+        q.filter.conditions.size() >= 2 && !q.filter.conjunctive;
+  }
+  EXPECT_GT(count_q, 20);
+  EXPECT_GT(sum_q, 20);
+  EXPECT_GT(avg_q, 20);
+  EXPECT_GT(group_q, 30);
+  EXPECT_GT(filtered_q, 100);
+  EXPECT_GT(disjunctive_q, 2);
+}
+
+TEST(WorkloadTest, GroupByRespectsCardinalityCap) {
+  auto table = GenerateFlights({.rows = 3000, .seed = 5});
+  WorkloadConfig cfg;
+  cfg.num_queries = 100;
+  cfg.max_group_cardinality = 20;
+  auto workload = GenerateWorkload(table, cfg);
+  for (const auto& q : workload) {
+    if (q.IsGroupBy()) {
+      EXPECT_LE(table.Cardinality(static_cast<size_t>(q.group_by_attr)), 20);
+    }
+  }
+}
+
+TEST(WorkloadTest, SelectivityBucketsPartitionWorkload) {
+  auto table = GenerateCensus({.rows = 5000, .seed = 6});
+  WorkloadConfig cfg;
+  cfg.num_queries = 150;
+  cfg.min_selectivity = 0.0002;
+  auto workload = GenerateWorkload(table, cfg);
+  auto buckets = BucketBySelectivity(workload, table);
+  EXPECT_EQ(buckets.high.size() + buckets.mid.size() + buckets.low.size(),
+            workload.size());
+  for (size_t i : buckets.high) {
+    EXPECT_GE(aqp::Selectivity(workload[i], table), 0.1);
+  }
+  for (size_t i : buckets.mid) {
+    const double s = aqp::Selectivity(workload[i], table);
+    EXPECT_GE(s, 0.01);
+    EXPECT_LT(s, 0.1);
+  }
+  for (size_t i : buckets.low) {
+    EXPECT_LT(aqp::Selectivity(workload[i], table), 0.01);
+  }
+  // The generator should produce a spread across buckets.
+  EXPECT_GT(buckets.high.size(), 10u);
+  EXPECT_GT(buckets.mid.size() + buckets.low.size(), 10u);
+}
+
+}  // namespace
+}  // namespace deepaqp::data

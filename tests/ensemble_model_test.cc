@@ -1,0 +1,128 @@
+#include "ensemble/ensemble_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+#include "data/generators.h"
+
+namespace deepaqp::ensemble {
+namespace {
+
+vae::VaeAqpOptions FastOptions() {
+  vae::VaeAqpOptions opts;
+  opts.epochs = 6;
+  opts.hidden_dim = 32;
+  opts.seed = 31;
+  opts.encoder.numeric_bins = 16;
+  return opts;
+}
+
+TEST(EnsembleModelTest, TrainRejectsBadPartitions) {
+  auto table = data::GenerateTaxi({.rows = 1000, .seed = 1});
+  auto groups = GroupByAttribute(table, 0, 0.02);
+  Partition empty;
+  EXPECT_FALSE(EnsembleModel::Train(table, groups, empty, FastOptions()).ok());
+  Partition bad;
+  bad.parts = {{999}};
+  EXPECT_FALSE(EnsembleModel::Train(table, groups, bad, FastOptions()).ok());
+}
+
+TEST(EnsembleModelTest, GeneratesWithProportionalAllocation) {
+  auto table = data::GenerateTaxi({.rows = 4000, .seed = 2});
+  auto groups = GroupByAttribute(table, 0, 0.02);
+  ASSERT_GE(groups.size(), 3u);
+  // One part per group ("K = All").
+  Partition partition;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    partition.parts.push_back({static_cast<int>(g)});
+  }
+  auto model = EnsembleModel::Train(table, groups, partition, FastOptions());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->num_members(), groups.size());
+
+  util::Rng rng(3);
+  auto sample = (*model)->Generate(2000, vae::kTPlusInf, rng);
+  EXPECT_EQ(sample.num_rows(), 2000u);
+  EXPECT_TRUE(sample.schema() == table.schema());
+
+  // Borough marginal preserved within tolerance: the per-group models plus
+  // proportional allocation should match the Manhattan fraction closely.
+  auto frac = [](const relation::Table& t, int32_t code) {
+    size_t hits = 0;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      hits += t.CatCode(r, 0) == code;
+    }
+    return static_cast<double>(hits) / t.num_rows();
+  };
+  EXPECT_NEAR(frac(sample, 0), frac(table, 0), 0.1);
+}
+
+TEST(EnsembleModelTest, PerGroupModelsSpecialize) {
+  // Members trained on single-borough partitions generate (almost) only
+  // that borough: per-partition specialization, the motivation of Sec. V.
+  auto table = data::GenerateTaxi({.rows = 3000, .seed = 4});
+  auto groups = GroupByAttribute(table, 0, 0.02);
+  Partition partition;
+  partition.parts.push_back({0});  // largest group only
+  vae::VaeAqpOptions opts = FastOptions();
+  opts.epochs = 25;
+  opts.learning_rate = 5e-3f;
+  auto model =
+      EnsembleModel::Train(table.Gather(groups[0].rows),
+                           {AtomicGroup{"g0", [&] {
+                              std::vector<size_t> rows(
+                                  groups[0].rows.size());
+                              for (size_t i = 0; i < rows.size(); ++i) {
+                                rows[i] = i;
+                              }
+                              return rows;
+                            }()}},
+                           partition, opts);
+  ASSERT_TRUE(model.ok());
+  util::Rng rng(5);
+  auto sample = (*model)->Generate(400, vae::kTPlusInf, rng);
+  size_t dominant = 0;
+  int32_t code0 = table.CatCode(groups[0].rows[0], 0);
+  for (size_t r = 0; r < sample.num_rows(); ++r) {
+    dominant += sample.CatCode(r, 0) == code0;
+  }
+  EXPECT_GT(static_cast<double>(dominant) / sample.num_rows(), 0.8);
+}
+
+TEST(EnsembleModelTest, TotalRElboAndSizeAccounting) {
+  auto table = data::GenerateTaxi({.rows = 2000, .seed = 6});
+  auto groups = GroupByAttribute(table, 0, 0.02);
+  Partition partition;
+  partition.parts.push_back({});
+  for (size_t g = 0; g < groups.size(); ++g) {
+    partition.parts[0].push_back(static_cast<int>(g));
+  }
+  auto one = EnsembleModel::Train(table, groups, partition, FastOptions());
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ((*one)->num_members(), 1u);
+  util::Rng rng(7);
+  const double loss = (*one)->TotalRElboLoss(table, 0.0, rng);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT((*one)->ModelSizeBytes(), 1000u);
+}
+
+TEST(EnsembleModelTest, SamplerWorksWithHarness) {
+  auto table = data::GenerateTaxi({.rows = 2000, .seed = 8});
+  auto groups = GroupByAttribute(table, 0, 0.02);
+  Partition partition;
+  for (size_t g = 0; g < std::min<size_t>(2, groups.size()); ++g) {
+    partition.parts.push_back({static_cast<int>(g)});
+  }
+  auto model = EnsembleModel::Train(table, groups, partition, FastOptions());
+  ASSERT_TRUE(model.ok());
+  auto sampler = (*model)->MakeSampler(vae::kTPlusInf);
+  util::Rng rng(9);
+  auto s = sampler(150, rng);
+  EXPECT_EQ(s.num_rows(), 150u);
+}
+
+}  // namespace
+}  // namespace deepaqp::ensemble

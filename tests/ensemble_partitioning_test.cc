@@ -1,0 +1,237 @@
+#include "ensemble/partitioning.h"
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace deepaqp::ensemble {
+namespace {
+
+TEST(GroupByAttributeTest, PartitionsAllRows) {
+  auto table = data::GenerateCensus({.rows = 4000, .seed = 1});
+  const auto attr =
+      static_cast<size_t>(table.schema().IndexOf("marital_status"));
+  auto groups = GroupByAttribute(table, attr, 0.05);
+  size_t total = 0;
+  std::set<size_t> seen;
+  for (const auto& g : groups) {
+    total += g.rows.size();
+    for (size_t r : g.rows) EXPECT_TRUE(seen.insert(r).second);
+    // No group below the floor (misc aggregates the small ones).
+    EXPECT_GE(g.rows.size(), g.name == "misc" ? 1u : 200u);
+  }
+  EXPECT_EQ(total, table.num_rows());
+}
+
+TEST(GroupByAttributeTest, RespectsMinFractionMerging) {
+  auto table = data::GenerateFlights({.rows = 3000, .seed = 2});
+  // origin_state is Zipf over 50 states: many tiny groups merge into misc.
+  auto groups = GroupByAttribute(table, 0, 0.05);
+  EXPECT_LT(groups.size(), 20u);
+  EXPECT_EQ(groups.back().name, "misc");
+}
+
+TEST(HierarchyTest, BalancedShapeAndLeaves) {
+  Hierarchy h = MakeBalancedHierarchy(5);
+  auto leaves = h.LeavesUnder(h.root);
+  ASSERT_EQ(leaves.size(), 5u);
+  for (int g = 0; g < 5; ++g) EXPECT_EQ(leaves[g], g);
+  // Root must be internal with 2 children for > 1 leaf.
+  EXPECT_EQ(h.nodes[h.root].children.size(), 2u);
+}
+
+TEST(HierarchyTest, SingleLeaf) {
+  Hierarchy h = MakeBalancedHierarchy(1);
+  auto leaves = h.LeavesUnder(h.root);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0], 0);
+}
+
+/// Analytic score: per-group "loss" values; a merged node costs the max of
+/// member losses times a heterogeneity penalty based on spread. This makes
+/// specific cuts strictly optimal so the DP can be verified exactly.
+NodeScoreFn SpreadScore(std::vector<double> leaf_values) {
+  return [leaf_values](const std::vector<int>& groups) {
+    double lo = 1e18, hi = -1e18;
+    for (int g : groups) {
+      lo = std::min(lo, leaf_values[g]);
+      hi = std::max(hi, leaf_values[g]);
+    }
+    return 1.0 + (hi - lo);
+  };
+}
+
+TEST(HierarchyDpTest, KOneIsRootScore) {
+  Hierarchy h = MakeBalancedHierarchy(4);
+  auto score = SpreadScore({0, 0, 10, 10});
+  auto part = PartitionHierarchyDp(h, score, 1);
+  ASSERT_TRUE(part.ok());
+  ASSERT_EQ(part->parts.size(), 1u);
+  EXPECT_DOUBLE_EQ(part->total_score, 11.0);
+}
+
+TEST(HierarchyDpTest, FindsTheNaturalSplit) {
+  // Leaves {0,0,10,10}: splitting into {0,1} and {2,3} costs 1 + 1 = 2,
+  // far below the unsplit 11 or any other 2-cut.
+  Hierarchy h = MakeBalancedHierarchy(4);
+  auto score = SpreadScore({0, 0, 10, 10});
+  auto part = PartitionHierarchyDp(h, score, 2);
+  ASSERT_TRUE(part.ok());
+  ASSERT_EQ(part->parts.size(), 2u);
+  EXPECT_DOUBLE_EQ(part->total_score, 2.0);
+  EXPECT_EQ(part->parts[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(part->parts[1], (std::vector<int>{2, 3}));
+}
+
+TEST(HierarchyDpTest, DoesNotOverSplitWhenUnhelpful) {
+  // Homogeneous leaves: every split adds 1.0 of cost, so K=4 budget should
+  // still produce a single part.
+  Hierarchy h = MakeBalancedHierarchy(4);
+  auto score = SpreadScore({5, 5, 5, 5});
+  auto part = PartitionHierarchyDp(h, score, 4);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->parts.size(), 1u);
+  EXPECT_DOUBLE_EQ(part->total_score, 1.0);
+}
+
+TEST(HierarchyDpTest, PartsCoverAllLeavesExactlyOnce) {
+  Hierarchy h = MakeBalancedHierarchy(9);
+  auto score = SpreadScore({1, 9, 2, 8, 3, 7, 4, 6, 5});
+  for (int k = 1; k <= 5; ++k) {
+    auto part = PartitionHierarchyDp(h, score, k);
+    ASSERT_TRUE(part.ok());
+    std::set<int> seen;
+    for (const auto& p : part->parts) {
+      for (int g : p) EXPECT_TRUE(seen.insert(g).second);
+    }
+    EXPECT_EQ(seen.size(), 9u);
+    EXPECT_LE(part->parts.size(), static_cast<size_t>(k));
+  }
+}
+
+TEST(HierarchyDpTest, MonotoneInK) {
+  Hierarchy h = MakeBalancedHierarchy(8);
+  auto score = SpreadScore({0, 4, 1, 9, 2, 7, 3, 8});
+  double prev = 1e18;
+  for (int k = 1; k <= 8; ++k) {
+    auto part = PartitionHierarchyDp(h, score, k);
+    ASSERT_TRUE(part.ok());
+    EXPECT_LE(part->total_score, prev + 1e-9);
+    prev = part->total_score;
+  }
+}
+
+TEST(HierarchyDpTest, BeatsOrMatchesGreedy) {
+  // Property: the DP optimum is never worse than the greedy cut (Fig. 10).
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> values(8);
+    for (auto& v : values) v = rng.Uniform(0, 10);
+    Hierarchy h = MakeBalancedHierarchy(8);
+    auto score = SpreadScore(values);
+    for (int k : {2, 3, 4}) {
+      auto dp = PartitionHierarchyDp(h, score, k);
+      auto greedy = PartitionHierarchyGreedy(h, score, k);
+      ASSERT_TRUE(dp.ok());
+      ASSERT_TRUE(greedy.ok());
+      EXPECT_LE(dp->total_score, greedy->total_score + 1e-9);
+    }
+  }
+}
+
+TEST(HierarchyGreedyTest, ProducesValidCut) {
+  Hierarchy h = MakeBalancedHierarchy(6);
+  auto score = SpreadScore({0, 10, 0, 10, 0, 10});
+  auto part = PartitionHierarchyGreedy(h, score, 3);
+  ASSERT_TRUE(part.ok());
+  std::set<int> seen;
+  for (const auto& p : part->parts) {
+    for (int g : p) EXPECT_TRUE(seen.insert(g).second);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_LE(part->parts.size(), 3u);
+}
+
+TEST(HierarchyDpTest, RejectsBadInputs) {
+  Hierarchy bad;
+  auto score = SpreadScore({1});
+  EXPECT_FALSE(PartitionHierarchyDp(bad, score, 2).ok());
+  Hierarchy h = MakeBalancedHierarchy(2);
+  EXPECT_FALSE(PartitionHierarchyDp(h, score, 0).ok());
+  EXPECT_FALSE(PartitionHierarchyGreedy(h, score, 0).ok());
+}
+
+TEST(ContiguousDpTest, FindsObviousBreakpoint) {
+  // Groups 0-2 near value 0; groups 3-5 near 100: range score = spread.
+  std::vector<double> values = {0, 1, 2, 100, 101, 102};
+  auto range_score = [&values](int i, int j) {
+    return 1.0 + values[j] - values[i];  // sorted increasing
+  };
+  auto part = PartitionContiguousDp(6, range_score, 2);
+  ASSERT_TRUE(part.ok());
+  ASSERT_EQ(part->parts.size(), 2u);
+  EXPECT_EQ(part->parts[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(part->parts[1], (std::vector<int>{3, 4, 5}));
+  EXPECT_DOUBLE_EQ(part->total_score, 3.0 + 3.0);
+}
+
+TEST(ContiguousDpTest, MatchesBruteForceOnSmallInstances) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int l = 6;
+    std::vector<std::vector<double>> cost(l, std::vector<double>(l));
+    for (int i = 0; i < l; ++i) {
+      for (int j = i; j < l; ++j) cost[i][j] = rng.Uniform(0.5, 5.0);
+    }
+    auto range_score = [&cost](int i, int j) { return cost[i][j]; };
+    for (int k = 1; k <= 3; ++k) {
+      auto part = PartitionContiguousDp(l, range_score, k);
+      ASSERT_TRUE(part.ok());
+      // Brute force over all compositions into at most k ranges.
+      double best = 1e18;
+      // Enumerate breakpoint bitmasks over l-1 positions with < k breaks.
+      for (uint32_t mask = 0; mask < (1u << (l - 1)); ++mask) {
+        if (__builtin_popcount(mask) >= k) continue;
+        double total = 0.0;
+        int start = 0;
+        for (int pos = 0; pos < l; ++pos) {
+          const bool end = pos == l - 1 || (mask & (1u << pos));
+          if (end) {
+            total += cost[start][pos];
+            start = pos + 1;
+          }
+        }
+        best = std::min(best, total);
+      }
+      EXPECT_NEAR(part->total_score, best, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(ContiguousDpTest, PartsAreContiguousAndComplete) {
+  auto part = PartitionContiguousDp(
+      10, [](int i, int j) { return 1.0 + (j - i) * 0.1; }, 4);
+  ASSERT_TRUE(part.ok());
+  int next = 0;
+  for (const auto& p : part->parts) {
+    for (int g : p) EXPECT_EQ(g, next++);
+  }
+  EXPECT_EQ(next, 10);
+}
+
+TEST(ElbowTest, PicksTheKnee) {
+  // Scores: steep drop 100 -> 40 -> 20, then flat.
+  EXPECT_EQ(SelectKByElbow({100, 40, 20, 19, 18.5}), 3);
+  // No improvement: stay at 1.
+  EXPECT_EQ(SelectKByElbow({10, 10, 10}), 1);
+  // Monotone strong improvement throughout: use the max K.
+  EXPECT_EQ(SelectKByElbow({100, 60, 30, 10}), 4);
+  EXPECT_EQ(SelectKByElbow({42}), 1);
+}
+
+}  // namespace
+}  // namespace deepaqp::ensemble

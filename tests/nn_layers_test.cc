@@ -1,0 +1,246 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+
+namespace deepaqp::nn {
+namespace {
+
+/// Central-difference gradient check: perturbs each parameter scalar and
+/// compares the numeric dL/dp against the backprop gradient.
+void CheckParameterGradients(Layer& layer, const Matrix& input,
+                             const std::function<LossResult(const Matrix&)>&
+                                 loss_fn,
+                             float tol) {
+  std::vector<Parameter*> params;
+  layer.CollectParameters(&params);
+  for (Parameter* p : params) p->ZeroGrad();
+
+  Matrix out = layer.Forward(input);
+  LossResult loss = loss_fn(out);
+  layer.Backward(loss.grad);
+
+  const float eps = 1e-3f;
+  for (Parameter* p : params) {
+    for (size_t i = 0; i < p->value.size(); i += 7) {  // spot-check stride
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      const double up = loss_fn(layer.Forward(input)).value;
+      p->value.data()[i] = orig - eps;
+      const double down = loss_fn(layer.Forward(input)).value;
+      p->value.data()[i] = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(p->grad.data()[i], numeric, tol)
+          << "param scalar " << i;
+    }
+  }
+}
+
+/// Gradient check w.r.t. the layer input.
+void CheckInputGradients(Layer& layer, Matrix input,
+                         const std::function<LossResult(const Matrix&)>&
+                             loss_fn,
+                         float tol) {
+  std::vector<Parameter*> params;
+  layer.CollectParameters(&params);
+  for (Parameter* p : params) p->ZeroGrad();
+  Matrix out = layer.Forward(input);
+  LossResult loss = loss_fn(out);
+  Matrix dinput = layer.Backward(loss.grad);
+
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < input.size(); i += 5) {
+    const float orig = input.data()[i];
+    input.data()[i] = orig + eps;
+    const double up = loss_fn(layer.Forward(input)).value;
+    input.data()[i] = orig - eps;
+    const double down = loss_fn(layer.Forward(input)).value;
+    input.data()[i] = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(dinput.data()[i], numeric, tol) << "input scalar " << i;
+  }
+}
+
+Matrix RandomMatrix(size_t r, size_t c, uint64_t seed, float scale = 1.0f) {
+  util::Rng rng(seed);
+  Matrix m(r, c);
+  m.RandomizeGaussian(rng, scale);
+  return m;
+}
+
+LossResult SumLoss(const Matrix& out) {
+  // L = sum of entries; grad = all ones. Simple and non-degenerate.
+  LossResult r;
+  r.grad = Matrix(out.rows(), out.cols(), 1.0f);
+  double total = 0.0;
+  for (size_t i = 0; i < out.size(); ++i) total += out.data()[i];
+  r.value = total;
+  return r;
+}
+
+LossResult HalfSquareLoss(const Matrix& out) {
+  LossResult r;
+  r.grad = out;
+  double total = 0.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    total += 0.5 * static_cast<double>(out.data()[i]) * out.data()[i];
+  }
+  r.value = total;
+  return r;
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  util::Rng rng(1);
+  Linear lin(2, 2, rng);
+  lin.weight.value.At(0, 0) = 1;
+  lin.weight.value.At(0, 1) = 2;
+  lin.weight.value.At(1, 0) = 3;
+  lin.weight.value.At(1, 1) = 4;
+  lin.bias.value.At(0, 0) = 10;
+  lin.bias.value.At(0, 1) = 20;
+  Matrix x(1, 2);
+  x.At(0, 0) = 1;
+  x.At(0, 1) = 1;
+  Matrix y = lin.Forward(x);
+  EXPECT_EQ(y.At(0, 0), 14.0f);
+  EXPECT_EQ(y.At(0, 1), 26.0f);
+}
+
+TEST(LinearTest, GradientCheck) {
+  util::Rng rng(2);
+  Linear lin(4, 3, rng);
+  Matrix x = RandomMatrix(5, 4, 7);
+  CheckParameterGradients(lin, x, HalfSquareLoss, 2e-2f);
+  CheckInputGradients(lin, x, HalfSquareLoss, 2e-2f);
+}
+
+TEST(ReluTest, ForwardAndGradient) {
+  Relu relu;
+  Matrix x(1, 4);
+  x.At(0, 0) = -1;
+  x.At(0, 1) = 2;
+  x.At(0, 2) = 0;
+  x.At(0, 3) = -3;
+  Matrix y = relu.Forward(x);
+  EXPECT_EQ(y.At(0, 0), 0.0f);
+  EXPECT_EQ(y.At(0, 1), 2.0f);
+  Matrix g(1, 4, 1.0f);
+  Matrix dx = relu.Backward(g);
+  EXPECT_EQ(dx.At(0, 0), 0.0f);
+  EXPECT_EQ(dx.At(0, 1), 1.0f);
+  EXPECT_EQ(dx.At(0, 3), 0.0f);
+}
+
+TEST(LeakyReluTest, GradientCheck) {
+  LeakyRelu lr(0.1f);
+  Matrix x = RandomMatrix(3, 6, 11);
+  CheckInputGradients(lr, x, HalfSquareLoss, 2e-2f);
+}
+
+TEST(TanhTest, GradientCheck) {
+  Tanh tanh_layer;
+  Matrix x = RandomMatrix(3, 5, 13, 0.8f);
+  CheckInputGradients(tanh_layer, x, HalfSquareLoss, 2e-2f);
+}
+
+TEST(SigmoidTest, GradientCheck) {
+  Sigmoid sig;
+  Matrix x = RandomMatrix(3, 5, 17, 0.8f);
+  CheckInputGradients(sig, x, HalfSquareLoss, 2e-2f);
+}
+
+TEST(SequentialTest, GradientCheckThroughMlp) {
+  util::Rng rng(19);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(3, 8, rng));
+  seq.Add(std::make_unique<Tanh>());
+  seq.Add(std::make_unique<Linear>(8, 2, rng));
+  Matrix x = RandomMatrix(4, 3, 23, 0.5f);
+  CheckParameterGradients(seq, x, HalfSquareLoss, 3e-2f);
+  CheckInputGradients(seq, x, HalfSquareLoss, 3e-2f);
+}
+
+TEST(SequentialTest, BceGradientCheck) {
+  util::Rng rng(29);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(4, 6, rng));
+  seq.Add(std::make_unique<Relu>());
+  seq.Add(std::make_unique<Linear>(6, 4, rng));
+  Matrix x = RandomMatrix(5, 4, 31, 0.5f);
+  Matrix targets(5, 4);
+  util::Rng trng(37);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    targets.data()[i] = trng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  auto loss_fn = [&targets](const Matrix& out) {
+    return BceWithLogits(out, targets);
+  };
+  CheckParameterGradients(seq, x, loss_fn, 2e-2f);
+}
+
+TEST(SequentialTest, SumLossGradients) {
+  util::Rng rng(41);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(2, 3, rng));
+  seq.Add(std::make_unique<Sigmoid>());
+  Matrix x = RandomMatrix(2, 2, 43);
+  CheckParameterGradients(seq, x, SumLoss, 2e-2f);
+}
+
+TEST(SequentialTest, MakeMlpTrunkShape) {
+  util::Rng rng(47);
+  auto trunk = MakeMlpTrunk(10, 16, 3, rng);
+  EXPECT_EQ(trunk->num_layers(), 6u);  // 3 x (Linear + ReLU)
+  Matrix x = RandomMatrix(2, 10, 53);
+  Matrix y = trunk->Forward(x);
+  EXPECT_EQ(y.cols(), 16u);
+  EXPECT_EQ(y.rows(), 2u);
+}
+
+TEST(SequentialTest, CountParameters) {
+  util::Rng rng(59);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(3, 4, rng));  // 12 + 4
+  seq.Add(std::make_unique<Relu>());
+  seq.Add(std::make_unique<Linear>(4, 2, rng));  // 8 + 2
+  EXPECT_EQ(CountParameters(seq), 26u);
+}
+
+TEST(SequentialTest, SerializeRoundTripPreservesOutputs) {
+  util::Rng rng(61);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(5, 7, rng));
+  seq.Add(std::make_unique<Relu>());
+  seq.Add(std::make_unique<LeakyRelu>(0.15f));
+  seq.Add(std::make_unique<Linear>(7, 3, rng));
+  seq.Add(std::make_unique<Tanh>());
+
+  util::ByteWriter w;
+  seq.Serialize(w);
+  util::ByteReader r(w.bytes());
+  auto back = Sequential::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+
+  Matrix x = RandomMatrix(4, 5, 67);
+  Matrix y1 = seq.Forward(x);
+  Matrix y2 = (*back)->Forward(x);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(SequentialTest, DeserializeRejectsUnknownLayer) {
+  util::ByteWriter w;
+  w.WriteU64(1);
+  w.WriteString("flux_capacitor");
+  util::ByteReader r(w.bytes());
+  EXPECT_FALSE(Sequential::Deserialize(r).ok());
+}
+
+}  // namespace
+}  // namespace deepaqp::nn

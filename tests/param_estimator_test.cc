@@ -1,0 +1,119 @@
+// Parameterized property suite for the sample-based estimator: for every
+// aggregate function and query shape, (a) the full table as a "sample"
+// reproduces the exact answer, and (b) estimates converge to the exact
+// answer as the sample grows.
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "aqp/estimator.h"
+#include "aqp/executor.h"
+#include "aqp/metrics.h"
+#include "data/generators.h"
+
+namespace deepaqp::aqp {
+namespace {
+
+struct Shape {
+  const char* name;
+  bool filtered;
+  bool grouped;
+};
+
+using Param = std::tuple<AggFunc, Shape>;
+
+class EstimatorPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  EstimatorPropertyTest()
+      : table_(data::GenerateTaxi({.rows = 20000, .seed = 77})) {}
+
+  AggregateQuery MakeQuery() const {
+    const auto& [agg, shape] = GetParam();
+    AggregateQuery q;
+    q.agg = agg;
+    if (agg != AggFunc::kCount) {
+      q.measure_attr = table_.schema().IndexOf("fare");
+    }
+    if (agg == AggFunc::kQuantile) q.quantile = 0.5;
+    if (shape.filtered) {
+      q.filter.conditions.push_back(
+          {static_cast<size_t>(table_.schema().IndexOf("trip_distance")),
+           CmpOp::kGt, 1.5});
+    }
+    if (shape.grouped) {
+      q.group_by_attr = table_.schema().IndexOf("pickup_borough");
+    }
+    return q;
+  }
+
+  relation::Table table_;
+};
+
+TEST_P(EstimatorPropertyTest, FullSampleIsExact) {
+  const AggregateQuery q = MakeQuery();
+  auto exact = ExecuteExact(q, table_);
+  auto est = EstimateFromSample(q, table_, table_.num_rows());
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(est.ok());
+  ASSERT_EQ(est->groups.size(), exact->groups.size());
+  for (const auto& g : exact->groups) {
+    const GroupValue* e = est->Find(g.group);
+    ASSERT_NE(e, nullptr);
+    EXPECT_NEAR(e->value, g.value, 1e-6 * (1.0 + std::abs(g.value)));
+  }
+}
+
+TEST_P(EstimatorPropertyTest, ErrorShrinksWithSampleSize) {
+  const AggregateQuery q = MakeQuery();
+  auto exact = ExecuteExact(q, table_);
+  ASSERT_TRUE(exact.ok());
+  util::Rng rng(11);
+  double err_small = 0.0, err_large = 0.0;
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    auto small = table_.SampleRows(200, rng);
+    auto large = table_.SampleRows(5000, rng);
+    auto es = EstimateFromSample(q, small, table_.num_rows());
+    auto el = EstimateFromSample(q, large, table_.num_rows());
+    ASSERT_TRUE(es.ok());
+    ASSERT_TRUE(el.ok());
+    err_small += ResultRelativeError(*es, *exact);
+    err_large += ResultRelativeError(*el, *exact);
+  }
+  EXPECT_LE(err_large, err_small + 1e-9);
+  EXPECT_LT(err_large / trials, 0.1);
+}
+
+TEST_P(EstimatorPropertyTest, SupportsNeverExceedSampleSize) {
+  const AggregateQuery q = MakeQuery();
+  util::Rng rng(13);
+  auto sample = table_.SampleRows(500, rng);
+  auto est = EstimateFromSample(q, sample, table_.num_rows());
+  ASSERT_TRUE(est.ok());
+  size_t total_support = 0;
+  for (const auto& g : est->groups) total_support += g.support;
+  EXPECT_LE(total_support, 500u);
+}
+
+constexpr Shape kShapes[] = {
+    {"plain", false, false},
+    {"filtered", true, false},
+    {"grouped", false, true},
+    {"filtered_grouped", true, true},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AggByShape, EstimatorPropertyTest,
+    ::testing::Combine(::testing::Values(AggFunc::kCount, AggFunc::kSum,
+                                         AggFunc::kAvg, AggFunc::kQuantile),
+                       ::testing::ValuesIn(kShapes)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(AggFuncName(std::get<0>(info.param))) + "_" +
+             std::get<1>(info.param).name;
+    });
+
+}  // namespace
+}  // namespace deepaqp::aqp

@@ -1,0 +1,113 @@
+// Parameterized property suite for minimum-weight perfect matching: across
+// instance sizes, dimensions, and metric structure, the 2/3-opt heuristic
+// must produce valid matchings close to the exact DP optimum, and the
+// cross-match statistic derived from any matching must be label-consistent.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "stats/cross_match.h"
+#include "stats/matching.h"
+#include "util/rng.h"
+
+namespace deepaqp::stats {
+namespace {
+
+using Param = std::tuple<int /*n*/, int /*dim*/, bool /*clustered*/>;
+
+class MatchingPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  DistanceMatrix MakeInstance(uint64_t seed) const {
+    const auto [n, dim, clustered] = GetParam();
+    util::Rng rng(seed);
+    std::vector<std::vector<double>> points(
+        n, std::vector<double>(static_cast<size_t>(dim)));
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double center =
+          clustered ? (i % 2 == 0 ? -3.0 : 3.0) : 0.0;
+      for (double& v : points[i]) v = rng.Gaussian(center, 1.0);
+    }
+    return EuclideanDistances(points);
+  }
+};
+
+TEST_P(MatchingPropertyTest, HeuristicValidAndNearOptimal) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    DistanceMatrix d = MakeInstance(seed);
+    auto heur = MinWeightPerfectMatching(d);
+    ASSERT_TRUE(heur.ok());
+    // Validity: an involution without fixed points.
+    for (size_t i = 0; i < heur->size(); ++i) {
+      ASSERT_NE((*heur)[i], static_cast<int>(i));
+      ASSERT_EQ((*heur)[(*heur)[i]], static_cast<int>(i));
+    }
+    if (d.size() <= 14) {
+      auto exact = ExactMinWeightPerfectMatching(d);
+      ASSERT_TRUE(exact.ok());
+      const double w_exact = MatchingWeight(d, *exact);
+      const double w_heur = MatchingWeight(d, *heur);
+      EXPECT_GE(w_heur, w_exact - 1e-9);
+      EXPECT_LE(w_heur, w_exact * 1.05 + 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+TEST_P(MatchingPropertyTest, WeightIsPermutationInvariant) {
+  DistanceMatrix d = MakeInstance(42);
+  auto mate = MinWeightPerfectMatching(d);
+  ASSERT_TRUE(mate.ok());
+  const double w1 = MatchingWeight(d, *mate);
+  // Relabel nodes with a rotation; optimum weight must not change.
+  const size_t n = d.size();
+  DistanceMatrix rotated(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      rotated[(i + 1) % n][(j + 1) % n] = d[i][j];
+    }
+  }
+  auto mate2 = MinWeightPerfectMatching(rotated);
+  ASSERT_TRUE(mate2.ok());
+  EXPECT_NEAR(MatchingWeight(rotated, *mate2), w1, std::max(1e-6, w1 * 0.02));
+}
+
+TEST_P(MatchingPropertyTest, CrossMatchCountsConsistent) {
+  const auto [n, dim, clustered] = GetParam();
+  util::Rng rng(7);
+  std::vector<std::vector<double>> a(n / 2,
+                                     std::vector<double>(dim, 0.0));
+  std::vector<std::vector<double>> b(n / 2,
+                                     std::vector<double>(dim, 0.0));
+  for (auto& p : a) {
+    for (double& v : p) v = rng.Gaussian(0, 1);
+  }
+  for (auto& p : b) {
+    for (double& v : p) v = rng.Gaussian(clustered ? 4.0 : 0.0, 1);
+  }
+  auto result = CrossMatchTest(a, b, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(2 * result->a_dd + result->a_dm, n / 2);
+  EXPECT_EQ(2 * result->a_mm + result->a_dm, n / 2);
+  if (clustered && n >= 16) {
+    // Well-separated clusters: almost no cross pairs, tiny p-value.
+    EXPECT_LE(result->a_dm, 2);
+    EXPECT_LT(result->p_value, 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesDims, MatchingPropertyTest,
+    ::testing::Combine(::testing::Values(8, 14, 40, 100),
+                       ::testing::Values(2, 5),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_clustered" : "_uniform");
+    });
+
+}  // namespace
+}  // namespace deepaqp::stats

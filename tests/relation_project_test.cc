@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "aqp/executor.h"
+#include "data/generators.h"
+#include "relation/table.h"
+
+namespace deepaqp::relation {
+namespace {
+
+TEST(ProjectTest, KeepsColumnsInRequestedOrder) {
+  auto table = data::GenerateTaxi({.rows = 500, .seed = 1});
+  const auto fare = static_cast<size_t>(table.schema().IndexOf("fare"));
+  auto projected = table.Project({fare, 0});
+  ASSERT_EQ(projected.num_attributes(), 2u);
+  EXPECT_EQ(projected.schema().attribute(0).name, "fare");
+  EXPECT_EQ(projected.schema().attribute(1).name, "pickup_borough");
+  ASSERT_EQ(projected.num_rows(), table.num_rows());
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(projected.NumValue(r, 0), table.NumValue(r, fare));
+    EXPECT_EQ(projected.CatCode(r, 1), table.CatCode(r, 0));
+  }
+}
+
+TEST(ProjectTest, CarriesDictionariesAndCardinality) {
+  auto table = data::GenerateTaxi({.rows = 300, .seed = 2});
+  auto projected = table.Project({0});
+  EXPECT_EQ(projected.Cardinality(0), table.Cardinality(0));
+  EXPECT_EQ(projected.dict(0).LabelOf(0), table.dict(0).LabelOf(0));
+}
+
+TEST(ProjectTest, DuplicateColumnsAreRejectedBySchema) {
+  // Projecting the same attribute twice would create duplicate names; the
+  // schema invariant forbids it, so this is a programming error (death).
+  auto table = data::GenerateTaxi({.rows = 10, .seed = 3});
+  EXPECT_DEATH(table.Project({0, 0}), "Check failed");
+}
+
+TEST(ProjectTest, QueriesOnProjectionMatchRemappedQueriesOnBase) {
+  // The exact invariant the Fig. 11 per-template MSPN path relies on.
+  auto table = data::GenerateCensus({.rows = 4000, .seed = 4});
+  const auto sex = static_cast<size_t>(table.schema().IndexOf("sex"));
+  const auto age = static_cast<size_t>(table.schema().IndexOf("age"));
+  auto projected = table.Project({sex, age});
+
+  aqp::AggregateQuery base;
+  base.agg = aqp::AggFunc::kAvg;
+  base.measure_attr = static_cast<int>(age);
+  base.filter.conditions.push_back({sex, aqp::CmpOp::kEq, 0.0});
+
+  aqp::AggregateQuery remapped;
+  remapped.agg = aqp::AggFunc::kAvg;
+  remapped.measure_attr = 1;
+  remapped.filter.conditions.push_back({0, aqp::CmpOp::kEq, 0.0});
+
+  EXPECT_DOUBLE_EQ(aqp::ExecuteExact(base, table)->Scalar(),
+                   aqp::ExecuteExact(remapped, projected)->Scalar());
+}
+
+TEST(ProjectTest, EmptyProjectionYieldsRowCountOnly) {
+  auto table = data::GenerateTaxi({.rows = 123, .seed = 5});
+  auto projected = table.Project({});
+  EXPECT_EQ(projected.num_attributes(), 0u);
+  EXPECT_EQ(projected.num_rows(), 123u);
+}
+
+}  // namespace
+}  // namespace deepaqp::relation

@@ -1,0 +1,134 @@
+#include "stats/matching.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace deepaqp::stats {
+namespace {
+
+void ExpectValidMatching(const std::vector<int>& mate) {
+  for (size_t i = 0; i < mate.size(); ++i) {
+    ASSERT_GE(mate[i], 0);
+    ASSERT_LT(static_cast<size_t>(mate[i]), mate.size());
+    EXPECT_NE(static_cast<size_t>(mate[i]), i);
+    EXPECT_EQ(static_cast<size_t>(mate[mate[i]]), i);
+  }
+}
+
+DistanceMatrix RandomEuclideanInstance(size_t n, size_t dim,
+                                       uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> points(n, std::vector<double>(dim));
+  for (auto& p : points) {
+    for (double& v : p) v = rng.Gaussian(0, 1);
+  }
+  return EuclideanDistances(points);
+}
+
+TEST(MatchingTest, RejectsOddOrEmptyInput) {
+  EXPECT_FALSE(MinWeightPerfectMatching({}).ok());
+  DistanceMatrix odd(3, std::vector<double>(3, 1.0));
+  EXPECT_FALSE(MinWeightPerfectMatching(odd).ok());
+  DistanceMatrix ragged = {{0, 1}, {1}};
+  EXPECT_FALSE(MinWeightPerfectMatching(ragged).ok());
+}
+
+TEST(MatchingTest, TrivialTwoNodes) {
+  DistanceMatrix d = {{0, 5}, {5, 0}};
+  auto mate = MinWeightPerfectMatching(d);
+  ASSERT_TRUE(mate.ok());
+  EXPECT_EQ((*mate)[0], 1);
+  EXPECT_EQ((*mate)[1], 0);
+  EXPECT_DOUBLE_EQ(MatchingWeight(d, *mate), 5.0);
+}
+
+TEST(MatchingTest, FourNodeKnownOptimum) {
+  // Nodes on a line at 0, 1, 10, 11: optimal pairs (0,1) and (2,3).
+  std::vector<std::vector<double>> pts = {{0}, {1}, {10}, {11}};
+  DistanceMatrix d = EuclideanDistances(pts);
+  auto mate = MinWeightPerfectMatching(d);
+  ASSERT_TRUE(mate.ok());
+  EXPECT_EQ((*mate)[0], 1);
+  EXPECT_EQ((*mate)[2], 3);
+  EXPECT_DOUBLE_EQ(MatchingWeight(d, *mate), 2.0);
+}
+
+TEST(MatchingTest, GreedyTrapIsEscapedByTwoOpt) {
+  // Classic greedy trap: greedy picks the globally cheapest edge (b, c),
+  // forcing the expensive (a, d). 2-opt must recover (a,b),(c,d).
+  //   a --1.1-- b --1.0-- c --1.1-- d,  a--d = 10
+  DistanceMatrix d = {
+      {0.0, 1.1, 5.0, 10.0},
+      {1.1, 0.0, 1.0, 5.0},
+      {5.0, 1.0, 0.0, 1.1},
+      {10.0, 5.0, 1.1, 0.0},
+  };
+  auto mate = MinWeightPerfectMatching(d);
+  ASSERT_TRUE(mate.ok());
+  EXPECT_DOUBLE_EQ(MatchingWeight(d, *mate), 2.2);
+}
+
+TEST(MatchingTest, ExactSolverMatchesByHand) {
+  std::vector<std::vector<double>> pts = {{0}, {1}, {10}, {11}, {20}, {21}};
+  DistanceMatrix d = EuclideanDistances(pts);
+  auto mate = ExactMinWeightPerfectMatching(d);
+  ASSERT_TRUE(mate.ok());
+  ExpectValidMatching(*mate);
+  EXPECT_DOUBLE_EQ(MatchingWeight(d, *mate), 3.0);
+}
+
+TEST(MatchingTest, ExactSolverRejectsLargeInstances) {
+  DistanceMatrix d(24, std::vector<double>(24, 1.0));
+  EXPECT_FALSE(ExactMinWeightPerfectMatching(d).ok());
+}
+
+TEST(MatchingTest, HeuristicNearOptimalOnRandomInstances) {
+  // Property sweep: 2-opt heuristic within 5% of the exact DP on random
+  // Euclidean instances up to n = 14.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    for (size_t n : {6, 10, 14}) {
+      DistanceMatrix d = RandomEuclideanInstance(n, 2, seed * 100 + n);
+      auto exact = ExactMinWeightPerfectMatching(d);
+      auto heur = MinWeightPerfectMatching(d);
+      ASSERT_TRUE(exact.ok());
+      ASSERT_TRUE(heur.ok());
+      ExpectValidMatching(*heur);
+      const double w_exact = MatchingWeight(d, *exact);
+      const double w_heur = MatchingWeight(d, *heur);
+      EXPECT_GE(w_heur, w_exact - 1e-9);
+      EXPECT_LE(w_heur, w_exact * 1.05 + 1e-9)
+          << "seed " << seed << " n " << n;
+    }
+  }
+}
+
+TEST(MatchingTest, HeuristicIsDeterministic) {
+  DistanceMatrix d = RandomEuclideanInstance(40, 3, 77);
+  auto a = MinWeightPerfectMatching(d);
+  auto b = MinWeightPerfectMatching(d);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(MatchingTest, LargeInstanceCompletesAndIsValid) {
+  DistanceMatrix d = RandomEuclideanInstance(200, 4, 99);
+  auto mate = MinWeightPerfectMatching(d);
+  ASSERT_TRUE(mate.ok());
+  ExpectValidMatching(*mate);
+}
+
+TEST(MatchingTest, EuclideanDistancesSymmetricWithZeroDiagonal) {
+  std::vector<std::vector<double>> pts = {{0, 0}, {3, 4}, {-3, -4}};
+  DistanceMatrix d = EuclideanDistances(pts);
+  EXPECT_DOUBLE_EQ(d[0][1], 5.0);
+  EXPECT_DOUBLE_EQ(d[1][0], 5.0);
+  EXPECT_DOUBLE_EQ(d[1][2], 10.0);
+  EXPECT_DOUBLE_EQ(d[0][0], 0.0);
+}
+
+}  // namespace
+}  // namespace deepaqp::stats

@@ -1,0 +1,85 @@
+// Robustness sweep for the deserializers: random byte buffers and
+// truncations of valid model payloads must produce clean Status errors,
+// never crashes or giant allocations.
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "encoding/tuple_encoder.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "vae/vae_model.h"
+
+namespace deepaqp {
+namespace {
+
+TEST(SerializeFuzzTest, HostileVectorLengthsAreRejected) {
+  // Claim ~2^61 floats: the remainder-based bounds check must refuse
+  // without wrapping or allocating.
+  util::ByteWriter w;
+  w.WriteU64(uint64_t{1} << 61);
+  w.WriteF32(1.0f);
+  util::ByteReader r(w.bytes());
+  EXPECT_FALSE(r.ReadF32Vector().ok());
+
+  util::ByteWriter w2;
+  w2.WriteU64(~uint64_t{0});  // string length -1
+  util::ByteReader r2(w2.bytes());
+  EXPECT_FALSE(r2.ReadString().ok());
+}
+
+TEST(SerializeFuzzTest, RandomBuffersNeverCrashModelLoad) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> junk(rng.NextIndex(256));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.NextIndex(256));
+    auto model = vae::VaeAqpModel::Deserialize(junk);
+    EXPECT_FALSE(model.ok());
+  }
+}
+
+TEST(SerializeFuzzTest, TruncatedModelsFailCleanly) {
+  auto table = data::GenerateTaxi({.rows = 400, .seed = 5});
+  vae::VaeAqpOptions options;
+  options.epochs = 2;
+  options.hidden_dim = 16;
+  auto model = vae::VaeAqpModel::Train(table, options);
+  ASSERT_TRUE(model.ok());
+  const std::vector<uint8_t> bytes = (*model)->Serialize();
+  util::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t cut = rng.NextIndex(bytes.size());
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(vae::VaeAqpModel::Deserialize(truncated).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(SerializeFuzzTest, BitFlippedEncoderHeadersFailOrStayConsistent) {
+  auto table = data::GenerateTaxi({.rows = 300, .seed = 6});
+  auto enc = encoding::TupleEncoder::Fit(table, {});
+  ASSERT_TRUE(enc.ok());
+  util::ByteWriter w;
+  enc->Serialize(w);
+  std::vector<uint8_t> bytes = w.bytes();
+  util::Rng rng(88);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[rng.NextIndex(mutated.size())] ^=
+        static_cast<uint8_t>(1u << rng.NextIndex(8));
+    util::ByteReader r(mutated);
+    auto back = encoding::TupleEncoder::Deserialize(r);
+    // Either a clean error, or a structurally consistent encoder.
+    if (back.ok()) {
+      size_t offset = 0;
+      for (const auto& layout : back->layout()) {
+        EXPECT_EQ(layout.offset, offset);
+        offset += layout.width;
+      }
+      EXPECT_EQ(back->encoded_dim(), offset);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deepaqp

@@ -1,0 +1,91 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace deepaqp::util {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ","), "x,y,z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, "--"), "solo");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-ws"), "no-ws");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("2.5", &v));
+  EXPECT_EQ(v, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("4.2", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(FlagsTest, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--rows=100", "--name", "census",
+                        "--verbose"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("rows", 0), 100);
+  EXPECT_EQ(flags.GetString("name", ""), "census");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, LaterOccurrenceWins) {
+  const char* argv[] = {"prog", "--t=1", "--t=2"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("t", 0), 2);
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const char* argv[] = {"prog", "--frac=0.25"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetDouble("frac", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace deepaqp::util

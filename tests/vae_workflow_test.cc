@@ -1,0 +1,83 @@
+#include "vae/workflow.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace deepaqp::vae {
+namespace {
+
+VaeAqpOptions FastOptions() {
+  VaeAqpOptions opts;
+  opts.epochs = 10;
+  opts.hidden_dim = 48;
+  opts.seed = 21;
+  opts.encoder.numeric_bins = 16;
+  return opts;
+}
+
+TEST(WorkflowTest, ProjectToLatentShapes) {
+  auto table = data::GenerateTaxi({.rows = 1500, .seed = 1});
+  auto model = VaeAqpModel::Train(table, FastOptions());
+  ASSERT_TRUE(model.ok());
+  util::Rng rng(3);
+  auto points = ProjectToLatent(**model, table.SampleRows(50, rng));
+  ASSERT_EQ(points.size(), 50u);
+  EXPECT_EQ(points[0].size(), (*model)->net().latent_dim());
+}
+
+TEST(WorkflowTest, RequiresEnoughData) {
+  auto table = data::GenerateTaxi({.rows = 100, .seed = 2});
+  auto model = VaeAqpModel::Train(table, FastOptions());
+  ASSERT_TRUE(model.ok());
+  BiasEliminationOptions opts;
+  opts.test_points = 128;  // needs 256 rows
+  EXPECT_FALSE(EliminateModelBias(**model, table, opts).ok());
+}
+
+TEST(WorkflowTest, TrainedModelPassesWithinBudget) {
+  auto table = data::GenerateTaxi({.rows = 4000, .seed = 3});
+  VaeAqpOptions mopts = FastOptions();
+  mopts.epochs = 15;
+  auto model = VaeAqpModel::Train(table, mopts);
+  ASSERT_TRUE(model.ok());
+
+  BiasEliminationOptions opts;
+  opts.test_points = 64;
+  opts.max_iterations = 5;
+  auto result = EliminateModelBias(**model, table, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->iterations, 1);
+  EXPECT_EQ(result->tests.size(), static_cast<size_t>(result->iterations));
+  // Whether or not it passes on iteration 1, T must only move down.
+  EXPECT_LE(result->final_t, opts.initial_t);
+  for (const auto& t : result->tests) {
+    EXPECT_GE(t.p_value, 0.0);
+    EXPECT_LE(t.p_value, 1.0);
+  }
+}
+
+TEST(WorkflowTest, LoopLowersTWhenTestRejects) {
+  // An untrained (1-epoch) model is visibly biased; the loop should burn
+  // iterations lowering T.
+  auto table = data::GenerateCensus({.rows = 3000, .seed = 4});
+  VaeAqpOptions mopts = FastOptions();
+  mopts.epochs = 1;
+  mopts.vrs_training = false;
+  auto model = VaeAqpModel::Train(table, mopts);
+  ASSERT_TRUE(model.ok());
+
+  BiasEliminationOptions opts;
+  opts.test_points = 64;
+  opts.max_iterations = 3;
+  auto result = EliminateModelBias(**model, table, opts);
+  ASSERT_TRUE(result.ok());
+  if (!result->passed) {
+    EXPECT_EQ(result->iterations, 3);
+    EXPECT_DOUBLE_EQ(result->final_t,
+                     opts.initial_t - 2 * opts.t_step);
+  }
+}
+
+}  // namespace
+}  // namespace deepaqp::vae

@@ -1,0 +1,240 @@
+// deepaqp_cli — end-to-end command-line driver for the library.
+//
+//   deepaqp_cli make-data --dataset taxi|census|flights --rows N --out d.csv
+//   deepaqp_cli train     --csv d.csv --types cat,cat,num,... --out m.bin
+//                         [--epochs N] [--hidden N] [--depth N]
+//                         [--encoding one-hot|binary|integer] [--bins N]
+//   deepaqp_cli info      --model m.bin
+//   deepaqp_cli generate  --model m.bin --n N --out samples.csv [--t X]
+//   deepaqp_cli query     --model m.bin --population N --sql "SELECT ..."
+//                         [--samples N] [--t X]
+//
+// The `query` flow is the paper's client story: everything after `train`
+// needs only the model file — never the data.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "aqp/estimator.h"
+#include "aqp/sql_parser.h"
+#include "data/generators.h"
+#include "encoding/tuple_encoder.h"
+#include "relation/csv.h"
+#include "util/flags.h"
+#include "util/serialize.h"
+#include "util/string_util.h"
+#include "vae/vae_model.h"
+
+using namespace deepaqp;  // NOLINT: tool brevity
+
+namespace {
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fputs(
+      "usage: deepaqp_cli <make-data|train|info|generate|query> [--flags]\n"
+      "run with a command and no flags for that command's requirements\n",
+      stderr);
+  return 2;
+}
+
+relation::Table MakeDataset(const std::string& name, size_t rows) {
+  if (name == "census") return data::GenerateCensus({.rows = rows});
+  if (name == "flights") return data::GenerateFlights({.rows = rows});
+  return data::GenerateTaxi({.rows = rows});
+}
+
+int CmdMakeData(const util::Flags& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fputs("make-data needs --out <file.csv>\n", stderr);
+    return 2;
+  }
+  const auto rows = static_cast<size_t>(flags.GetInt("rows", 10000));
+  relation::Table table =
+      MakeDataset(flags.GetString("dataset", "taxi"), rows);
+  auto status = relation::WriteCsv(table, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu rows x %zu attributes to %s\n", table.num_rows(),
+              table.num_attributes(), out.c_str());
+  return 0;
+}
+
+util::Result<relation::Schema> SchemaFromCsvHeader(
+    const std::string& path, const std::string& types_csv) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return util::Status::IOError("cannot open " + path);
+  char buf[1 << 16];
+  if (std::fgets(buf, sizeof(buf), f) == nullptr) {
+    std::fclose(f);
+    return util::Status::InvalidArgument("empty CSV");
+  }
+  std::fclose(f);
+  const auto names = util::Split(util::Trim(buf), ',');
+  const auto types = util::Split(types_csv, ',');
+  if (names.size() != types.size()) {
+    return util::Status::InvalidArgument(
+        "--types must list one of cat|num per CSV column (" +
+        std::to_string(names.size()) + " columns found)");
+  }
+  relation::Schema schema;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const std::string t = util::Trim(types[i]);
+    if (t != "cat" && t != "num") {
+      return util::Status::InvalidArgument("bad type '" + t +
+                                           "' (use cat or num)");
+    }
+    DEEPAQP_RETURN_IF_ERROR(schema.AddAttribute(
+        names[i], t == "cat" ? relation::AttrType::kCategorical
+                             : relation::AttrType::kNumeric));
+  }
+  return schema;
+}
+
+int CmdTrain(const util::Flags& flags) {
+  const std::string csv = flags.GetString("csv", "");
+  const std::string types = flags.GetString("types", "");
+  const std::string out = flags.GetString("out", "");
+  if (csv.empty() || types.empty() || out.empty()) {
+    std::fputs("train needs --csv, --types and --out\n", stderr);
+    return 2;
+  }
+  auto schema = SchemaFromCsvHeader(csv, types);
+  if (!schema.ok()) return Fail(schema.status());
+  auto table = relation::ReadCsv(csv, *schema);
+  if (!table.ok()) return Fail(table.status());
+
+  vae::VaeAqpOptions options;
+  options.epochs = static_cast<int>(flags.GetInt("epochs", 20));
+  options.hidden_dim = static_cast<size_t>(flags.GetInt("hidden", 64));
+  options.depth = static_cast<int>(flags.GetInt("depth", 2));
+  options.encoder.numeric_bins = static_cast<int>(flags.GetInt("bins", 32));
+  const std::string enc = flags.GetString("encoding", "binary");
+  options.encoder.kind = enc == "one-hot"
+                             ? encoding::EncodingKind::kOneHot
+                             : (enc == "integer"
+                                    ? encoding::EncodingKind::kInteger
+                                    : encoding::EncodingKind::kBinary);
+
+  std::printf("training on %zu rows (%s encoding, %d epochs)...\n",
+              table->num_rows(), enc.c_str(), options.epochs);
+  vae::TrainingStats stats;
+  auto model = vae::VaeAqpModel::Train(*table, options, &stats);
+  if (!model.ok()) return Fail(model.status());
+  auto bytes = (*model)->Serialize();
+  auto status = util::WriteFile(out, bytes);
+  if (!status.ok()) return Fail(status);
+  std::printf("trained in %.1fs; wrote %.1f KB model to %s (T = %.2f)\n",
+              stats.total_seconds, bytes.size() / 1024.0, out.c_str(),
+              (*model)->default_t());
+  return 0;
+}
+
+util::Result<std::unique_ptr<vae::VaeAqpModel>> LoadModel(
+    const util::Flags& flags) {
+  const std::string path = flags.GetString("model", "");
+  if (path.empty()) {
+    return util::Status::InvalidArgument("missing --model <file>");
+  }
+  DEEPAQP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                           util::ReadFile(path));
+  return vae::VaeAqpModel::Deserialize(bytes);
+}
+
+int CmdInfo(const util::Flags& flags) {
+  auto model = LoadModel(flags);
+  if (!model.ok()) return Fail(model.status());
+  const auto& enc = (*model)->tuple_encoder();
+  std::printf("deepaqp VAE model\n");
+  std::printf("  encoded dim:   %zu (%s)\n", enc.encoded_dim(),
+              encoding::EncodingKindName(enc.kind()));
+  std::printf("  latent dim:    %zu\n", (*model)->net().latent_dim());
+  std::printf("  parameters:    %zu\n", (*model)->net().NumParameters());
+  std::printf("  size:          %.1f KB\n",
+              (*model)->ModelSizeBytes() / 1024.0);
+  std::printf("  calibrated T:  %.3f\n", (*model)->default_t());
+  std::printf("  schema:\n");
+  for (size_t c = 0; c < enc.schema().num_attributes(); ++c) {
+    const auto& layout = enc.layout()[c];
+    std::printf("    %-20s %-12s |dom|=%d width=%zu\n",
+                enc.schema().attribute(c).name.c_str(),
+                relation::AttrTypeName(enc.schema().attribute(c).type),
+                layout.cardinality, layout.width);
+  }
+  return 0;
+}
+
+int CmdGenerate(const util::Flags& flags) {
+  auto model = LoadModel(flags);
+  if (!model.ok()) return Fail(model.status());
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fputs("generate needs --out <file.csv>\n", stderr);
+    return 2;
+  }
+  const auto n = static_cast<size_t>(flags.GetInt("n", 1000));
+  const double t = flags.GetDouble("t", (*model)->default_t());
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  relation::Table sample = (*model)->Generate(n, t, rng);
+  auto status = relation::WriteCsv(sample, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu synthetic tuples to %s\n", sample.num_rows(),
+              out.c_str());
+  return 0;
+}
+
+int CmdQuery(const util::Flags& flags) {
+  auto model = LoadModel(flags);
+  if (!model.ok()) return Fail(model.status());
+  const std::string sql = flags.GetString("sql", "");
+  if (sql.empty()) {
+    std::fputs("query needs --sql \"SELECT ...\"\n", stderr);
+    return 2;
+  }
+  const auto population =
+      static_cast<size_t>(flags.GetInt("population", 1000000));
+  const auto samples = static_cast<size_t>(flags.GetInt("samples", 5000));
+  const double t = flags.GetDouble("t", (*model)->default_t());
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+
+  relation::Table sample = (*model)->Generate(samples, t, rng);
+  auto query = aqp::ParseSql(sql, sample);
+  if (!query.ok()) return Fail(query.status());
+  auto result = aqp::EstimateFromSample(*query, sample, population);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("%s  (on %zu synthetic tuples, population %zu)\n",
+              query->ToString(sample.schema()).c_str(), sample.num_rows(),
+              population);
+  for (const auto& g : result->groups) {
+    std::string label = "*";
+    if (g.group >= 0) {
+      const auto gattr = static_cast<size_t>(query->group_by_attr);
+      label = sample.dict(gattr).size() > g.group
+                  ? sample.dict(gattr).LabelOf(g.group)
+                  : std::to_string(g.group);
+    }
+    std::printf("  %-16s %14.4f  +- %.4f\n", label.c_str(), g.value,
+                g.ci_half_width);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  util::Flags flags(argc - 1, argv + 1);
+  if (cmd == "make-data") return CmdMakeData(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "query") return CmdQuery(flags);
+  return Usage();
+}
