@@ -16,6 +16,7 @@
 #include "data/workload.h"
 #include "relation/table.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "vae/vae_model.h"
 
 namespace deepaqp::bench {

@@ -15,6 +15,7 @@ using namespace deepaqp;  // NOLINT: bench brevity
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  util::ApplyThreadsFlag(flags);
   const int epochs = static_cast<int>(flags.GetInt("epochs", 6));
   const auto max_rows = static_cast<size_t>(
       flags.GetInt("max_rows", 200000));

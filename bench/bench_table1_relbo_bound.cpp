@@ -16,6 +16,7 @@ using namespace deepaqp;  // NOLINT: bench brevity
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  util::ApplyThreadsFlag(flags);
   const auto rows = static_cast<size_t>(flags.GetInt("rows", 8000));
   const int epochs = static_cast<int>(flags.GetInt("epochs", 6));
   const int subsets = static_cast<int>(flags.GetInt("subsets", 20));

@@ -1,0 +1,106 @@
+// Thread-scaling bench for the shared thread pool: reruns the three hot
+// parallel paths (VAE training, synthetic-sample generation, cross-match
+// distance construction) at 1/2/4/8 threads and reports wall time plus
+// speedup over the single-thread baseline. Because every parallel region is
+// deterministic by construction, the work done is identical at every thread
+// count — the speedup column isolates pure scheduling/scaling behavior.
+// Target (multi-core hardware): >= 2.5x sampling throughput at 4 threads.
+//
+//   ./bench_threads_scaling [--rows 20000] [--epochs 4] [--samples 60000]
+//                           [--points 600] [--max_threads 8]
+
+#include "bench_common.h"
+
+#include <vector>
+
+#include "stats/cross_match.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace deepaqp;  // NOLINT: bench brevity
+
+namespace {
+
+std::vector<int> ThreadCounts(int max_threads) {
+  std::vector<int> counts;
+  for (int t = 1; t <= max_threads; t *= 2) counts.push_back(t);
+  return counts;
+}
+
+void PrintScalingRow(const char* phase, int threads, double seconds,
+                     double baseline_seconds) {
+  char series[64];
+  std::snprintf(series, sizeof(series), "%s threads=%d", phase, threads);
+  bench::PrintValueRow("Threads", "census", series, "seconds", seconds);
+  bench::PrintValueRow("Threads", "census", series, "speedup",
+                       baseline_seconds / seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto rows = static_cast<size_t>(flags.GetInt("rows", 20000));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 4));
+  const auto samples = static_cast<size_t>(flags.GetInt("samples", 60000));
+  const auto points = static_cast<size_t>(flags.GetInt("points", 600));
+  const int max_threads = static_cast<int>(flags.GetInt("max_threads", 8));
+
+  const relation::Table table = bench::MakeDataset("census", rows);
+  const std::vector<int> thread_counts = ThreadCounts(max_threads);
+
+  // Phase 1: training (row-parallel GEMMs + sharded gradient reduction).
+  double train_base = 0.0;
+  std::unique_ptr<vae::VaeAqpModel> model;
+  for (int t : thread_counts) {
+    util::SetGlobalThreads(t);
+    util::Stopwatch watch;
+    auto trained =
+        vae::VaeAqpModel::Train(table, bench::DefaultVaeOptions(epochs));
+    if (!trained.ok()) return 1;
+    const double seconds = watch.ElapsedSeconds();
+    if (t == 1) {
+      train_base = seconds;
+      model = std::move(*trained);  // reuse the 1-thread model below
+    }
+    PrintScalingRow("train", t, seconds, train_base);
+  }
+
+  // Phase 2: sampling (chunked generation with child RNG streams). This is
+  // the path the paper cares most about — client-side sample production.
+  double sample_base = 0.0;
+  for (int t : thread_counts) {
+    util::SetGlobalThreads(t);
+    util::Rng rng(4242);
+    util::Stopwatch watch;
+    relation::Table pool = model->Generate(samples, model->default_t(), rng);
+    const double seconds = watch.ElapsedSeconds();
+    if (t == 1) sample_base = seconds;
+    PrintScalingRow("sample", t, seconds, sample_base);
+    bench::PrintValueRow("Threads", "census", "sample rate", "tuples_per_sec",
+                         static_cast<double>(pool.num_rows()) / seconds);
+  }
+
+  // Phase 3: cross-match distance construction (O(n^2) pairwise build).
+  double cross_base = 0.0;
+  for (int t : thread_counts) {
+    util::SetGlobalThreads(t);
+    util::Rng data_rng(1);
+    std::vector<std::vector<double>> d, m;
+    for (size_t i = 0; i < points; ++i) {
+      d.push_back({data_rng.NextGaussian(), data_rng.NextGaussian()});
+      m.push_back({data_rng.NextGaussian() + 0.1, data_rng.NextGaussian()});
+    }
+    util::Rng test_rng(2);
+    util::Stopwatch watch;
+    auto result = stats::CrossMatchTest(d, m, test_rng);
+    if (!result.ok()) return 1;
+    const double seconds = watch.ElapsedSeconds();
+    if (t == 1) cross_base = seconds;
+    PrintScalingRow("crossmatch", t, seconds, cross_base);
+  }
+
+  util::SetGlobalThreads(0);
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "data/generators.h"
 #include "data/workload.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/serialize.h"
 #include "util/timer.h"
 #include "vae/vae_model.h"
@@ -22,6 +23,7 @@ using namespace deepaqp;  // NOLINT: example brevity
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  util::ApplyThreadsFlag(flags);
   const auto rows = static_cast<size_t>(flags.GetInt("rows", 8000));
   const int epochs = static_cast<int>(flags.GetInt("epochs", 15));
 

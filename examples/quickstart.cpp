@@ -10,6 +10,7 @@
 #include "aqp/metrics.h"
 #include "data/generators.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "vae/vae_model.h"
 
@@ -17,6 +18,7 @@ using namespace deepaqp;  // NOLINT: example brevity
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  util::ApplyThreadsFlag(flags);
   const auto rows = static_cast<size_t>(flags.GetInt("rows", 10000));
   const int epochs = static_cast<int>(flags.GetInt("epochs", 15));
   const double sample_frac = flags.GetDouble("sample_frac", 0.01);

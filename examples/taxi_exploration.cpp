@@ -14,6 +14,7 @@
 #include "aqp/metrics.h"
 #include "data/generators.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "vae/vae_model.h"
 
 using namespace deepaqp;  // NOLINT: example brevity
@@ -51,6 +52,7 @@ void PrintGroupBy(const relation::Table& table,
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  util::ApplyThreadsFlag(flags);
   const auto rows = static_cast<size_t>(flags.GetInt("rows", 20000));
   const int epochs = static_cast<int>(flags.GetInt("epochs", 20));
   const double sample_frac = flags.GetDouble("sample_frac", 0.02);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace deepaqp::ensemble {
 
@@ -13,25 +14,48 @@ util::Result<std::unique_ptr<EnsembleModel>> EnsembleModel::Train(
     return util::Status::InvalidArgument("partition has no parts");
   }
   auto model = std::unique_ptr<EnsembleModel>(new EnsembleModel());
-  size_t total_rows = 0;
-  for (size_t p = 0; p < partition.parts.size(); ++p) {
-    std::vector<size_t> rows;
+  const size_t parts = partition.parts.size();
+
+  // Resolve and validate every part's row set up front (cheap, serial) so
+  // the parallel phase below only does the expensive per-member training.
+  std::vector<std::vector<size_t>> part_rows(parts);
+  for (size_t p = 0; p < parts; ++p) {
     for (int g : partition.parts[p]) {
       if (g < 0 || static_cast<size_t>(g) >= groups.size()) {
         return util::Status::InvalidArgument("partition references bad group");
       }
-      rows.insert(rows.end(), groups[g].rows.begin(), groups[g].rows.end());
+      part_rows[p].insert(part_rows[p].end(), groups[g].rows.begin(),
+                          groups[g].rows.end());
     }
-    if (rows.empty()) {
+    if (part_rows[p].empty()) {
       return util::Status::InvalidArgument("empty partition part");
     }
-    relation::Table part_table = table.Gather(rows);
+  }
+
+  // One VAE per part, trained in parallel. Each member's seed is a fixed
+  // function of (options.seed, p) and members share no mutable state, so
+  // the trained ensemble is bit-identical at every thread count.
+  std::vector<std::unique_ptr<vae::VaeAqpModel>> members(parts);
+  std::vector<util::Status> statuses(parts);
+  util::ParallelFor(0, parts, [&](size_t p) {
+    relation::Table part_table = table.Gather(part_rows[p]);
     vae::VaeAqpOptions member_options = options;
     member_options.seed = options.seed + 1000003 * (p + 1);
-    DEEPAQP_ASSIGN_OR_RETURN(
-        auto member, vae::VaeAqpModel::Train(part_table, member_options));
-    model->members_.push_back(std::move(member));
-    model->member_rows_.push_back(std::move(rows));
+    auto member = vae::VaeAqpModel::Train(part_table, member_options);
+    if (member.ok()) {
+      members[p] = std::move(*member);
+    } else {
+      statuses[p] = member.status();
+    }
+  });
+  for (const util::Status& status : statuses) {
+    DEEPAQP_RETURN_IF_ERROR(status);
+  }
+
+  size_t total_rows = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    model->members_.push_back(std::move(members[p]));
+    model->member_rows_.push_back(std::move(part_rows[p]));
     total_rows += model->member_rows_.back().size();
   }
   for (const auto& rows : model->member_rows_) {

@@ -19,9 +19,11 @@ namespace deepaqp::ensemble {
 /// size, so the union distribution is preserved.
 class EnsembleModel {
  public:
-  /// Trains one VAE per part. `groups` are atomic row groups of `table`;
-  /// `partition.parts` lists group indices per part. Member seeds derive
-  /// from options.seed so members differ.
+  /// Trains one VAE per part, members in parallel on the global thread
+  /// pool. `groups` are atomic row groups of `table`; `partition.parts`
+  /// lists group indices per part. Member seeds derive deterministically
+  /// from (options.seed, part index), so members differ from each other but
+  /// the trained ensemble is identical at every thread count.
   static util::Result<std::unique_ptr<EnsembleModel>> Train(
       const relation::Table& table, const std::vector<AtomicGroup>& groups,
       const Partition& partition, const vae::VaeAqpOptions& options);

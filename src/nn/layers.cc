@@ -33,8 +33,10 @@ Matrix Linear::Forward(const Matrix& input) {
 }
 
 Matrix Linear::Backward(const Matrix& grad_output) {
-  // dW += x^T dy ; db += colsum(dy) ; dx = dy W^T.
-  Gemm(input_cache_, true, grad_output, false, 1.0f, 1.0f, &weight.grad);
+  // dW += x^T dy ; db += colsum(dy) ; dx = dy W^T. The weight gradient is
+  // accumulated over fixed minibatch shards in parallel with a fixed-order
+  // reduction, so it is bit-identical at every thread count.
+  ShardedGemmTN(input_cache_, grad_output, &weight.grad);
   Axpy(1.0f, ColumnSums(grad_output), &bias.grad);
   Matrix grad_input;
   Gemm(grad_output, false, weight.value, true, 1.0f, 0.0f, &grad_input);
@@ -189,6 +191,44 @@ util::Result<std::unique_ptr<Sequential>> Sequential::Deserialize(
     }
   }
   return seq;
+}
+
+Matrix InferenceForward(const Linear& linear, const Matrix& x) {
+  Matrix out;
+  Gemm(x, false, linear.weight.value, false, 1.0f, 0.0f, &out);
+  AddRowBroadcast(linear.bias.value, &out);
+  return out;
+}
+
+Matrix InferenceForward(const Sequential& seq, const Matrix& x) {
+  Matrix h = x;
+  for (size_t l = 0; l < seq.num_layers(); ++l) {
+    const Layer* layer = seq.layer(l);
+    if (const auto* linear = dynamic_cast<const Linear*>(layer)) {
+      h = InferenceForward(*linear, h);
+    } else if (dynamic_cast<const Relu*>(layer) != nullptr) {
+      for (size_t i = 0; i < h.size(); ++i) {
+        if (h.data()[i] <= 0.0f) h.data()[i] = 0.0f;
+      }
+    } else if (const auto* leaky = dynamic_cast<const LeakyRelu*>(layer)) {
+      for (size_t i = 0; i < h.size(); ++i) {
+        if (h.data()[i] < 0.0f) h.data()[i] *= leaky->slope();
+      }
+    } else if (dynamic_cast<const Tanh*>(layer) != nullptr) {
+      for (size_t i = 0; i < h.size(); ++i) {
+        h.data()[i] = std::tanh(h.data()[i]);
+      }
+    } else if (dynamic_cast<const Sigmoid*>(layer) != nullptr) {
+      for (size_t i = 0; i < h.size(); ++i) {
+        h.data()[i] = 1.0f / (1.0f + std::exp(-h.data()[i]));
+      }
+    } else if (const auto* nested = dynamic_cast<const Sequential*>(layer)) {
+      h = InferenceForward(*nested, h);
+    } else {
+      DEEPAQP_CHECK(false);  // unknown layer type in inference path
+    }
+  }
+  return h;
 }
 
 std::unique_ptr<Sequential> MakeMlpTrunk(size_t in_dim, size_t hidden,

@@ -97,6 +97,7 @@ class LeakyRelu : public Layer {
   Matrix Backward(const Matrix& grad_output) override;
   std::string TypeName() const override { return "leaky_relu"; }
   void Serialize(util::ByteWriter& w) const override { w.WriteF32(slope_); }
+  float slope() const { return slope_; }
 
  private:
   float slope_;
@@ -144,10 +145,22 @@ class Sequential : public Layer {
 
   size_t num_layers() const { return layers_.size(); }
   Layer* layer(size_t i) { return layers_[i].get(); }
+  const Layer* layer(size_t i) const { return layers_[i].get(); }
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
 };
+
+/// Stateless forward pass through `seq`: computes exactly the same outputs
+/// (same operations, same order) as Sequential::Forward but never touches
+/// the per-batch backward caches, so many threads may run inference through
+/// one shared, read-only network concurrently. Supports the layer types a
+/// Sequential can deserialize; aborts on layers it does not know.
+Matrix InferenceForward(const Sequential& seq, const Matrix& x);
+
+/// Stateless y = x W + b for a single shared Linear layer (see
+/// InferenceForward).
+Matrix InferenceForward(const Linear& linear, const Matrix& x);
 
 /// Builds a standard MLP trunk: `depth` (Linear + ReLU) blocks of width
 /// `hidden`, mapping in_dim -> hidden. depth >= 1.

@@ -3,8 +3,26 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace deepaqp::nn {
+
+namespace {
+
+/// Row-parallel dispatch: runs body(i) over [0, m), on the pool when the
+/// product is large enough to amortize task overhead. The cutoff depends
+/// only on shape, never on thread count, and each output row is produced by
+/// exactly one invocation, so parallel and serial results are identical.
+void ForEachOutputRow(size_t m, size_t k, size_t n,
+                      const std::function<void(size_t)>& body) {
+  if (m >= 2 && m * k * n >= 32768) {
+    util::ParallelFor(0, m, body);
+  } else {
+    for (size_t i = 0; i < m; ++i) body(i);
+  }
+}
+
+}  // namespace
 
 void Matrix::RandomizeGaussian(util::Rng& rng, float stddev) {
   for (float& v : data_) {
@@ -59,7 +77,7 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
   // i-k-j loop order keeps the inner loop streaming over contiguous rows of
   // the (logical) B operand for the common non-transposed case.
   if (!trans_a && !trans_b) {
-    for (size_t i = 0; i < m; ++i) {
+    ForEachOutputRow(m, k, n, [&](size_t i) {
       const float* arow = a.Row(i);
       float* crow = c->Row(i);
       for (size_t kk = 0; kk < k; ++kk) {
@@ -68,7 +86,7 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
         const float* brow = b.Row(kk);
         for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
       }
-    }
+    });
   } else if (trans_a && !trans_b) {
     for (size_t kk = 0; kk < k; ++kk) {
       const float* arow = a.Row(kk);  // a is k x m
@@ -81,7 +99,7 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
       }
     }
   } else if (!trans_a && trans_b) {
-    for (size_t i = 0; i < m; ++i) {
+    ForEachOutputRow(m, k, n, [&](size_t i) {
       const float* arow = a.Row(i);
       float* crow = c->Row(i);
       for (size_t j = 0; j < n; ++j) {
@@ -90,9 +108,9 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
         for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
         crow[j] += alpha * acc;
       }
-    }
+    });
   } else {  // trans_a && trans_b
-    for (size_t i = 0; i < m; ++i) {
+    ForEachOutputRow(m, k, n, [&](size_t i) {
       float* crow = c->Row(i);
       for (size_t j = 0; j < n; ++j) {
         float acc = 0.0f;
@@ -101,8 +119,43 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
         }
         crow[j] += alpha * acc;
       }
-    }
+    });
   }
+}
+
+void ShardedGemmTN(const Matrix& a, const Matrix& b, Matrix* c,
+                   size_t shard_rows) {
+  const size_t batch = a.rows();
+  DEEPAQP_CHECK_EQ(batch, b.rows());
+  DEEPAQP_CHECK_EQ(c->rows(), a.cols());
+  DEEPAQP_CHECK_EQ(c->cols(), b.cols());
+  DEEPAQP_CHECK_GT(shard_rows, 0u);
+  const size_t num_shards = (batch + shard_rows - 1) / shard_rows;
+  if (num_shards <= 1) {
+    Gemm(a, true, b, false, 1.0f, 1.0f, c);
+    return;
+  }
+  // One partial per shard, filled in parallel. The shard layout is a pure
+  // function of the batch size, so the ascending-order reduction below
+  // yields the same bits at every thread count.
+  std::vector<Matrix> partials(num_shards);
+  util::ParallelFor(0, num_shards, [&](size_t s) {
+    const size_t lo = s * shard_rows;
+    const size_t hi = std::min(batch, lo + shard_rows);
+    Matrix& p = partials[s];
+    p = Matrix(a.cols(), b.cols());
+    for (size_t kk = lo; kk < hi; ++kk) {
+      const float* arow = a.Row(kk);
+      const float* brow = b.Row(kk);
+      for (size_t i = 0; i < a.cols(); ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* prow = p.Row(i);
+        for (size_t j = 0; j < b.cols(); ++j) prow[j] += av * brow[j];
+      }
+    }
+  });
+  for (const Matrix& p : partials) Axpy(1.0f, p, c);
 }
 
 void AddRowBroadcast(const Matrix& bias, Matrix* out) {

@@ -51,9 +51,20 @@ class Matrix {
 };
 
 /// C = alpha * op(A) @ op(B) + beta * C, where op is optional transpose.
-/// Shapes are checked; C is resized only when beta == 0.
+/// Shapes are checked; C is resized only when beta == 0. Large products are
+/// computed on the global thread pool, parallelized over output rows; each
+/// output element keeps the serial accumulation order, so results are
+/// bit-identical at every thread count.
 void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
           float alpha, float beta, Matrix* c);
+
+/// C += A^T @ B, the minibatch weight-gradient product (A is batch x in,
+/// B is batch x out). The batch is cut into fixed `shard_rows`-row shards;
+/// shard partials are computed in parallel and reduced into C in ascending
+/// shard order. The shard layout depends only on the batch size, so the
+/// accumulated gradient is bit-identical at every thread count.
+void ShardedGemmTN(const Matrix& a, const Matrix& b, Matrix* c,
+                   size_t shard_rows = 64);
 
 /// out[r, c] += bias[0, c] for every row. bias must be 1 x cols.
 void AddRowBroadcast(const Matrix& bias, Matrix* out);

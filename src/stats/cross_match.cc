@@ -62,6 +62,9 @@ util::Result<CrossMatchResult> CrossMatchTest(
         "one sample vanished after odd-pool drop");
   }
 
+  // Distance construction is the O(n^2) hot path; it runs on the global
+  // thread pool and is bit-identical at every thread count, so the p-value
+  // below is reproducible from the rng seed alone.
   const DistanceMatrix dist = EuclideanDistances(points);
   std::vector<int> mate;
   if (points.size() <= 20) {

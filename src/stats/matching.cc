@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace deepaqp::stats {
 
@@ -204,7 +205,12 @@ DistanceMatrix EuclideanDistances(
     const std::vector<std::vector<double>>& points) {
   const size_t n = points.size();
   DistanceMatrix dist(n, std::vector<double>(n, 0.0));
-  for (size_t i = 0; i < n; ++i) {
+  // The O(n^2 d) matrix build is the cross-match test's hot loop; rows are
+  // farmed out to the global pool. Every (i, j) cell is a pure function of
+  // the two points and is written exactly once (row i owns the j > i
+  // wedge, mirroring into column i), so the result is identical at every
+  // thread count.
+  util::ParallelFor(0, n, [&](size_t i) {
     for (size_t j = i + 1; j < n; ++j) {
       DEEPAQP_CHECK_EQ(points[i].size(), points[j].size());
       double acc = 0.0;
@@ -214,7 +220,7 @@ DistanceMatrix EuclideanDistances(
       }
       dist[i][j] = dist[j][i] = std::sqrt(acc);
     }
-  }
+  });
   return dist;
 }
 

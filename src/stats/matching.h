@@ -35,7 +35,8 @@ double MatchingWeight(const DistanceMatrix& dist,
                       const std::vector<int>& mate);
 
 /// Euclidean distance matrix of `points` (n rows, d columns flattened:
-/// points[i] is the i-th row).
+/// points[i] is the i-th row). Rows are computed in parallel on the global
+/// thread pool; the result is independent of the thread count.
 DistanceMatrix EuclideanDistances(const std::vector<std::vector<double>>& points);
 
 }  // namespace deepaqp::stats

@@ -7,6 +7,11 @@
 
 namespace deepaqp::util {
 
+/// Canonical name of the global parallelism flag: `--threads=N` sizes the
+/// process-wide thread pool (0, the default, means hardware concurrency).
+/// Binaries parse it with Flags and apply it via util::ApplyThreadsFlag.
+inline constexpr char kThreadsFlag[] = "threads";
+
 /// Minimal command-line flag parser for example/bench binaries. Accepts
 /// "--name=value" and "--name value"; unknown flags are collected so callers
 /// can reject or ignore them. Not intended as a general-purpose flags

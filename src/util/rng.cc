@@ -139,6 +139,17 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng Rng::ChildStream(uint64_t master_seed, uint64_t stream_index) {
+  // Hash seed and index through independent SplitMix64 chains before
+  // combining, so child seeds are decorrelated both across indices of one
+  // master and across masters for one index.
+  uint64_t s = master_seed;
+  const uint64_t seed_mix = SplitMix64(&s);
+  uint64_t t = stream_index + 0x9E3779B97F4A7C15ull;
+  const uint64_t index_mix = SplitMix64(&t);
+  return Rng(seed_mix ^ index_mix);
+}
+
 ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n) {
   DEEPAQP_CHECK_GT(n, 0u);
   cdf_.resize(n);

@@ -56,6 +56,15 @@ class Rng {
   /// Derives an independent child stream (e.g., one per worker or per model).
   Rng Fork();
 
+  /// Deterministically derives the child stream for `stream_index` from a
+  /// master seed via SplitMix64 mixing. Same (seed, index) always yields the
+  /// same stream; distinct indices (or seeds) yield decorrelated streams.
+  /// This is the seeding scheme of every parallel region: chunk i of a
+  /// ParallelFor draws from ChildStream(master, i), so output depends only
+  /// on the master seed and the fixed chunk layout — never on thread count
+  /// or scheduling order.
+  static Rng ChildStream(uint64_t master_seed, uint64_t stream_index);
+
  private:
   uint64_t state_[4];
   double spare_gaussian_ = 0.0;

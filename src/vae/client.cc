@@ -36,6 +36,9 @@ std::unique_ptr<AqpClient> AqpClient::Wrap(
 void AqpClient::GrowPool(size_t target_rows) {
   target_rows = std::min(target_rows, options_.max_samples);
   if (pool_.num_rows() >= target_rows) return;
+  // Generate() fans the request out across the global thread pool in
+  // fixed-size chunks seeded from rng_ via child streams, so the pool
+  // contents depend only on options_.seed — not on the thread count.
   relation::Table extra =
       model_->Generate(target_rows - pool_.num_rows(), t_, rng_);
   if (pool_.num_rows() == 0) {

@@ -17,7 +17,9 @@ namespace deepaqp::vae {
 /// serialized model bytes (no data access), it keeps a cached pool of
 /// synthetic samples and answers SQL-text or AST queries with confidence
 /// intervals. Precision-on-demand: ask for a tighter interval and the
-/// client grows the pool instead of contacting any server.
+/// client grows the pool instead of contacting any server. Pool generation
+/// runs on the global thread pool (util::SetGlobalThreads / --threads) and
+/// is deterministic in `seed` regardless of the thread count.
 class AqpClient {
  public:
   struct Options {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace deepaqp::vae {
@@ -150,7 +151,7 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
   return model;
 }
 
-relation::Table VaeAqpModel::Generate(size_t n, double t, util::Rng& rng) {
+relation::Table VaeAqpModel::MakeEmptySampleTable() const {
   relation::Table out(encoder_.schema());
   for (size_t c = 0; c < encoder_.schema().num_attributes(); ++c) {
     if (encoder_.schema().IsCategorical(c)) {
@@ -160,6 +161,40 @@ relation::Table VaeAqpModel::Generate(size_t n, double t, util::Rng& rng) {
       }
     }
   }
+  return out;
+}
+
+/// Rows per parallel generation chunk. Fixed (never derived from the thread
+/// count) so the chunk layout — and therefore every chunk's child RNG
+/// stream — depends only on n.
+static constexpr size_t kGenerateChunkRows = 512;
+
+relation::Table VaeAqpModel::Generate(size_t n, double t, util::Rng& rng) {
+  relation::Table out = MakeEmptySampleTable();
+  if (n == 0) return out;
+  const uint64_t master = rng.NextUint64();
+  const size_t num_chunks =
+      (n + kGenerateChunkRows - 1) / kGenerateChunkRows;
+  std::vector<relation::Table> chunks(num_chunks, out);
+  util::ParallelFor(0, num_chunks, [&](size_t c) {
+    const size_t begin = c * kGenerateChunkRows;
+    const size_t rows = std::min(kGenerateChunkRows, n - begin);
+    util::Rng chunk_rng = util::Rng::ChildStream(master, c);
+    chunks[c] = GenerateChunk(rows, t, chunk_rng);
+  });
+  for (relation::Table& chunk : chunks) {
+    if (out.num_rows() == 0) {
+      out = std::move(chunk);
+    } else {
+      DEEPAQP_CHECK(out.Append(chunk).ok());
+    }
+  }
+  return out;
+}
+
+relation::Table VaeAqpModel::GenerateChunk(size_t n, double t,
+                                           util::Rng& rng) const {
+  relation::Table out = MakeEmptySampleTable();
   const bool reject = t != kTPlusInf;
   const size_t window = std::max<size_t>(128, std::min<size_t>(1024, n));
 
@@ -167,7 +202,7 @@ relation::Table VaeAqpModel::Generate(size_t n, double t, util::Rng& rng) {
     const size_t remaining = n - out.num_rows();
     const size_t batch = std::min(window, std::max<size_t>(remaining, 64));
     Matrix z = net_->SamplePrior(batch, rng);
-    Matrix logits = net_->DecodeLogits(z);
+    Matrix logits = net_->DecodeLogitsConst(z);
 
     std::vector<size_t> accepted;
     if (!reject) {
@@ -183,10 +218,10 @@ relation::Table VaeAqpModel::Generate(size_t n, double t, util::Rng& rng) {
             1.0f / (1.0f + std::exp(-logits.data()[i]));
         bits.data()[i] = rng.Bernoulli(prob) ? 1.0f : 0.0f;
       }
-      VaeNet::Posterior post = net_->Encode(bits);
-      // Encode() ran decoder-independent layers; LogRatio re-runs the
-      // decoder on z, which is cheap and side-effect free here.
-      Matrix ratio = net_->LogRatioRows(bits, post, z);
+      VaeNet::Posterior post = net_->EncodeConst(bits);
+      // The cache-free const paths keep this chunk self-contained: nothing
+      // on the shared net is written, so sibling chunks can run in parallel.
+      Matrix ratio = net_->LogRatioRowsConst(bits, post, z);
       size_t best = 0;
       for (size_t i = 0; i < batch; ++i) {
         if (ratio.At(i, 0) > ratio.At(best, 0)) best = i;

@@ -78,6 +78,12 @@ class VaeAqpModel {
   /// min(1, e^t * p(x',z) / q(z|x')) (Eq. 8 with M' = e^{-t}). If a whole
   /// candidate window is rejected, the best-ratio candidate is taken so
   /// generation always terminates (this implements the T -> -inf limit).
+  ///
+  /// Generation is parallel and deterministic: the request is cut into
+  /// fixed-size chunks, chunk i draws from the child stream
+  /// Rng::ChildStream(master, i) where `master` is one value taken from
+  /// `rng`, and chunks are concatenated in index order — so the output is
+  /// bit-identical for every thread count, including the serial pool.
   relation::Table Generate(size_t n, double t, util::Rng& rng);
 
   /// Generates with the calibrated default threshold (90th percentile of
@@ -130,6 +136,14 @@ class VaeAqpModel {
 
  private:
   VaeAqpModel() = default;
+
+  /// Empty output table with the schema, declared cardinalities, and label
+  /// dictionaries of the training relation.
+  relation::Table MakeEmptySampleTable() const;
+
+  /// Serial generation of one chunk's quota from its own rng stream. Const
+  /// (uses the cache-free net inference paths) so chunks run concurrently.
+  relation::Table GenerateChunk(size_t n, double t, util::Rng& rng) const;
 
   VaeAqpOptions options_;
   encoding::TupleEncoder encoder_;

@@ -38,7 +38,23 @@ VaeNet::Posterior VaeNet::Encode(const Matrix& x) {
   return post;
 }
 
+VaeNet::Posterior VaeNet::EncodeConst(const Matrix& x) const {
+  Matrix h = nn::InferenceForward(*encoder_trunk_, x);
+  Posterior post;
+  post.mu = nn::InferenceForward(*mu_head_, h);
+  post.logvar = nn::InferenceForward(*logvar_head_, h);
+  for (size_t i = 0; i < post.logvar.size(); ++i) {
+    post.logvar.data()[i] =
+        std::clamp(post.logvar.data()[i], -8.0f, 8.0f);
+  }
+  return post;
+}
+
 Matrix VaeNet::DecodeLogits(const Matrix& z) { return decoder_->Forward(z); }
+
+Matrix VaeNet::DecodeLogitsConst(const Matrix& z) const {
+  return nn::InferenceForward(*decoder_, z);
+}
 
 Matrix VaeNet::Reparameterize(const Posterior& post, const Matrix& eps) {
   Matrix z = post.mu;
@@ -70,9 +86,28 @@ Matrix VaeNet::LogPosteriorRows(const Posterior& post, const Matrix& z) {
   return nn::GaussianLogDensityRows(z, post.mu, post.logvar);
 }
 
+Matrix VaeNet::LogJointRowsConst(const Matrix& x_bits,
+                                 const Matrix& z) const {
+  Matrix logits = DecodeLogitsConst(z);
+  Matrix log_px_z = nn::BernoulliLogLikelihoodRows(logits, x_bits);
+  Matrix log_pz = nn::StandardNormalLogDensityRows(z);
+  for (size_t r = 0; r < log_px_z.rows(); ++r) {
+    log_px_z.At(r, 0) += log_pz.At(r, 0);
+  }
+  return log_px_z;
+}
+
 Matrix VaeNet::LogRatioRows(const Matrix& x_bits, const Posterior& post,
                             const Matrix& z) {
   Matrix r = LogJointRows(x_bits, z);
+  Matrix log_q = LogPosteriorRows(post, z);
+  for (size_t i = 0; i < r.rows(); ++i) r.At(i, 0) -= log_q.At(i, 0);
+  return r;
+}
+
+Matrix VaeNet::LogRatioRowsConst(const Matrix& x_bits, const Posterior& post,
+                                 const Matrix& z) const {
+  Matrix r = LogJointRowsConst(x_bits, z);
   Matrix log_q = LogPosteriorRows(post, z);
   for (size_t i = 0; i < r.rows(); ++i) r.At(i, 0) -= log_q.At(i, 0);
   return r;

@@ -69,8 +69,17 @@ class VaeNet {
   };
   Posterior Encode(const nn::Matrix& x);
 
+  /// Const counterpart of Encode for concurrent inference on a shared,
+  /// read-only net: same operations in the same order (bit-identical
+  /// output), but no per-batch layer caches are written, so any number of
+  /// threads may call it simultaneously. Cannot be followed by Backward.
+  Posterior EncodeConst(const nn::Matrix& x) const;
+
   /// Decoder forward: latent batch -> Bernoulli logits over encoded bits.
   nn::Matrix DecodeLogits(const nn::Matrix& z);
+
+  /// Const, cache-free decoder forward (see EncodeConst).
+  nn::Matrix DecodeLogitsConst(const nn::Matrix& z) const;
 
   /// Runs one optimizer step on batch `x` (encoded tuples in [0,1]) and
   /// returns diagnostics. `opt` must have been built over Parameters().
@@ -92,6 +101,10 @@ class VaeNet {
   /// Row-wise log p(x|z) + log p(z) for given x bits and latents.
   nn::Matrix LogJointRows(const nn::Matrix& x_bits, const nn::Matrix& z);
 
+  /// Const, cache-free variant of LogJointRows (see EncodeConst).
+  nn::Matrix LogJointRowsConst(const nn::Matrix& x_bits,
+                               const nn::Matrix& z) const;
+
   /// Row-wise log q(z|x) for a posterior previously computed on x.
   static nn::Matrix LogPosteriorRows(const Posterior& post,
                                      const nn::Matrix& z);
@@ -99,6 +112,11 @@ class VaeNet {
   /// Log-ratio rows r = log p(x,z) - log q(z|x) used by all VRS decisions.
   nn::Matrix LogRatioRows(const nn::Matrix& x_bits, const Posterior& post,
                           const nn::Matrix& z);
+
+  /// Const, cache-free variant of LogRatioRows (see EncodeConst).
+  nn::Matrix LogRatioRowsConst(const nn::Matrix& x_bits,
+                               const Posterior& post,
+                               const nn::Matrix& z) const;
 
   /// Draws z ~ N(0, I) (the generative prior).
   nn::Matrix SamplePrior(size_t n, util::Rng& rng) const;

@@ -24,6 +24,7 @@
 #include "util/flags.h"
 #include "util/serialize.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "vae/vae_model.h"
 
 using namespace deepaqp;  // NOLINT: tool brevity
@@ -231,6 +232,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   util::Flags flags(argc - 1, argv + 1);
+  util::ApplyThreadsFlag(flags);
   if (cmd == "make-data") return CmdMakeData(flags);
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "info") return CmdInfo(flags);
