@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decoder_draws.dir/bench_ablation_decoder_draws.cpp.o"
+  "CMakeFiles/bench_ablation_decoder_draws.dir/bench_ablation_decoder_draws.cpp.o.d"
+  "bench_ablation_decoder_draws"
+  "bench_ablation_decoder_draws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decoder_draws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_numeric_bins.dir/bench_ablation_numeric_bins.cpp.o"
+  "CMakeFiles/bench_ablation_numeric_bins.dir/bench_ablation_numeric_bins.cpp.o.d"
+  "bench_ablation_numeric_bins"
+  "bench_ablation_numeric_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_numeric_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vrs.dir/bench_ablation_vrs.cpp.o"
+  "CMakeFiles/bench_ablation_vrs.dir/bench_ablation_vrs.cpp.o.d"
+  "bench_ablation_vrs"
+  "bench_ablation_vrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_partition_algo.dir/bench_fig10_partition_algo.cpp.o"
+  "CMakeFiles/bench_fig10_partition_algo.dir/bench_fig10_partition_algo.cpp.o.d"
+  "bench_fig10_partition_algo"
+  "bench_fig10_partition_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_partition_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_selectivity.dir/bench_fig3_selectivity.cpp.o"
+  "CMakeFiles/bench_fig3_selectivity.dir/bench_fig3_selectivity.cpp.o.d"
+  "bench_fig3_selectivity"
+  "bench_fig3_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

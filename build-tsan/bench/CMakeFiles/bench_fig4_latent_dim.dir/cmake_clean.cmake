@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_latent_dim.dir/bench_fig4_latent_dim.cpp.o"
+  "CMakeFiles/bench_fig4_latent_dim.dir/bench_fig4_latent_dim.cpp.o.d"
+  "bench_fig4_latent_dim"
+  "bench_fig4_latent_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_latent_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

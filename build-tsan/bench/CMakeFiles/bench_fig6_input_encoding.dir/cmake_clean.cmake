@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_input_encoding.dir/bench_fig6_input_encoding.cpp.o"
+  "CMakeFiles/bench_fig6_input_encoding.dir/bench_fig6_input_encoding.cpp.o.d"
+  "bench_fig6_input_encoding"
+  "bench_fig6_input_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_input_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

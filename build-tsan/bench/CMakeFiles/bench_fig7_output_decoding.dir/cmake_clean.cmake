@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_output_decoding.dir/bench_fig7_output_decoding.cpp.o"
+  "CMakeFiles/bench_fig7_output_decoding.dir/bench_fig7_output_decoding.cpp.o.d"
+  "bench_fig7_output_decoding"
+  "bench_fig7_output_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_output_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

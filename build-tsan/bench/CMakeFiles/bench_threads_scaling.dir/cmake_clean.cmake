@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threads_scaling.dir/bench_threads_scaling.cpp.o"
+  "CMakeFiles/bench_threads_scaling.dir/bench_threads_scaling.cpp.o.d"
+  "bench_threads_scaling"
+  "bench_threads_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threads_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_ensemble.dir/census_ensemble.cpp.o"
+  "CMakeFiles/census_ensemble.dir/census_ensemble.cpp.o.d"
+  "census_ensemble"
+  "census_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_diagnostics.dir/model_diagnostics.cpp.o"
+  "CMakeFiles/model_diagnostics.dir/model_diagnostics.cpp.o.d"
+  "model_diagnostics"
+  "model_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_aqp.dir/progressive_aqp.cpp.o"
+  "CMakeFiles/progressive_aqp.dir/progressive_aqp.cpp.o.d"
+  "progressive_aqp"
+  "progressive_aqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_aqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_exploration.dir/taxi_exploration.cpp.o"
+  "CMakeFiles/taxi_exploration.dir/taxi_exploration.cpp.o.d"
+  "taxi_exploration"
+  "taxi_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

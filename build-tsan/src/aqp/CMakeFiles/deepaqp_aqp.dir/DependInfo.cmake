@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqp/bootstrap.cc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/bootstrap.cc.o" "gcc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/bootstrap.cc.o.d"
+  "/root/repo/src/aqp/estimator.cc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/estimator.cc.o" "gcc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/estimator.cc.o.d"
+  "/root/repo/src/aqp/evaluation.cc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/evaluation.cc.o" "gcc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/evaluation.cc.o.d"
+  "/root/repo/src/aqp/executor.cc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/executor.cc.o" "gcc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/executor.cc.o.d"
+  "/root/repo/src/aqp/metrics.cc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/metrics.cc.o" "gcc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/metrics.cc.o.d"
+  "/root/repo/src/aqp/online.cc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/online.cc.o" "gcc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/online.cc.o.d"
+  "/root/repo/src/aqp/query.cc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/query.cc.o" "gcc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/query.cc.o.d"
+  "/root/repo/src/aqp/sql_parser.cc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/sql_parser.cc.o" "gcc" "src/aqp/CMakeFiles/deepaqp_aqp.dir/sql_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/relation/CMakeFiles/deepaqp_relation.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/deepaqp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

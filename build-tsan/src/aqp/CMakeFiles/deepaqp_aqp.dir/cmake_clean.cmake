@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_aqp.dir/bootstrap.cc.o"
+  "CMakeFiles/deepaqp_aqp.dir/bootstrap.cc.o.d"
+  "CMakeFiles/deepaqp_aqp.dir/estimator.cc.o"
+  "CMakeFiles/deepaqp_aqp.dir/estimator.cc.o.d"
+  "CMakeFiles/deepaqp_aqp.dir/evaluation.cc.o"
+  "CMakeFiles/deepaqp_aqp.dir/evaluation.cc.o.d"
+  "CMakeFiles/deepaqp_aqp.dir/executor.cc.o"
+  "CMakeFiles/deepaqp_aqp.dir/executor.cc.o.d"
+  "CMakeFiles/deepaqp_aqp.dir/metrics.cc.o"
+  "CMakeFiles/deepaqp_aqp.dir/metrics.cc.o.d"
+  "CMakeFiles/deepaqp_aqp.dir/online.cc.o"
+  "CMakeFiles/deepaqp_aqp.dir/online.cc.o.d"
+  "CMakeFiles/deepaqp_aqp.dir/query.cc.o"
+  "CMakeFiles/deepaqp_aqp.dir/query.cc.o.d"
+  "CMakeFiles/deepaqp_aqp.dir/sql_parser.cc.o"
+  "CMakeFiles/deepaqp_aqp.dir/sql_parser.cc.o.d"
+  "libdeepaqp_aqp.a"
+  "libdeepaqp_aqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_aqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bayes_net.cc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/bayes_net.cc.o" "gcc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/bayes_net.cc.o.d"
+  "/root/repo/src/baselines/dbest.cc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/dbest.cc.o" "gcc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/dbest.cc.o.d"
+  "/root/repo/src/baselines/discretizer.cc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/discretizer.cc.o" "gcc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/discretizer.cc.o.d"
+  "/root/repo/src/baselines/gan.cc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/gan.cc.o" "gcc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/gan.cc.o.d"
+  "/root/repo/src/baselines/histogram.cc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/histogram.cc.o" "gcc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/histogram.cc.o.d"
+  "/root/repo/src/baselines/mspn.cc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/mspn.cc.o" "gcc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/mspn.cc.o.d"
+  "/root/repo/src/baselines/neural_cubes.cc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/neural_cubes.cc.o" "gcc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/neural_cubes.cc.o.d"
+  "/root/repo/src/baselines/stratified.cc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/stratified.cc.o" "gcc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/stratified.cc.o.d"
+  "/root/repo/src/baselines/wavelet.cc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/wavelet.cc.o" "gcc" "src/baselines/CMakeFiles/deepaqp_baselines.dir/wavelet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/encoding/CMakeFiles/deepaqp_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/deepaqp_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/aqp/CMakeFiles/deepaqp_aqp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/relation/CMakeFiles/deepaqp_relation.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/deepaqp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_baselines.dir/bayes_net.cc.o"
+  "CMakeFiles/deepaqp_baselines.dir/bayes_net.cc.o.d"
+  "CMakeFiles/deepaqp_baselines.dir/dbest.cc.o"
+  "CMakeFiles/deepaqp_baselines.dir/dbest.cc.o.d"
+  "CMakeFiles/deepaqp_baselines.dir/discretizer.cc.o"
+  "CMakeFiles/deepaqp_baselines.dir/discretizer.cc.o.d"
+  "CMakeFiles/deepaqp_baselines.dir/gan.cc.o"
+  "CMakeFiles/deepaqp_baselines.dir/gan.cc.o.d"
+  "CMakeFiles/deepaqp_baselines.dir/histogram.cc.o"
+  "CMakeFiles/deepaqp_baselines.dir/histogram.cc.o.d"
+  "CMakeFiles/deepaqp_baselines.dir/mspn.cc.o"
+  "CMakeFiles/deepaqp_baselines.dir/mspn.cc.o.d"
+  "CMakeFiles/deepaqp_baselines.dir/neural_cubes.cc.o"
+  "CMakeFiles/deepaqp_baselines.dir/neural_cubes.cc.o.d"
+  "CMakeFiles/deepaqp_baselines.dir/stratified.cc.o"
+  "CMakeFiles/deepaqp_baselines.dir/stratified.cc.o.d"
+  "CMakeFiles/deepaqp_baselines.dir/wavelet.cc.o"
+  "CMakeFiles/deepaqp_baselines.dir/wavelet.cc.o.d"
+  "libdeepaqp_baselines.a"
+  "libdeepaqp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

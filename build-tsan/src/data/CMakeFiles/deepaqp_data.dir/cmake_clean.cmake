@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_data.dir/generators.cc.o"
+  "CMakeFiles/deepaqp_data.dir/generators.cc.o.d"
+  "CMakeFiles/deepaqp_data.dir/workload.cc.o"
+  "CMakeFiles/deepaqp_data.dir/workload.cc.o.d"
+  "libdeepaqp_data.a"
+  "libdeepaqp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_encoding.dir/tuple_encoder.cc.o"
+  "CMakeFiles/deepaqp_encoding.dir/tuple_encoder.cc.o.d"
+  "libdeepaqp_encoding.a"
+  "libdeepaqp_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_ensemble.dir/ensemble_model.cc.o"
+  "CMakeFiles/deepaqp_ensemble.dir/ensemble_model.cc.o.d"
+  "CMakeFiles/deepaqp_ensemble.dir/partitioning.cc.o"
+  "CMakeFiles/deepaqp_ensemble.dir/partitioning.cc.o.d"
+  "libdeepaqp_ensemble.a"
+  "libdeepaqp_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

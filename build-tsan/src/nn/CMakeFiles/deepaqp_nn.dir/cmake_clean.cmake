@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_nn.dir/layers.cc.o"
+  "CMakeFiles/deepaqp_nn.dir/layers.cc.o.d"
+  "CMakeFiles/deepaqp_nn.dir/loss.cc.o"
+  "CMakeFiles/deepaqp_nn.dir/loss.cc.o.d"
+  "CMakeFiles/deepaqp_nn.dir/matrix.cc.o"
+  "CMakeFiles/deepaqp_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/deepaqp_nn.dir/optimizer.cc.o"
+  "CMakeFiles/deepaqp_nn.dir/optimizer.cc.o.d"
+  "libdeepaqp_nn.a"
+  "libdeepaqp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/csv.cc" "src/relation/CMakeFiles/deepaqp_relation.dir/csv.cc.o" "gcc" "src/relation/CMakeFiles/deepaqp_relation.dir/csv.cc.o.d"
+  "/root/repo/src/relation/dictionary.cc" "src/relation/CMakeFiles/deepaqp_relation.dir/dictionary.cc.o" "gcc" "src/relation/CMakeFiles/deepaqp_relation.dir/dictionary.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/relation/CMakeFiles/deepaqp_relation.dir/schema.cc.o" "gcc" "src/relation/CMakeFiles/deepaqp_relation.dir/schema.cc.o.d"
+  "/root/repo/src/relation/table.cc" "src/relation/CMakeFiles/deepaqp_relation.dir/table.cc.o" "gcc" "src/relation/CMakeFiles/deepaqp_relation.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/deepaqp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

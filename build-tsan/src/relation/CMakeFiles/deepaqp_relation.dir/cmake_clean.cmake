@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_relation.dir/csv.cc.o"
+  "CMakeFiles/deepaqp_relation.dir/csv.cc.o.d"
+  "CMakeFiles/deepaqp_relation.dir/dictionary.cc.o"
+  "CMakeFiles/deepaqp_relation.dir/dictionary.cc.o.d"
+  "CMakeFiles/deepaqp_relation.dir/schema.cc.o"
+  "CMakeFiles/deepaqp_relation.dir/schema.cc.o.d"
+  "CMakeFiles/deepaqp_relation.dir/table.cc.o"
+  "CMakeFiles/deepaqp_relation.dir/table.cc.o.d"
+  "libdeepaqp_relation.a"
+  "libdeepaqp_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/cross_match.cc" "src/stats/CMakeFiles/deepaqp_stats.dir/cross_match.cc.o" "gcc" "src/stats/CMakeFiles/deepaqp_stats.dir/cross_match.cc.o.d"
+  "/root/repo/src/stats/matching.cc" "src/stats/CMakeFiles/deepaqp_stats.dir/matching.cc.o" "gcc" "src/stats/CMakeFiles/deepaqp_stats.dir/matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/deepaqp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_stats.dir/cross_match.cc.o"
+  "CMakeFiles/deepaqp_stats.dir/cross_match.cc.o.d"
+  "CMakeFiles/deepaqp_stats.dir/matching.cc.o"
+  "CMakeFiles/deepaqp_stats.dir/matching.cc.o.d"
+  "libdeepaqp_stats.a"
+  "libdeepaqp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeepaqp_stats.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_util.dir/flags.cc.o"
+  "CMakeFiles/deepaqp_util.dir/flags.cc.o.d"
+  "CMakeFiles/deepaqp_util.dir/logging.cc.o"
+  "CMakeFiles/deepaqp_util.dir/logging.cc.o.d"
+  "CMakeFiles/deepaqp_util.dir/rng.cc.o"
+  "CMakeFiles/deepaqp_util.dir/rng.cc.o.d"
+  "CMakeFiles/deepaqp_util.dir/serialize.cc.o"
+  "CMakeFiles/deepaqp_util.dir/serialize.cc.o.d"
+  "CMakeFiles/deepaqp_util.dir/status.cc.o"
+  "CMakeFiles/deepaqp_util.dir/status.cc.o.d"
+  "CMakeFiles/deepaqp_util.dir/string_util.cc.o"
+  "CMakeFiles/deepaqp_util.dir/string_util.cc.o.d"
+  "CMakeFiles/deepaqp_util.dir/thread_pool.cc.o"
+  "CMakeFiles/deepaqp_util.dir/thread_pool.cc.o.d"
+  "libdeepaqp_util.a"
+  "libdeepaqp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

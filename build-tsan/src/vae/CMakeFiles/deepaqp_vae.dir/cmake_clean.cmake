@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_vae.dir/client.cc.o"
+  "CMakeFiles/deepaqp_vae.dir/client.cc.o.d"
+  "CMakeFiles/deepaqp_vae.dir/vae_model.cc.o"
+  "CMakeFiles/deepaqp_vae.dir/vae_model.cc.o.d"
+  "CMakeFiles/deepaqp_vae.dir/vae_net.cc.o"
+  "CMakeFiles/deepaqp_vae.dir/vae_net.cc.o.d"
+  "CMakeFiles/deepaqp_vae.dir/workflow.cc.o"
+  "CMakeFiles/deepaqp_vae.dir/workflow.cc.o.d"
+  "libdeepaqp_vae.a"
+  "libdeepaqp_vae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_vae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_estimator_test.dir/aqp_estimator_test.cc.o"
+  "CMakeFiles/aqp_estimator_test.dir/aqp_estimator_test.cc.o.d"
+  "aqp_estimator_test"
+  "aqp_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_evaluation_test.dir/aqp_evaluation_test.cc.o"
+  "CMakeFiles/aqp_evaluation_test.dir/aqp_evaluation_test.cc.o.d"
+  "aqp_evaluation_test"
+  "aqp_evaluation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_evaluation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_executor_test.dir/aqp_executor_test.cc.o"
+  "CMakeFiles/aqp_executor_test.dir/aqp_executor_test.cc.o.d"
+  "aqp_executor_test"
+  "aqp_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

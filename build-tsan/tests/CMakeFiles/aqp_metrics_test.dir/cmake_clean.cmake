@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_metrics_test.dir/aqp_metrics_test.cc.o"
+  "CMakeFiles/aqp_metrics_test.dir/aqp_metrics_test.cc.o.d"
+  "aqp_metrics_test"
+  "aqp_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_quantile_test.dir/aqp_quantile_test.cc.o"
+  "CMakeFiles/aqp_quantile_test.dir/aqp_quantile_test.cc.o.d"
+  "aqp_quantile_test"
+  "aqp_quantile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_query_test.dir/aqp_query_test.cc.o"
+  "CMakeFiles/aqp_query_test.dir/aqp_query_test.cc.o.d"
+  "aqp_query_test"
+  "aqp_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_sql_parser_test.dir/aqp_sql_parser_test.cc.o"
+  "CMakeFiles/aqp_sql_parser_test.dir/aqp_sql_parser_test.cc.o.d"
+  "aqp_sql_parser_test"
+  "aqp_sql_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_sql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_bn_mspn_test.dir/baselines_bn_mspn_test.cc.o"
+  "CMakeFiles/baselines_bn_mspn_test.dir/baselines_bn_mspn_test.cc.o.d"
+  "baselines_bn_mspn_test"
+  "baselines_bn_mspn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_bn_mspn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_gan_test.dir/baselines_gan_test.cc.o"
+  "CMakeFiles/baselines_gan_test.dir/baselines_gan_test.cc.o.d"
+  "baselines_gan_test"
+  "baselines_gan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_gan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

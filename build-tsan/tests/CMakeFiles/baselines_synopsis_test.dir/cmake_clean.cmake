@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_synopsis_test.dir/baselines_synopsis_test.cc.o"
+  "CMakeFiles/baselines_synopsis_test.dir/baselines_synopsis_test.cc.o.d"
+  "baselines_synopsis_test"
+  "baselines_synopsis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_synopsis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_stratified_test.dir/client_stratified_test.cc.o"
+  "CMakeFiles/client_stratified_test.dir/client_stratified_test.cc.o.d"
+  "client_stratified_test"
+  "client_stratified_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_stratified_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_workload_test.dir/data_workload_test.cc.o"
+  "CMakeFiles/data_workload_test.dir/data_workload_test.cc.o.d"
+  "data_workload_test"
+  "data_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

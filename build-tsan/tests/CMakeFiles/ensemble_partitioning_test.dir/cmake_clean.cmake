@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_partitioning_test.dir/ensemble_partitioning_test.cc.o"
+  "CMakeFiles/ensemble_partitioning_test.dir/ensemble_partitioning_test.cc.o.d"
+  "ensemble_partitioning_test"
+  "ensemble_partitioning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_partitioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_encoding_test.dir/param_encoding_test.cc.o"
+  "CMakeFiles/param_encoding_test.dir/param_encoding_test.cc.o.d"
+  "param_encoding_test"
+  "param_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_estimator_test.dir/param_estimator_test.cc.o"
+  "CMakeFiles/param_estimator_test.dir/param_estimator_test.cc.o.d"
+  "param_estimator_test"
+  "param_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

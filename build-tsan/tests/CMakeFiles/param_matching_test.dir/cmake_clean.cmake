@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_matching_test.dir/param_matching_test.cc.o"
+  "CMakeFiles/param_matching_test.dir/param_matching_test.cc.o.d"
+  "param_matching_test"
+  "param_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

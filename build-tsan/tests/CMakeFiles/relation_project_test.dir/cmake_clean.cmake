@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_project_test.dir/relation_project_test.cc.o"
+  "CMakeFiles/relation_project_test.dir/relation_project_test.cc.o.d"
+  "relation_project_test"
+  "relation_project_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_project_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

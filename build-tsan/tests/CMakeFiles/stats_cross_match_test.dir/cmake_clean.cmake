@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_cross_match_test.dir/stats_cross_match_test.cc.o"
+  "CMakeFiles/stats_cross_match_test.dir/stats_cross_match_test.cc.o.d"
+  "stats_cross_match_test"
+  "stats_cross_match_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_cross_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_matching_test.dir/stats_matching_test.cc.o"
+  "CMakeFiles/stats_matching_test.dir/stats_matching_test.cc.o.d"
+  "stats_matching_test"
+  "stats_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

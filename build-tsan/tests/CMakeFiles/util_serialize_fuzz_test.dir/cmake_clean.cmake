@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_serialize_fuzz_test.dir/util_serialize_fuzz_test.cc.o"
+  "CMakeFiles/util_serialize_fuzz_test.dir/util_serialize_fuzz_test.cc.o.d"
+  "util_serialize_fuzz_test"
+  "util_serialize_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_serialize_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vae_conditional_test.cc" "tests/CMakeFiles/vae_conditional_test.dir/vae_conditional_test.cc.o" "gcc" "tests/CMakeFiles/vae_conditional_test.dir/vae_conditional_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/vae/CMakeFiles/deepaqp_vae.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ensemble/CMakeFiles/deepaqp_ensemble.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/deepaqp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/encoding/CMakeFiles/deepaqp_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/deepaqp_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/deepaqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/aqp/CMakeFiles/deepaqp_aqp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/relation/CMakeFiles/deepaqp_relation.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/deepaqp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vae_conditional_test.dir/vae_conditional_test.cc.o"
+  "CMakeFiles/vae_conditional_test.dir/vae_conditional_test.cc.o.d"
+  "vae_conditional_test"
+  "vae_conditional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vae_conditional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

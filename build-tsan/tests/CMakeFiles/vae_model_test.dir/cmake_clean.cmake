@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vae_model_test.dir/vae_model_test.cc.o"
+  "CMakeFiles/vae_model_test.dir/vae_model_test.cc.o.d"
+  "vae_model_test"
+  "vae_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vae_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vae_net_test.dir/vae_net_test.cc.o"
+  "CMakeFiles/vae_net_test.dir/vae_net_test.cc.o.d"
+  "vae_net_test"
+  "vae_net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vae_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

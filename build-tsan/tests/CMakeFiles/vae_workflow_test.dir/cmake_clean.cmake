@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vae_workflow_test.dir/vae_workflow_test.cc.o"
+  "CMakeFiles/vae_workflow_test.dir/vae_workflow_test.cc.o.d"
+  "vae_workflow_test"
+  "vae_workflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vae_workflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepaqp_cli.dir/deepaqp_cli.cpp.o"
+  "CMakeFiles/deepaqp_cli.dir/deepaqp_cli.cpp.o.d"
+  "deepaqp_cli"
+  "deepaqp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepaqp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
