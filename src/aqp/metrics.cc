@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-
-#include "util/logging.h"
+#include <limits>
 
 namespace deepaqp::aqp {
 
@@ -33,40 +32,42 @@ double ResultRelativeError(const QueryResult& estimate,
   return total / static_cast<double>(truth.groups.size());
 }
 
-double EmpiricalQuantile(std::vector<double> values, double q) {
-  DEEPAQP_CHECK(!values.empty());
-  q = std::clamp(q, 0.0, 1.0);
-  std::sort(values.begin(), values.end());
-  const size_t n = values.size();
-  // Linear interpolation between closest ranks.
+namespace {
+
+/// Linear interpolation between closest ranks of an already-sorted,
+/// non-empty vector — the one interpolation rule shared by every quantile
+/// the library reports (the paper's 5th/25th/median/75th/95th percentiles).
+double QuantileOfSorted(const std::vector<double>& sorted, double q) {
+  const size_t n = sorted.size();
   const double pos = q * static_cast<double>(n - 1);
   const size_t lo = static_cast<size_t>(pos);
   const size_t hi = std::min(lo + 1, n - 1);
   const double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double EmpiricalQuantile(std::vector<double> values, double q) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  return QuantileOfSorted(values, q);
 }
 
 DistributionSummary DistributionSummary::FromValues(
     std::vector<double> values) {
   DistributionSummary s;
   if (values.empty()) return s;
-  const size_t n = values.size();
   double sum = 0.0;
   for (double v : values) sum += v;
-  s.mean = sum / static_cast<double>(n);
+  s.mean = sum / static_cast<double>(values.size());
   std::sort(values.begin(), values.end());
-  auto quantile = [&](double q) {
-    const double pos = q * static_cast<double>(n - 1);
-    const size_t lo = static_cast<size_t>(pos);
-    const size_t hi = std::min(lo + 1, n - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return values[lo] * (1.0 - frac) + values[hi] * frac;
-  };
-  s.p5 = quantile(0.05);
-  s.p25 = quantile(0.25);
-  s.median = quantile(0.50);
-  s.p75 = quantile(0.75);
-  s.p95 = quantile(0.95);
+  s.p5 = QuantileOfSorted(values, 0.05);
+  s.p25 = QuantileOfSorted(values, 0.25);
+  s.median = QuantileOfSorted(values, 0.50);
+  s.p75 = QuantileOfSorted(values, 0.75);
+  s.p95 = QuantileOfSorted(values, 0.95);
   return s;
 }
 

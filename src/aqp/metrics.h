@@ -24,7 +24,9 @@ double ResultRelativeError(const QueryResult& estimate,
                            const QueryResult& truth);
 
 /// Empirical q-quantile of `values` (linear interpolation between closest
-/// ranks). Requires non-empty values; q is clamped into [0, 1].
+/// ranks, the same rule behind the paper's 5th/25th/median/75th/95th
+/// reporting). Returns quiet NaN on an empty vector — an empty error set is
+/// a caller-visible condition, not a crash. q is clamped into [0, 1].
 double EmpiricalQuantile(std::vector<double> values, double q);
 
 /// Order statistics of an error distribution, for box-plot style reporting

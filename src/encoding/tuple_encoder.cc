@@ -304,7 +304,12 @@ relation::Table TupleEncoder::DecodeLogits(const nn::Matrix& logits,
   return out;
 }
 
+/// Bump when the serialized layout below changes; Deserialize rejects
+/// mismatches with a diagnosable error instead of misparsing the layout.
+static constexpr uint32_t kEncoderSchemaVersion = 1;
+
 void TupleEncoder::Serialize(util::ByteWriter& w) const {
+  w.WriteU32(kEncoderSchemaVersion);
   w.WriteU8(static_cast<uint8_t>(options_.kind));
   w.WriteI32(options_.numeric_bins);
   w.WriteU64(schema_.num_attributes());
@@ -323,6 +328,13 @@ void TupleEncoder::Serialize(util::ByteWriter& w) const {
 
 util::Result<TupleEncoder> TupleEncoder::Deserialize(util::ByteReader& r) {
   TupleEncoder enc;
+  DEEPAQP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kEncoderSchemaVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported tuple-encoder schema version " +
+        std::to_string(version) + " (expected " +
+        std::to_string(kEncoderSchemaVersion) + ")");
+  }
   DEEPAQP_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
   if (kind > static_cast<uint8_t>(EncodingKind::kInteger)) {
     return util::Status::InvalidArgument("bad encoding kind");

@@ -1,8 +1,10 @@
 #include "ensemble/ensemble_model.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/logging.h"
+#include "util/snapshot.h"
 #include "util/thread_pool.h"
 
 namespace deepaqp::ensemble {
@@ -103,43 +105,116 @@ size_t EnsembleModel::ModelSizeBytes() const {
   return total;
 }
 
+namespace {
+
+std::string MemberSectionName(size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "member-%04zu", i);
+  return buf;
+}
+
+}  // namespace
+
 std::vector<uint8_t> EnsembleModel::Serialize() const {
-  util::ByteWriter w;
-  w.WriteString("deepaqp-ensemble-v1");
-  w.WriteU64(members_.size());
-  w.WriteF64Vector(weights_);
-  for (const auto& member : members_) {
-    const std::vector<uint8_t> bytes = member->Serialize();
-    w.WriteU64(bytes.size());
-    for (uint8_t b : bytes) w.WriteU8(b);
+  util::SnapshotWriter snap(kEnsembleSnapshotKind, kEnsemblePayloadVersion);
+  snap.AddSection("meta").WriteU64(members_.size());
+  snap.AddSection("weights").WriteF64Vector(weights_);
+  // One section per member (each a complete nested VAE snapshot): the
+  // per-section checksum is what lets a tolerant loader drop exactly the
+  // corrupt member instead of the whole ensemble.
+  for (size_t i = 0; i < members_.size(); ++i) {
+    const std::vector<uint8_t> bytes = members_[i]->Serialize();
+    snap.AddSection(MemberSectionName(i)).WriteRaw(bytes.data(),
+                                                   bytes.size());
   }
-  return w.bytes();
+  return snap.Finish();
 }
 
 util::Result<std::unique_ptr<EnsembleModel>> EnsembleModel::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  util::ByteReader r(bytes);
-  DEEPAQP_ASSIGN_OR_RETURN(std::string magic, r.ReadString());
-  if (magic != "deepaqp-ensemble-v1") {
-    return util::Status::InvalidArgument("not a deepaqp ensemble");
+  DEEPAQP_ASSIGN_OR_RETURN(util::SnapshotReader snap,
+                           util::SnapshotReader::Open(bytes));
+  return DeserializeImpl(snap, /*tolerant=*/false, nullptr);
+}
+
+util::Result<std::unique_ptr<EnsembleModel>>
+EnsembleModel::DeserializeDegraded(const std::vector<uint8_t>& bytes,
+                                   EnsembleLoadReport* report) {
+  DEEPAQP_ASSIGN_OR_RETURN(util::SnapshotReader snap,
+                           util::SnapshotReader::OpenTolerant(bytes));
+  return DeserializeImpl(snap, /*tolerant=*/true, report);
+}
+
+util::Result<std::unique_ptr<EnsembleModel>> EnsembleModel::DeserializeImpl(
+    const util::SnapshotReader& snap, bool tolerant,
+    EnsembleLoadReport* report) {
+  if (snap.kind() != kEnsembleSnapshotKind) {
+    return util::Status::InvalidArgument(
+        "snapshot holds a '" + snap.kind() + "', not a deepaqp ensemble");
+  }
+  if (snap.payload_version() != kEnsemblePayloadVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported ensemble payload version " +
+        std::to_string(snap.payload_version()) + " (expected " +
+        std::to_string(kEnsemblePayloadVersion) + ")");
   }
   auto model = std::unique_ptr<EnsembleModel>(new EnsembleModel());
-  DEEPAQP_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
-  DEEPAQP_ASSIGN_OR_RETURN(model->weights_, r.ReadF64Vector());
-  if (model->weights_.size() != count || count == 0) {
+  DEEPAQP_ASSIGN_OR_RETURN(util::ByteReader meta, snap.Section("meta"));
+  DEEPAQP_ASSIGN_OR_RETURN(uint64_t count, meta.ReadU64());
+  DEEPAQP_ASSIGN_OR_RETURN(util::ByteReader weights_r,
+                           snap.Section("weights"));
+  DEEPAQP_ASSIGN_OR_RETURN(std::vector<double> weights,
+                           weights_r.ReadF64Vector());
+  if (weights.size() != count || count == 0) {
     return util::Status::InvalidArgument("ensemble weight count mismatch");
   }
+
+  EnsembleLoadReport rep;
+  rep.members_total = count;
+  double loaded_weight = 0.0;
+  double total_weight = 0.0;
+  std::string first_error;
   for (uint64_t i = 0; i < count; ++i) {
-    DEEPAQP_ASSIGN_OR_RETURN(uint64_t size, r.ReadU64());
-    std::vector<uint8_t> member_bytes(size);
-    for (uint64_t b = 0; b < size; ++b) {
-      DEEPAQP_ASSIGN_OR_RETURN(member_bytes[b], r.ReadU8());
+    total_weight += weights[i];
+    const std::string name = MemberSectionName(i);
+    auto member = [&]() -> util::Result<std::unique_ptr<vae::VaeAqpModel>> {
+      DEEPAQP_ASSIGN_OR_RETURN(util::ByteReader r, snap.Section(name));
+      DEEPAQP_ASSIGN_OR_RETURN(std::vector<uint8_t> member_bytes,
+                               r.ReadBytes(r.remaining()));
+      return vae::VaeAqpModel::Deserialize(member_bytes);
+    }();
+    if (member.ok()) {
+      model->members_.push_back(std::move(*member));
+      model->member_rows_.emplace_back();  // not shipped with the model
+      model->weights_.push_back(weights[i]);
+      loaded_weight += weights[i];
+      ++rep.members_loaded;
+    } else {
+      const std::string error =
+          name + ": " + member.status().ToString();
+      if (!tolerant) {
+        return util::Status(member.status().code(),
+                            "ensemble " + error);
+      }
+      if (first_error.empty()) first_error = error;
+      rep.member_errors.push_back(error);
     }
-    DEEPAQP_ASSIGN_OR_RETURN(auto member,
-                             vae::VaeAqpModel::Deserialize(member_bytes));
-    model->members_.push_back(std::move(member));
-    model->member_rows_.emplace_back();  // not shipped with the model
   }
+  if (model->members_.empty()) {
+    return util::Status::IOError(
+        "all " + std::to_string(count) +
+        " ensemble members failed to load (first: " + first_error + ")");
+  }
+  rep.coverage = total_weight > 0.0 ? loaded_weight / total_weight : 0.0;
+  if (rep.degraded()) {
+    // Surviving members keep their relative proportions. Only done on a
+    // degraded load so a clean round trip stays bit-identical.
+    for (double& w : model->weights_) w /= loaded_weight;
+    DEEPAQP_LOG(Warning) << "ensemble loaded degraded: "
+                         << rep.members_loaded << "/" << rep.members_total
+                         << " members, coverage " << rep.coverage;
+  }
+  if (report != nullptr) *report = rep;
   return model;
 }
 

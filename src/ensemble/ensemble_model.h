@@ -1,17 +1,40 @@
 #ifndef DEEPAQP_ENSEMBLE_ENSEMBLE_MODEL_H_
 #define DEEPAQP_ENSEMBLE_ENSEMBLE_MODEL_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "aqp/evaluation.h"
 #include "ensemble/partitioning.h"
 #include "relation/table.h"
 #include "util/rng.h"
+#include "util/snapshot.h"
 #include "util/status.h"
 #include "vae/vae_model.h"
 
 namespace deepaqp::ensemble {
+
+/// Snapshot identity of a serialized EnsembleModel (util/snapshot.h).
+inline constexpr char kEnsembleSnapshotKind[] = "deepaqp.ensemble";
+inline constexpr uint32_t kEnsemblePayloadVersion = 1;
+
+/// What a tolerant ensemble load actually recovered: with per-member
+/// snapshot sections, one corrupt member need not take down the whole
+/// model — the client can keep serving from the surviving members and
+/// report the reduced coverage.
+struct EnsembleLoadReport {
+  size_t members_total = 0;
+  size_t members_loaded = 0;
+  /// Fraction of the original mixture weight carried by loaded members
+  /// (1.0 when nothing was lost).
+  double coverage = 1.0;
+  /// One "member-NNNN: <status>" line per member that failed to load.
+  std::vector<std::string> member_errors;
+
+  bool degraded() const { return members_loaded < members_total; }
+};
 
 /// A collection of per-partition VAEs acting as one generative model of the
 /// whole relation (paper Sec. V): each member learns the finer structure of
@@ -53,8 +76,20 @@ class EnsembleModel {
   static util::Result<std::unique_ptr<EnsembleModel>> Deserialize(
       const std::vector<uint8_t>& bytes);
 
+  /// Corruption-tolerant load: members whose snapshot sections fail their
+  /// checksum (or fall beyond a truncated tail) are skipped, the remaining
+  /// members' mixture weights are renormalized, and `report` (optional)
+  /// receives what was lost. Errors only when the header/weights are
+  /// unreadable or no member survives.
+  static util::Result<std::unique_ptr<EnsembleModel>> DeserializeDegraded(
+      const std::vector<uint8_t>& bytes, EnsembleLoadReport* report);
+
  private:
   EnsembleModel() = default;
+
+  static util::Result<std::unique_ptr<EnsembleModel>> DeserializeImpl(
+      const util::SnapshotReader& snap, bool tolerant,
+      EnsembleLoadReport* report);
 
   std::vector<std::unique_ptr<vae::VaeAqpModel>> members_;
   /// Row indices of each member's partition in the training table.

@@ -1,0 +1,20 @@
+#ifndef DEEPAQP_UTIL_CRC32_H_
+#define DEEPAQP_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace deepaqp::util {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `size` bytes starting at
+/// `data`. This is the checksum used for snapshot integrity: it matches
+/// zlib's crc32(), so model files can be verified with standard tooling.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Incremental form: feed `crc` the result of a previous call (or 0 for the
+/// first chunk) to checksum data that is not contiguous in memory.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace deepaqp::util
+
+#endif  // DEEPAQP_UTIL_CRC32_H_

@@ -111,6 +111,15 @@ Result<std::vector<int32_t>> ByteReader::ReadI32Vector() {
   return v;
 }
 
+Result<std::vector<uint8_t>> ByteReader::ReadBytes(size_t n) {
+  if (n > size_ - pos_) {
+    return Status::OutOfRange("ByteReader: truncated raw bytes");
+  }
+  std::vector<uint8_t> v(n);
+  DEEPAQP_RETURN_IF_ERROR(Take(v.data(), n));
+  return v;
+}
+
 Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open for write: " + path);
@@ -118,6 +127,17 @@ Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
   std::fclose(f);
   if (written != bytes.size()) {
     return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  DEEPAQP_RETURN_IF_ERROR(WriteFile(tmp, bytes));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("atomic rename failed: " + tmp + " -> " + path);
   }
   return Status::OK();
 }

@@ -28,6 +28,11 @@ class ByteWriter {
   void WriteF64Vector(const std::vector<double>& v);
   void WriteI32Vector(const std::vector<int32_t>& v);
 
+  /// Appends `n` bytes verbatim (no length prefix) — for nesting an
+  /// already-serialized payload, e.g. a member model inside a snapshot
+  /// section.
+  void WriteRaw(const void* p, size_t n) { AppendRaw(p, n); }
+
   const std::vector<uint8_t>& bytes() const { return buf_; }
   size_t size() const { return buf_.size(); }
 
@@ -61,6 +66,10 @@ class ByteReader {
   Result<std::vector<double>> ReadF64Vector();
   Result<std::vector<int32_t>> ReadI32Vector();
 
+  /// Reads `n` raw bytes (the inverse of WriteRaw; the caller knows n, e.g.
+  /// from remaining()).
+  Result<std::vector<uint8_t>> ReadBytes(size_t n);
+
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
@@ -74,6 +83,13 @@ class ByteReader {
 
 /// Writes `bytes` to `path`, replacing any existing file.
 Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes);
+
+/// Writes `bytes` to `path` via a temp file + rename, so a crash or full
+/// disk mid-write never leaves a truncated file at `path` (either the old
+/// content or the new content is visible, never a prefix). Assumes a single
+/// writer per path: the temp name is `path + ".tmp"`.
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes);
 
 /// Reads the whole file at `path`.
 Result<std::vector<uint8_t>> ReadFile(const std::string& path);

@@ -1,0 +1,183 @@
+#include "util/snapshot.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace deepaqp::util {
+
+ByteWriter& SnapshotWriter::AddSection(std::string name) {
+  sections_.emplace_back(std::move(name), ByteWriter());
+  return sections_.back().second;
+}
+
+std::vector<uint8_t> SnapshotWriter::Finish() const {
+  ByteWriter header;
+  for (char c : kSnapshotMagic) header.WriteU8(static_cast<uint8_t>(c));
+  header.WriteU32(format_version_);
+  header.WriteString(kind_);
+  header.WriteU32(payload_version_);
+  header.WriteU32(static_cast<uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    header.WriteString(name);
+    header.WriteU64(payload.size());
+    header.WriteU32(Crc32(payload.bytes().data(), payload.size()));
+  }
+  header.WriteU32(Crc32(header.bytes().data(), header.size()));
+
+  std::vector<uint8_t> out = header.bytes();
+  for (const auto& [name, payload] : sections_) {
+    out.insert(out.end(), payload.bytes().begin(), payload.bytes().end());
+  }
+  const uint32_t file_crc = Crc32(out.data(), out.size());
+  ByteWriter trailer;
+  trailer.WriteU32(file_crc);
+  out.insert(out.end(), trailer.bytes().begin(), trailer.bytes().end());
+  return out;
+}
+
+Result<SnapshotReader> SnapshotReader::Open(
+    const std::vector<uint8_t>& bytes) {
+  return OpenImpl(bytes, /*tolerant=*/false);
+}
+
+Result<SnapshotReader> SnapshotReader::OpenTolerant(
+    const std::vector<uint8_t>& bytes) {
+  return OpenImpl(bytes, /*tolerant=*/true);
+}
+
+Result<SnapshotReader> SnapshotReader::OpenImpl(
+    const std::vector<uint8_t>& bytes, bool tolerant) {
+  Stopwatch watch;
+  constexpr size_t kMagicSize = sizeof(kSnapshotMagic);
+  if (bytes.size() < kMagicSize + sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        "snapshot too small to hold a header (" +
+        std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, kMagicSize) != 0) {
+    return Status::InvalidArgument(
+        "not a deepaqp snapshot (bad magic; legacy or foreign file?)");
+  }
+
+  SnapshotReader snap;
+  snap.data_ = bytes.data();
+  snap.size_ = bytes.size();
+
+  ByteReader r(bytes.data() + kMagicSize, bytes.size() - kMagicSize);
+  // Absolute position in the snapshot buffer of the reader's cursor.
+  const auto pos = [&r, &bytes] { return bytes.size() - r.remaining(); };
+
+  DEEPAQP_ASSIGN_OR_RETURN(snap.format_version_, r.ReadU32());
+  if (snap.format_version_ == 0 ||
+      snap.format_version_ > kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "snapshot format version " + std::to_string(snap.format_version_) +
+        " is not supported (this reader handles up to version " +
+        std::to_string(kSnapshotFormatVersion) +
+        "); upgrade the library or re-save the model");
+  }
+  DEEPAQP_ASSIGN_OR_RETURN(snap.kind_, r.ReadString());
+  DEEPAQP_ASSIGN_OR_RETURN(snap.payload_version_, r.ReadU32());
+  DEEPAQP_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    SnapshotSection section;
+    DEEPAQP_ASSIGN_OR_RETURN(section.name, r.ReadString());
+    DEEPAQP_ASSIGN_OR_RETURN(uint64_t size, r.ReadU64());
+    DEEPAQP_ASSIGN_OR_RETURN(section.crc32, r.ReadU32());
+    section.size = static_cast<size_t>(size);
+    snap.sections_.push_back(std::move(section));
+  }
+
+  const size_t header_end = pos();
+  DEEPAQP_ASSIGN_OR_RETURN(uint32_t header_crc, r.ReadU32());
+  if (Crc32(bytes.data(), header_end) != header_crc) {
+    return Status::IOError(
+        "snapshot header checksum mismatch (corrupt header/section table)");
+  }
+
+  // The section table is now trustworthy; lay out payload offsets. Once one
+  // section falls outside the buffer every later one does too (payloads are
+  // sequential), so `truncated` is sticky.
+  size_t offset = pos();
+  bool truncated = false;
+  for (SnapshotSection& section : snap.sections_) {
+    section.offset = offset;
+    if (truncated || section.size > bytes.size() - offset) {
+      if (!tolerant) {
+        return Status::OutOfRange(
+            "snapshot truncated: section '" + section.name +
+            "' extends past the end of the file");
+      }
+      truncated = true;
+      section.in_bounds = false;
+      snap.stats_.file_checksum_ok = false;
+      continue;
+    }
+    offset += section.size;
+  }
+
+  // Trailing whole-file checksum.
+  const bool has_trailer =
+      !truncated && offset + sizeof(uint32_t) == bytes.size();
+  if (has_trailer) {
+    uint32_t file_crc = 0;
+    std::memcpy(&file_crc, bytes.data() + offset, sizeof(file_crc));
+    if (Crc32(bytes.data(), offset) != file_crc) {
+      if (!tolerant) {
+        return Status::IOError(
+            "snapshot file checksum mismatch (corrupt payload)");
+      }
+      snap.stats_.file_checksum_ok = false;
+    }
+  } else {
+    if (!tolerant) {
+      return Status::OutOfRange(
+          "snapshot size does not match its section table "
+          "(truncated or trailing garbage)");
+    }
+    snap.stats_.file_checksum_ok = false;
+  }
+
+  snap.stats_.total_bytes = bytes.size();
+  snap.stats_.num_sections = snap.sections_.size();
+  snap.stats_.verify_seconds = watch.ElapsedSeconds();
+  DEEPAQP_LOG(Debug) << "snapshot open: kind=" << snap.kind_
+                     << " payload_v" << snap.payload_version_ << " "
+                     << snap.stats_.num_sections << " sections, "
+                     << snap.stats_.total_bytes << " bytes, checksums "
+                     << (snap.stats_.file_checksum_ok ? "ok" : "DEGRADED")
+                     << " in " << snap.stats_.verify_seconds * 1e3 << " ms";
+  return snap;
+}
+
+bool SnapshotReader::HasSection(const std::string& name) const {
+  for (const SnapshotSection& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+Result<ByteReader> SnapshotReader::Section(const std::string& name) const {
+  for (const SnapshotSection& s : sections_) {
+    if (s.name != name) continue;
+    if (!s.in_bounds) {
+      return Status::OutOfRange("snapshot section '" + name +
+                                "' lies beyond the end of the file "
+                                "(truncated snapshot)");
+    }
+    Stopwatch watch;
+    const uint32_t crc = Crc32(data_ + s.offset, s.size);
+    stats_.verify_seconds += watch.ElapsedSeconds();
+    if (crc != s.crc32) {
+      return Status::IOError("snapshot section '" + name +
+                             "' checksum mismatch (corrupt payload)");
+    }
+    return ByteReader(data_ + s.offset, s.size);
+  }
+  return Status::NotFound("snapshot has no section '" + name + "'");
+}
+
+}  // namespace deepaqp::util

@@ -1,0 +1,134 @@
+#ifndef DEEPAQP_UTIL_SNAPSHOT_H_
+#define DEEPAQP_UTIL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace deepaqp::util {
+
+/// Versioned, checksummed container for persisted models. The paper's
+/// deployment story ships a few-hundred-KB generative model to clients
+/// instead of data samples, which makes the model file a production artifact
+/// that must survive partial writes, bit rot, and version skew. Layout
+/// (little-endian, ByteWriter conventions):
+///
+///   magic            8 bytes  "DAQPSNAP"
+///   format_version   u32      container layout version (this file's schema)
+///   kind             string   payload identifier, e.g. "deepaqp.vae-model"
+///   payload_version  u32      schema version of the payload sections
+///   section_count    u32
+///   per section:     string name, u64 size, u32 crc32(payload)
+///   header_crc       u32      CRC-32 of every byte above
+///   section payloads, concatenated in table order
+///   file_crc         u32      CRC-32 of every preceding byte
+///
+/// The header CRC makes the section table trustworthy on its own, so a
+/// reader can salvage intact sections from a file whose tail is corrupt
+/// (degraded ensemble loading); the file CRC makes strict verification a
+/// single pass.
+inline constexpr char kSnapshotMagic[8] = {'D', 'A', 'Q', 'P',
+                                           'S', 'N', 'A', 'P'};
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Builds a snapshot: add named sections, serialize the payload into each
+/// section's ByteWriter, then Finish(). Section writers remain valid until
+/// the SnapshotWriter is destroyed.
+class SnapshotWriter {
+ public:
+  /// `format_version` is overridable only so tests and migration tooling can
+  /// fabricate future-version files; production callers use the default.
+  SnapshotWriter(std::string kind, uint32_t payload_version,
+                 uint32_t format_version = kSnapshotFormatVersion)
+      : kind_(std::move(kind)),
+        payload_version_(payload_version),
+        format_version_(format_version) {}
+
+  /// Appends a new section and returns its payload writer.
+  ByteWriter& AddSection(std::string name);
+
+  /// Assembles the container (header, section table, payloads, checksums).
+  std::vector<uint8_t> Finish() const;
+
+ private:
+  std::string kind_;
+  uint32_t payload_version_;
+  uint32_t format_version_;
+  /// deque: AddSection must not invalidate previously returned references.
+  std::deque<std::pair<std::string, ByteWriter>> sections_;
+};
+
+/// One section-table entry, exposed so callers (and tests) can inspect and
+/// target sections by offset.
+struct SnapshotSection {
+  std::string name;
+  size_t offset = 0;  // absolute offset of the payload in the snapshot
+  size_t size = 0;
+  uint32_t crc32 = 0;
+  /// False when the section table places the payload beyond the end of the
+  /// buffer (truncated file opened tolerantly).
+  bool in_bounds = true;
+};
+
+/// Loader diagnostics surfaced to logging and the CLI.
+struct SnapshotStats {
+  size_t total_bytes = 0;
+  size_t num_sections = 0;
+  /// Seconds spent computing/verifying checksums (open + section reads).
+  double verify_seconds = 0.0;
+  /// Whole-file checksum status; always true after a strict Open.
+  bool file_checksum_ok = true;
+};
+
+/// Read side. Does not own the bytes: the buffer passed to Open must outlive
+/// the reader and any ByteReader obtained from it.
+class SnapshotReader {
+ public:
+  /// Strict open: bad magic, unsupported format version, header/table
+  /// corruption, size mismatch, or a whole-file checksum failure all return
+  /// a descriptive error. Per-section CRCs are still verified lazily by
+  /// Section().
+  static Result<SnapshotReader> Open(const std::vector<uint8_t>& bytes);
+
+  /// Tolerant open for degraded loading: the header and section table must
+  /// verify (their own CRC), but a missing/failed whole-file checksum or a
+  /// truncated tail is recorded in stats() instead of failing, so intact
+  /// sections remain readable via Section().
+  static Result<SnapshotReader> OpenTolerant(
+      const std::vector<uint8_t>& bytes);
+
+  const std::string& kind() const { return kind_; }
+  uint32_t format_version() const { return format_version_; }
+  uint32_t payload_version() const { return payload_version_; }
+  const std::vector<SnapshotSection>& sections() const { return sections_; }
+  const SnapshotStats& stats() const { return stats_; }
+
+  bool HasSection(const std::string& name) const;
+
+  /// Verifies the named section's CRC-32 and returns a reader bounded to its
+  /// payload. NotFound for unknown names; OutOfRange for truncated sections;
+  /// IOError for checksum mismatches.
+  Result<ByteReader> Section(const std::string& name) const;
+
+ private:
+  SnapshotReader() = default;
+  static Result<SnapshotReader> OpenImpl(const std::vector<uint8_t>& bytes,
+                                         bool tolerant);
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::string kind_;
+  uint32_t format_version_ = 0;
+  uint32_t payload_version_ = 0;
+  std::vector<SnapshotSection> sections_;
+  mutable SnapshotStats stats_;  // Section() accumulates verify time
+};
+
+}  // namespace deepaqp::util
+
+#endif  // DEEPAQP_UTIL_SNAPSHOT_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/snapshot.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -143,8 +144,20 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
       }
     }
     std::sort(t_values.begin(), t_values.end());
-    model->default_t_ =
-        t_values[static_cast<size_t>(0.9 * (t_values.size() - 1))];
+    if (t_values.empty()) {
+      // No calibration data (defensive; Train rejects empty tables):
+      // accept every sample rather than index out of bounds.
+      model->default_t_ = kTPlusInf;
+    } else {
+      // Nearest-rank 90th percentile, ceil(0.9*n)-1: floor-based
+      // 0.9*(n-1) picks a too-low order statistic on tiny calibration
+      // sets (e.g. n=2 picked index 0, the minimum).
+      const size_t n = t_values.size();
+      const size_t rank = std::min(
+          n - 1,
+          static_cast<size_t>(std::ceil(0.9 * static_cast<double>(n))) - 1);
+      model->default_t_ = t_values[rank];
+    }
   }
 
   if (stats != nullptr) stats->total_seconds = total_watch.ElapsedSeconds();
@@ -309,36 +322,50 @@ double VaeAqpModel::ElboLoss(const relation::Table& table, util::Rng& rng,
 size_t VaeAqpModel::ModelSizeBytes() const { return Serialize().size(); }
 
 std::vector<uint8_t> VaeAqpModel::Serialize() const {
-  util::ByteWriter w;
-  w.WriteString("deepaqp-vae-v1");
-  w.WriteF64(default_t_);
-  w.WriteU8(static_cast<uint8_t>(options_.decode.strategy));
-  w.WriteI32(options_.decode.draws);
-  encoder_.Serialize(w);
-  net_->Serialize(w);
-  return w.bytes();
+  util::SnapshotWriter snap(kVaeModelSnapshotKind, kVaeModelPayloadVersion);
+  util::ByteWriter& meta = snap.AddSection("meta");
+  meta.WriteF64(default_t_);
+  meta.WriteU8(static_cast<uint8_t>(options_.decode.strategy));
+  meta.WriteI32(options_.decode.draws);
+  encoder_.Serialize(snap.AddSection("encoder"));
+  net_->Serialize(snap.AddSection("net"));
+  return snap.Finish();
 }
 
 util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  util::ByteReader r(bytes);
-  DEEPAQP_ASSIGN_OR_RETURN(std::string magic, r.ReadString());
-  if (magic != "deepaqp-vae-v1") {
-    return util::Status::InvalidArgument("not a deepaqp VAE model");
+  DEEPAQP_ASSIGN_OR_RETURN(util::SnapshotReader snap,
+                           util::SnapshotReader::Open(bytes));
+  if (snap.kind() != kVaeModelSnapshotKind) {
+    return util::Status::InvalidArgument(
+        "snapshot holds a '" + snap.kind() + "', not a deepaqp VAE model");
+  }
+  if (snap.payload_version() != kVaeModelPayloadVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported VAE model payload version " +
+        std::to_string(snap.payload_version()) + " (expected " +
+        std::to_string(kVaeModelPayloadVersion) + ")");
   }
   auto model = std::unique_ptr<VaeAqpModel>(new VaeAqpModel());
-  DEEPAQP_ASSIGN_OR_RETURN(model->default_t_, r.ReadF64());
-  DEEPAQP_ASSIGN_OR_RETURN(uint8_t strategy, r.ReadU8());
+  DEEPAQP_ASSIGN_OR_RETURN(util::ByteReader meta, snap.Section("meta"));
+  DEEPAQP_ASSIGN_OR_RETURN(model->default_t_, meta.ReadF64());
+  DEEPAQP_ASSIGN_OR_RETURN(uint8_t strategy, meta.ReadU8());
   if (strategy > static_cast<uint8_t>(
                      encoding::DecodeStrategy::kWeightedRandom)) {
     return util::Status::InvalidArgument("bad decode strategy");
   }
   model->options_.decode.strategy =
       static_cast<encoding::DecodeStrategy>(strategy);
-  DEEPAQP_ASSIGN_OR_RETURN(model->options_.decode.draws, r.ReadI32());
+  DEEPAQP_ASSIGN_OR_RETURN(model->options_.decode.draws, meta.ReadI32());
+  if (!meta.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "trailing bytes in VAE model 'meta' section");
+  }
+  DEEPAQP_ASSIGN_OR_RETURN(util::ByteReader enc_r, snap.Section("encoder"));
   DEEPAQP_ASSIGN_OR_RETURN(model->encoder_,
-                           encoding::TupleEncoder::Deserialize(r));
-  DEEPAQP_ASSIGN_OR_RETURN(model->net_, VaeNet::Deserialize(r));
+                           encoding::TupleEncoder::Deserialize(enc_r));
+  DEEPAQP_ASSIGN_OR_RETURN(util::ByteReader net_r, snap.Section("net"));
+  DEEPAQP_ASSIGN_OR_RETURN(model->net_, VaeNet::Deserialize(net_r));
   return model;
 }
 

@@ -1,6 +1,7 @@
 #ifndef DEEPAQP_VAE_VAE_MODEL_H_
 #define DEEPAQP_VAE_VAE_MODEL_H_
 
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -13,6 +14,11 @@
 #include "vae/vae_net.h"
 
 namespace deepaqp::vae {
+
+/// Snapshot identity of a serialized VaeAqpModel (util/snapshot.h container;
+/// the CLI dispatches on the kind string without parsing the payload).
+inline constexpr char kVaeModelSnapshotKind[] = "deepaqp.vae-model";
+inline constexpr uint32_t kVaeModelPayloadVersion = 1;
 
 /// Sentinels for the rejection threshold sweep of Fig. 8. kTPlusInf accepts
 /// every sample (no rejection); kTMinusInf accepts only the best-ratio

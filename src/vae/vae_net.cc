@@ -280,7 +280,12 @@ size_t VaeNet::NumParameters() {
   return total;
 }
 
+/// Bump when the serialized layout below changes; Deserialize rejects
+/// mismatches with a diagnosable error instead of misparsing weights.
+static constexpr uint32_t kVaeNetSchemaVersion = 1;
+
 void VaeNet::Serialize(util::ByteWriter& w) const {
+  w.WriteU32(kVaeNetSchemaVersion);
   w.WriteU64(options_.input_dim);
   w.WriteU64(options_.latent_dim);
   w.WriteU64(options_.hidden_dim);
@@ -294,6 +299,12 @@ void VaeNet::Serialize(util::ByteWriter& w) const {
 util::Result<std::unique_ptr<VaeNet>> VaeNet::Deserialize(
     util::ByteReader& r) {
   auto net = std::unique_ptr<VaeNet>(new VaeNet());
+  DEEPAQP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVaeNetSchemaVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported VAE net schema version " + std::to_string(version) +
+        " (expected " + std::to_string(kVaeNetSchemaVersion) + ")");
+  }
   DEEPAQP_ASSIGN_OR_RETURN(net->options_.input_dim, r.ReadU64());
   DEEPAQP_ASSIGN_OR_RETURN(net->options_.latent_dim, r.ReadU64());
   DEEPAQP_ASSIGN_OR_RETURN(net->options_.hidden_dim, r.ReadU64());

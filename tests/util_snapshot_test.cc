@@ -1,0 +1,176 @@
+// Unit tests for the versioned, checksummed snapshot container: round
+// trips, exhaustive single-bit corruption, truncation, version skew, and
+// tolerant (degraded) opening.
+
+#include "util/snapshot.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/crc32.h"
+#include "util/serialize.h"
+
+namespace deepaqp::util {
+namespace {
+
+std::vector<uint8_t> MakeTwoSectionSnapshot() {
+  SnapshotWriter w("test.kind", 3);
+  ByteWriter& a = w.AddSection("alpha");
+  a.WriteString("hello");
+  a.WriteF64(2.5);
+  ByteWriter& b = w.AddSection("beta");
+  b.WriteI32Vector({1, 2, 3, 4});
+  return w.Finish();
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // Standard check value for the IEEE CRC-32 of "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Incremental == one-shot.
+  uint32_t inc = Crc32Update(0, "1234", 4);
+  inc = Crc32Update(inc, "56789", 5);
+  EXPECT_EQ(inc, 0xCBF43926u);
+}
+
+TEST(SnapshotTest, RoundTripSectionsAndMetadata) {
+  const std::vector<uint8_t> bytes = MakeTwoSectionSnapshot();
+  auto snap = SnapshotReader::Open(bytes);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->kind(), "test.kind");
+  EXPECT_EQ(snap->format_version(), kSnapshotFormatVersion);
+  EXPECT_EQ(snap->payload_version(), 3u);
+  ASSERT_EQ(snap->sections().size(), 2u);
+  EXPECT_TRUE(snap->HasSection("alpha"));
+  EXPECT_TRUE(snap->HasSection("beta"));
+  EXPECT_FALSE(snap->HasSection("gamma"));
+  EXPECT_EQ(snap->stats().total_bytes, bytes.size());
+  EXPECT_TRUE(snap->stats().file_checksum_ok);
+
+  auto a = snap->Section("alpha");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a->ReadString(), "hello");
+  EXPECT_EQ(*a->ReadF64(), 2.5);
+  EXPECT_TRUE(a->AtEnd());
+
+  auto b = snap->Section("beta");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->ReadI32Vector()->size(), 4u);
+
+  auto missing = snap->Section("gamma");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, EverySingleBitFlipIsRejectedByStrictOpen) {
+  const std::vector<uint8_t> bytes = MakeTwoSectionSnapshot();
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      auto snap = SnapshotReader::Open(mutated);
+      EXPECT_FALSE(snap.ok())
+          << "flip at byte " << byte << " bit " << bit << " was accepted";
+    }
+  }
+}
+
+TEST(SnapshotTest, EveryTruncationIsRejectedByStrictOpen) {
+  const std::vector<uint8_t> bytes = MakeTwoSectionSnapshot();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    auto snap = SnapshotReader::Open(truncated);
+    EXPECT_FALSE(snap.ok()) << "cut at " << cut << " was accepted";
+  }
+}
+
+TEST(SnapshotTest, FutureFormatVersionIsDiagnosed) {
+  SnapshotWriter w("test.kind", 1, kSnapshotFormatVersion + 1);
+  w.AddSection("alpha").WriteU32(7);
+  auto snap = SnapshotReader::Open(w.Finish());
+  ASSERT_FALSE(snap.ok());
+  EXPECT_NE(snap.status().message().find("format version"),
+            std::string::npos)
+      << snap.status().ToString();
+}
+
+TEST(SnapshotTest, ForeignBytesAreDiagnosedAsBadMagic) {
+  std::vector<uint8_t> junk(64, 0xAB);
+  auto snap = SnapshotReader::Open(junk);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_NE(snap.status().message().find("magic"), std::string::npos);
+}
+
+TEST(SnapshotTest, TolerantOpenSalvagesIntactSections) {
+  const std::vector<uint8_t> bytes = MakeTwoSectionSnapshot();
+  auto clean = SnapshotReader::Open(bytes);
+  ASSERT_TRUE(clean.ok());
+  // Corrupt one payload byte of "beta"; "alpha" must stay readable.
+  size_t beta_offset = 0;
+  for (const auto& s : clean->sections()) {
+    if (s.name == "beta") beta_offset = s.offset;
+  }
+  ASSERT_GT(beta_offset, 0u);
+  std::vector<uint8_t> mutated = bytes;
+  mutated[beta_offset] ^= 0x01;
+
+  EXPECT_FALSE(SnapshotReader::Open(mutated).ok());
+  auto snap = SnapshotReader::OpenTolerant(mutated);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_FALSE(snap->stats().file_checksum_ok);
+
+  auto a = snap->Section("alpha");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(*a->ReadString(), "hello");
+
+  auto b = snap->Section("beta");
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotTest, TolerantOpenReportsTruncatedSections) {
+  const std::vector<uint8_t> bytes = MakeTwoSectionSnapshot();
+  auto clean = SnapshotReader::Open(bytes);
+  ASSERT_TRUE(clean.ok());
+  size_t beta_offset = 0;
+  for (const auto& s : clean->sections()) {
+    if (s.name == "beta") beta_offset = s.offset;
+  }
+  // Cut inside beta's payload: the header/table still verifies, alpha is
+  // intact, beta is out of bounds.
+  std::vector<uint8_t> truncated(bytes.begin(),
+                                 bytes.begin() + beta_offset + 1);
+  auto snap = SnapshotReader::OpenTolerant(truncated);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_FALSE(snap->stats().file_checksum_ok);
+  EXPECT_TRUE(snap->Section("alpha").ok());
+  auto b = snap->Section("beta");
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SnapshotTest, TolerantOpenStillRejectsCorruptHeader) {
+  std::vector<uint8_t> bytes = MakeTwoSectionSnapshot();
+  // Byte 8 is the first format-version byte — a header field.
+  bytes[8] ^= 0x40;
+  EXPECT_FALSE(SnapshotReader::OpenTolerant(bytes).ok());
+}
+
+TEST(AtomicWriteFileTest, WritesAndReplacesWithoutLeavingTemp) {
+  const std::string path = testing::TempDir() + "/deepaqp_atomic_test.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, {1, 2, 3}).ok());
+  ASSERT_TRUE(AtomicWriteFile(path, {4, 5, 6, 7}).ok());
+  auto bytes = ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, (std::vector<uint8_t>{4, 5, 6, 7}));
+  // The temp file must not survive a successful write.
+  auto tmp = ReadFile(path + ".tmp");
+  EXPECT_FALSE(tmp.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace deepaqp::util

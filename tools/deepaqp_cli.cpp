@@ -8,9 +8,13 @@
 //   deepaqp_cli generate  --model m.bin --n N --out samples.csv [--t X]
 //   deepaqp_cli query     --model m.bin --population N --sql "SELECT ..."
 //                         [--samples N] [--t X]
+//   deepaqp_cli load-model --model m.bin [--degraded]
+//   deepaqp_cli save-model --model m.bin --out m2.bin
 //
 // The `query` flow is the paper's client story: everything after `train`
-// needs only the model file — never the data.
+// needs only the model file — never the data. `load-model` verifies a
+// snapshot's checksums and prints loader stats; `save-model` re-encodes a
+// verified model into a fresh current-format snapshot (atomic write).
 
 #include <cstdio>
 #include <cstring>
@@ -20,9 +24,11 @@
 #include "aqp/sql_parser.h"
 #include "data/generators.h"
 #include "encoding/tuple_encoder.h"
+#include "ensemble/ensemble_model.h"
 #include "relation/csv.h"
 #include "util/flags.h"
 #include "util/serialize.h"
+#include "util/snapshot.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "vae/vae_model.h"
@@ -38,7 +44,9 @@ int Fail(const util::Status& status) {
 
 int Usage() {
   std::fputs(
-      "usage: deepaqp_cli <make-data|train|info|generate|query> [--flags]\n"
+      "usage: deepaqp_cli "
+      "<make-data|train|info|generate|query|load-model|save-model> "
+      "[--flags]\n"
       "run with a command and no flags for that command's requirements\n",
       stderr);
   return 2;
@@ -128,7 +136,7 @@ int CmdTrain(const util::Flags& flags) {
   auto model = vae::VaeAqpModel::Train(*table, options, &stats);
   if (!model.ok()) return Fail(model.status());
   auto bytes = (*model)->Serialize();
-  auto status = util::WriteFile(out, bytes);
+  auto status = util::AtomicWriteFile(out, bytes);
   if (!status.ok()) return Fail(status);
   std::printf("trained in %.1fs; wrote %.1f KB model to %s (T = %.2f)\n",
               stats.total_seconds, bytes.size() / 1024.0, out.c_str(),
@@ -226,6 +234,108 @@ int CmdQuery(const util::Flags& flags) {
   return 0;
 }
 
+util::Result<std::vector<uint8_t>> ReadModelBytes(const util::Flags& flags) {
+  const std::string path = flags.GetString("model", "");
+  if (path.empty()) {
+    return util::Status::InvalidArgument("missing --model <file>");
+  }
+  return util::ReadFile(path);
+}
+
+void PrintSnapshotStats(const util::SnapshotReader& snap) {
+  std::printf("deepaqp snapshot (format v%u)\n", snap.format_version());
+  std::printf("  kind:            %s (payload v%u)\n", snap.kind().c_str(),
+              snap.payload_version());
+  std::printf("  size:            %zu bytes\n", snap.stats().total_bytes);
+  std::printf("  sections:        %zu\n", snap.stats().num_sections);
+  for (const auto& s : snap.sections()) {
+    std::printf("    %-14s %10zu bytes  crc32=%08x%s\n", s.name.c_str(),
+                s.size, s.crc32, s.in_bounds ? "" : "  [TRUNCATED]");
+  }
+  std::printf("  file checksum:   %s\n",
+              snap.stats().file_checksum_ok ? "ok" : "FAILED");
+  std::printf("  verify time:     %.3f ms\n",
+              snap.stats().verify_seconds * 1e3);
+}
+
+/// Verifies a model file end to end and prints loader stats. With
+/// --degraded, a damaged ensemble is additionally loaded tolerantly so the
+/// operator can see what coverage survives.
+int CmdLoadModel(const util::Flags& flags) {
+  auto bytes = ReadModelBytes(flags);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto snap = util::SnapshotReader::Open(*bytes);
+  const bool tolerant = flags.GetBool("degraded", false);
+  if (!snap.ok() && tolerant) {
+    snap = util::SnapshotReader::OpenTolerant(*bytes);
+  }
+  if (!snap.ok()) return Fail(snap.status());
+  PrintSnapshotStats(*snap);
+
+  if (snap->kind() == vae::kVaeModelSnapshotKind) {
+    auto model = vae::VaeAqpModel::Deserialize(*bytes);
+    if (!model.ok()) return Fail(model.status());
+    std::printf("  payload:         VAE model, %zu parameters, T = %.3f\n",
+                (*model)->net().NumParameters(), (*model)->default_t());
+    return 0;
+  }
+  if (snap->kind() == ensemble::kEnsembleSnapshotKind) {
+    ensemble::EnsembleLoadReport report;
+    auto model =
+        tolerant
+            ? ensemble::EnsembleModel::DeserializeDegraded(*bytes, &report)
+            : ensemble::EnsembleModel::Deserialize(*bytes);
+    if (!model.ok()) return Fail(model.status());
+    std::printf("  payload:         ensemble, %zu member(s)\n",
+                (*model)->num_members());
+    if (tolerant) {
+      std::printf("  coverage:        %.1f%% (%zu/%zu members)\n",
+                  report.coverage * 100.0, report.members_loaded,
+                  report.members_total);
+      for (const std::string& e : report.member_errors) {
+        std::printf("  lost:            %s\n", e.c_str());
+      }
+    }
+    return 0;
+  }
+  std::printf("  payload:         unknown kind (container verified only)\n");
+  return 0;
+}
+
+/// Loads a model with full verification and re-encodes it into a fresh
+/// current-format snapshot at --out (atomic write). This is the format
+/// migration path once newer payload versions exist.
+int CmdSaveModel(const util::Flags& flags) {
+  auto bytes = ReadModelBytes(flags);
+  if (!bytes.ok()) return Fail(bytes.status());
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fputs("save-model needs --out <file.bin>\n", stderr);
+    return 2;
+  }
+  auto snap = util::SnapshotReader::Open(*bytes);
+  if (!snap.ok()) return Fail(snap.status());
+
+  std::vector<uint8_t> fresh;
+  if (snap->kind() == vae::kVaeModelSnapshotKind) {
+    auto model = vae::VaeAqpModel::Deserialize(*bytes);
+    if (!model.ok()) return Fail(model.status());
+    fresh = (*model)->Serialize();
+  } else if (snap->kind() == ensemble::kEnsembleSnapshotKind) {
+    auto model = ensemble::EnsembleModel::Deserialize(*bytes);
+    if (!model.ok()) return Fail(model.status());
+    fresh = (*model)->Serialize();
+  } else {
+    return Fail(util::Status::InvalidArgument(
+        "cannot re-save unknown snapshot kind '" + snap->kind() + "'"));
+  }
+  auto status = util::AtomicWriteFile(out, fresh);
+  if (!status.ok()) return Fail(status);
+  std::printf("verified %zu bytes, re-encoded %zu bytes -> %s\n",
+              bytes->size(), fresh.size(), out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,5 +348,7 @@ int main(int argc, char** argv) {
   if (cmd == "info") return CmdInfo(flags);
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "load-model") return CmdLoadModel(flags);
+  if (cmd == "save-model") return CmdSaveModel(flags);
   return Usage();
 }
