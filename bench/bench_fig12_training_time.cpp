@@ -5,7 +5,10 @@
 // (b) stricter VRS thresholds (more resampling rounds / lower acceptance)
 // cost more training time than plain ELBO training.
 //
-//   ./bench_fig12_training_time [--epochs 6] [--max_rows 200000]
+//   ./bench_fig12_training_time [--epochs 6] [--max_rows 200000] [--json]
+//
+// --json additionally writes BENCH_fig12.json with one uniform record per
+// (rows, regime) point: ns_per_op is total training nanoseconds.
 
 #include "bench_common.h"
 
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
       {"VRS accept=0.5 (T<t0)", true, 0.5, 5},
   };
 
+  bench::BenchReporter reporter(flags, "fig12", /*print_rows=*/false);
   const std::string dataset = "census";
   for (size_t rows = 2000; rows <= max_rows; rows *= 10) {
     relation::Table table = bench::MakeDataset(dataset, rows);
@@ -47,9 +51,12 @@ int main(int argc, char** argv) {
       char series[64];
       std::snprintf(series, sizeof(series), "rows=%zu %s", rows,
                     regime.name);
+      const double seconds = watch.ElapsedSeconds();
       bench::PrintValueRow("Fig12", dataset, series, "train_seconds",
-                           watch.ElapsedSeconds());
+                           seconds);
+      reporter.Add({"training_time", series, seconds * 1e9, 0.0, 0});
     }
   }
+  reporter.Finish();
   return 0;
 }

@@ -5,7 +5,10 @@
 // counts.
 //
 //   ./bench_fig13_sampling_time [--rows 15000] [--epochs 10]
-//                               [--max_samples 100000]
+//                               [--max_samples 100000] [--json]
+//
+// --json additionally writes BENCH_fig13.json with one uniform record per
+// (n, T) point: ns_per_op is sampling nanoseconds per generated tuple.
 
 #include <cmath>
 
@@ -23,6 +26,7 @@ int main(int argc, char** argv) {
   const auto max_samples =
       static_cast<size_t>(flags.GetInt("max_samples", 100000));
 
+  bench::BenchReporter reporter(flags, "fig13", /*print_rows=*/false);
   const std::string dataset = "census";
   relation::Table table = bench::MakeDataset(dataset, rows);
   auto model =
@@ -51,7 +55,10 @@ int main(int argc, char** argv) {
       std::snprintf(series, sizeof(series), "n=%zu %s", n, name);
       bench::PrintValueRow("Fig13", dataset, series, "sampling_seconds",
                            seconds);
+      reporter.Add({"sampling_time", series,
+                    seconds * 1e9 / static_cast<double>(n), 0.0, 0});
     }
   }
+  reporter.Finish();
   return 0;
 }

@@ -1,0 +1,19 @@
+#include "nn/arena.h"
+
+namespace deepaqp::nn {
+
+Matrix ScratchArena::Acquire() {
+  if (pool_.empty()) return Matrix();
+  Matrix m = std::move(pool_.back());
+  pool_.pop_back();
+  return m;
+}
+
+void ScratchArena::Release(Matrix&& m) { pool_.push_back(std::move(m)); }
+
+ScratchArena& ScratchArena::ThreadLocal() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace deepaqp::nn

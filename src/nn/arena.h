@@ -1,0 +1,51 @@
+#ifndef DEEPAQP_NN_ARENA_H_
+#define DEEPAQP_NN_ARENA_H_
+
+#include <utility>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace deepaqp::nn {
+
+/// Free-list of Matrix buffers for allocation-free hot loops (inference
+/// forwards, chunked sample generation). Acquire pops a previously released
+/// buffer — its std::vector keeps whatever capacity it grew to, so a
+/// steady-state loop performs zero heap allocations — and Release returns
+/// it.
+///
+/// Ownership rules:
+/// * An arena is single-threaded state. Use one arena per thread or per
+///   work chunk (parallel chunk bodies each build their own); ThreadLocal()
+///   gives convenience access for serial entry points.
+/// * Acquire transfers ownership to the caller; contents and shape are
+///   unspecified (callers Resize and overwrite). Release transfers it back.
+///   Dropping an acquired Matrix instead of releasing it is legal — the
+///   arena just re-grows later — so early returns are safe.
+/// * Buffers never alias: each Acquire returns a distinct Matrix.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Pops a reusable buffer (empty Matrix if the pool is dry). Shape and
+  /// contents are unspecified; callers must Resize and fully overwrite.
+  Matrix Acquire();
+
+  /// Returns a buffer to the pool for later reuse.
+  void Release(Matrix&& m);
+
+  size_t pooled() const { return pool_.size(); }
+
+  /// Arena for the calling thread (serial convenience entry points).
+  static ScratchArena& ThreadLocal();
+
+ private:
+  std::vector<Matrix> pool_;
+};
+
+}  // namespace deepaqp::nn
+
+#endif  // DEEPAQP_NN_ARENA_H_

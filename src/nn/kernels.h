@@ -1,0 +1,88 @@
+#ifndef DEEPAQP_NN_KERNELS_H_
+#define DEEPAQP_NN_KERNELS_H_
+
+#include <cstddef>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace deepaqp::util {
+class Flags;
+}  // namespace deepaqp::util
+
+namespace deepaqp::nn {
+
+/// Which GEMM implementation backs nn::Gemm / nn::ShardedGemmTN and the
+/// fused forward kernels.
+///
+/// * kBlocked (default): cache-blocked, panel-packed, register-tiled kernel
+///   compiled for auto-vectorization. Results differ from the naive kernel
+///   only by floating-point summation grouping (<= ~1e-5 relative on
+///   realistic shapes) and are bit-identical at every `--threads` setting
+///   for a fixed shape, because the block layout is a pure function of the
+///   shape and each output element keeps one fixed accumulation order.
+/// * kNaive: the original triple-loop reference kernels, kept as an escape
+///   hatch for debugging kernel regressions (`DEEPAQP_KERNEL=naive`).
+enum class GemmKernelKind { kNaive, kBlocked };
+
+/// Active kernel. Initialized once from the DEEPAQP_KERNEL environment
+/// variable ("naive" or "blocked"; anything else warns and keeps the
+/// default kBlocked).
+GemmKernelKind ActiveGemmKernel();
+
+/// Overrides the active kernel. Not safe while parallel compute is in
+/// flight; set it up front (tests, benches, main()).
+void SetGemmKernel(GemmKernelKind kind);
+
+const char* GemmKernelName(GemmKernelKind kind);
+
+/// Reads the `--kernel=naive|blocked` flag and applies it (bench/tool
+/// binaries; mirrors util::ApplyThreadsFlag). Unknown values abort with a
+/// usage message.
+void ApplyKernelFlag(const util::Flags& flags);
+
+/// The seed repository's triple-loop GEMM, byte-for-byte semantics:
+/// C = alpha * op(A) @ op(B) + beta * C, row-parallel over large outputs.
+/// Retained as the correctness reference for the blocked kernel and as the
+/// kNaive escape hatch.
+void ReferenceGemm(const Matrix& a, bool trans_a, const Matrix& b,
+                   bool trans_b, float alpha, float beta, Matrix* c);
+
+/// Activations the fused forward kernel can apply in its epilogue. The
+/// epilogue arithmetic is identical to the standalone layer loops
+/// (std::exp / std::tanh based), so fusing never changes values, only
+/// the number of passes over memory.
+enum class Activation { kIdentity, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// out = act(x @ W + bias): one fused pass under the blocked kernel (bias
+/// add and activation run on each row block while it is cache-hot, no
+/// intermediate matrix is materialized). `bias` must be 1 x W.cols, may be
+/// null-shaped (0 x 0) to skip the bias add. Under kNaive this decomposes
+/// into ReferenceGemm + broadcast + scalar activation with identical
+/// results. `out` must not alias `x`, `w`, or `bias`.
+void FusedLinearForward(const Matrix& x, const Matrix& w, const Matrix& bias,
+                        Activation act, float leaky_slope, Matrix* out);
+
+/// In-place activation over a raw buffer (exactly the arithmetic the layer
+/// classes use).
+void ApplyActivation(Activation act, float leaky_slope, float* data,
+                     size_t n);
+
+/// out[i] = sigmoid(x[i]). Under the blocked kernel this uses a
+/// polynomial exp2-based expf (pure float arithmetic, auto-vectorizable,
+/// |error| < 1e-5 absolute on the sigmoid); under kNaive it is the scalar
+/// 1/(1+std::exp(-x)) loop. Either way the result is a pure function of
+/// the input and the kernel kind — never of the thread count.
+void SigmoidVec(const float* x, float* out, size_t n);
+
+/// bits[i] = Bernoulli(sigmoid(logits[i])) as 0.0f/1.0f. The sigmoid pass
+/// is vectorized (SigmoidVec); the Bernoulli draws consume exactly one
+/// rng.Bernoulli(p) per element in index order, matching the scalar loop's
+/// RNG stream consumption. Replaces the per-element exp+draw loop on the
+/// sampling hot path.
+void SigmoidBernoulliVec(const float* logits, size_t n, util::Rng& rng,
+                         float* bits);
+
+}  // namespace deepaqp::nn
+
+#endif  // DEEPAQP_NN_KERNELS_H_

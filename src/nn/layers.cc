@@ -1,7 +1,9 @@
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "util/logging.h"
 
 namespace deepaqp::nn {
@@ -27,8 +29,11 @@ std::unique_ptr<Linear> Linear::WithHeInit(size_t in_dim, size_t out_dim,
 Matrix Linear::Forward(const Matrix& input) {
   input_cache_ = input;
   Matrix out;
-  Gemm(input, false, weight.value, false, 1.0f, 0.0f, &out);
-  AddRowBroadcast(bias.value, &out);
+  // Fused x W + b: the bias is added per row block while it is cache-hot
+  // instead of in a second full pass. Same arithmetic and order as
+  // Gemm + AddRowBroadcast (bias after the complete k accumulation).
+  FusedLinearForward(input, weight.value, bias.value, Activation::kIdentity,
+                     0.0f, &out);
   return out;
 }
 
@@ -195,40 +200,99 @@ util::Result<std::unique_ptr<Sequential>> Sequential::Deserialize(
 
 Matrix InferenceForward(const Linear& linear, const Matrix& x) {
   Matrix out;
-  Gemm(x, false, linear.weight.value, false, 1.0f, 0.0f, &out);
-  AddRowBroadcast(linear.bias.value, &out);
+  FusedLinearForward(x, linear.weight.value, linear.bias.value,
+                     Activation::kIdentity, 0.0f, &out);
   return out;
 }
 
-Matrix InferenceForward(const Sequential& seq, const Matrix& x) {
-  Matrix h = x;
-  for (size_t l = 0; l < seq.num_layers(); ++l) {
+void InferenceForwardInto(const Sequential& seq, const Matrix& x, Matrix* out,
+                          ScratchArena* arena) {
+  // Two destination buffers (out + one arena scratch) ping-pong through the
+  // stack; each Linear is fused with a directly following activation, so a
+  // (Linear, ReLU) block is one kernel call and zero intermediate Matrices.
+  // The fused epilogue applies the bias after the complete k accumulation
+  // and uses the same activation arithmetic as the layer loops, so outputs
+  // match the layer-by-layer Sequential::Forward pass exactly.
+  Matrix tmp = arena->Acquire();
+  const Matrix* src = &x;
+  Matrix* cur = nullptr;  // non-const alias of *src once src leaves x
+  size_t l = 0;
+  while (l < seq.num_layers()) {
     const Layer* layer = seq.layer(l);
     if (const auto* linear = dynamic_cast<const Linear*>(layer)) {
-      h = InferenceForward(*linear, h);
-    } else if (dynamic_cast<const Relu*>(layer) != nullptr) {
-      for (size_t i = 0; i < h.size(); ++i) {
-        if (h.data()[i] <= 0.0f) h.data()[i] = 0.0f;
+      Activation act = Activation::kIdentity;
+      float slope = 0.0f;
+      size_t consumed = 1;
+      if (l + 1 < seq.num_layers()) {
+        const Layer* next = seq.layer(l + 1);
+        if (dynamic_cast<const Relu*>(next) != nullptr) {
+          act = Activation::kRelu;
+          consumed = 2;
+        } else if (const auto* lk = dynamic_cast<const LeakyRelu*>(next)) {
+          act = Activation::kLeakyRelu;
+          slope = lk->slope();
+          consumed = 2;
+        } else if (dynamic_cast<const Tanh*>(next) != nullptr) {
+          act = Activation::kTanh;
+          consumed = 2;
+        } else if (dynamic_cast<const Sigmoid*>(next) != nullptr) {
+          act = Activation::kSigmoid;
+          consumed = 2;
+        }
       }
+      Matrix* dst = (cur == out) ? &tmp : out;
+      FusedLinearForward(*src, linear->weight.value, linear->bias.value, act,
+                         slope, dst);
+      cur = dst;
+      src = dst;
+      l += consumed;
+      continue;
+    }
+    if (const auto* nested = dynamic_cast<const Sequential*>(layer)) {
+      Matrix* dst = (cur == out) ? &tmp : out;
+      InferenceForwardInto(*nested, *src, dst, arena);
+      cur = dst;
+      src = dst;
+      ++l;
+      continue;
+    }
+    // Standalone activation (not preceded by a Linear): run it in place,
+    // copying x into out first if the data has not left the input yet.
+    if (cur == nullptr) {
+      out->Resize(x.rows(), x.cols());
+      std::copy(x.data(), x.data() + x.size(), out->data());
+      cur = out;
+      src = out;
+    }
+    if (dynamic_cast<const Relu*>(layer) != nullptr) {
+      ApplyActivation(Activation::kRelu, 0.0f, cur->data(), cur->size());
     } else if (const auto* leaky = dynamic_cast<const LeakyRelu*>(layer)) {
-      for (size_t i = 0; i < h.size(); ++i) {
-        if (h.data()[i] < 0.0f) h.data()[i] *= leaky->slope();
-      }
+      ApplyActivation(Activation::kLeakyRelu, leaky->slope(), cur->data(),
+                      cur->size());
     } else if (dynamic_cast<const Tanh*>(layer) != nullptr) {
-      for (size_t i = 0; i < h.size(); ++i) {
-        h.data()[i] = std::tanh(h.data()[i]);
-      }
+      ApplyActivation(Activation::kTanh, 0.0f, cur->data(), cur->size());
     } else if (dynamic_cast<const Sigmoid*>(layer) != nullptr) {
-      for (size_t i = 0; i < h.size(); ++i) {
-        h.data()[i] = 1.0f / (1.0f + std::exp(-h.data()[i]));
-      }
-    } else if (const auto* nested = dynamic_cast<const Sequential*>(layer)) {
-      h = InferenceForward(*nested, h);
+      ApplyActivation(Activation::kSigmoid, 0.0f, cur->data(), cur->size());
     } else {
       DEEPAQP_CHECK(false);  // unknown layer type in inference path
     }
+    ++l;
   }
-  return h;
+  if (cur == nullptr) {
+    // Empty stack: identity.
+    out->Resize(x.rows(), x.cols());
+    std::copy(x.data(), x.data() + x.size(), out->data());
+  } else if (cur == &tmp) {
+    std::swap(*out, tmp);
+  }
+  arena->Release(std::move(tmp));
+}
+
+Matrix InferenceForward(const Sequential& seq, const Matrix& x) {
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  Matrix out = arena.Acquire();
+  InferenceForwardInto(seq, x, &out, &arena);
+  return out;
 }
 
 std::unique_ptr<Sequential> MakeMlpTrunk(size_t in_dim, size_t hidden,

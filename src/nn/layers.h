@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/arena.h"
 #include "nn/matrix.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -157,6 +158,15 @@ class Sequential : public Layer {
 /// one shared, read-only network concurrently. Supports the layer types a
 /// Sequential can deserialize; aborts on layers it does not know.
 Matrix InferenceForward(const Sequential& seq, const Matrix& x);
+
+/// Allocation-free form of InferenceForward: writes the result into `out`
+/// (resized as needed) and draws every intermediate buffer from `arena`,
+/// so steady-state inference loops perform no heap allocations. Each
+/// Linear layer is fused with a directly following activation into one
+/// kernel pass. Outputs are identical to InferenceForward. `out` must not
+/// alias `x`; `arena` must be owned by the calling thread.
+void InferenceForwardInto(const Sequential& seq, const Matrix& x, Matrix* out,
+                          ScratchArena* arena);
 
 /// Stateless y = x W + b for a single shared Linear layer (see
 /// InferenceForward).

@@ -3,26 +3,8 @@
 #include <algorithm>
 
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace deepaqp::nn {
-
-namespace {
-
-/// Row-parallel dispatch: runs body(i) over [0, m), on the pool when the
-/// product is large enough to amortize task overhead. The cutoff depends
-/// only on shape, never on thread count, and each output row is produced by
-/// exactly one invocation, so parallel and serial results are identical.
-void ForEachOutputRow(size_t m, size_t k, size_t n,
-                      const std::function<void(size_t)>& body) {
-  if (m >= 2 && m * k * n >= 32768) {
-    util::ParallelFor(0, m, body);
-  } else {
-    for (size_t i = 0; i < m; ++i) body(i);
-  }
-}
-
-}  // namespace
 
 void Matrix::RandomizeGaussian(util::Rng& rng, float stddev) {
   for (float& v : data_) {
@@ -32,11 +14,17 @@ void Matrix::RandomizeGaussian(util::Rng& rng, float stddev) {
 
 Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
   Matrix out(indices.size(), cols_);
+  GatherRowsInto(indices, &out);
+  return out;
+}
+
+void Matrix::GatherRowsInto(const std::vector<size_t>& indices,
+                            Matrix* out) const {
+  out->Resize(indices.size(), cols_);
   for (size_t i = 0; i < indices.size(); ++i) {
     DEEPAQP_CHECK_LT(indices[i], rows_);
-    std::copy(Row(indices[i]), Row(indices[i]) + cols_, out.Row(i));
+    std::copy(Row(indices[i]), Row(indices[i]) + cols_, out->Row(i));
   }
-  return out;
 }
 
 void Matrix::Serialize(util::ByteWriter& w) const {
@@ -57,106 +45,8 @@ util::Result<Matrix> Matrix::Deserialize(util::ByteReader& r) {
   return m;
 }
 
-void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
-          float alpha, float beta, Matrix* c) {
-  const size_t m = trans_a ? a.cols() : a.rows();
-  const size_t k = trans_a ? a.rows() : a.cols();
-  const size_t kb = trans_b ? b.cols() : b.rows();
-  const size_t n = trans_b ? b.rows() : b.cols();
-  DEEPAQP_CHECK_EQ(k, kb);
-  if (beta == 0.0f) {
-    *c = Matrix(m, n);
-  } else {
-    DEEPAQP_CHECK_EQ(c->rows(), m);
-    DEEPAQP_CHECK_EQ(c->cols(), n);
-    if (beta != 1.0f) {
-      for (size_t i = 0; i < c->size(); ++i) c->data()[i] *= beta;
-    }
-  }
-
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
-  // the (logical) B operand for the common non-transposed case.
-  if (!trans_a && !trans_b) {
-    ForEachOutputRow(m, k, n, [&](size_t i) {
-      const float* arow = a.Row(i);
-      float* crow = c->Row(i);
-      for (size_t kk = 0; kk < k; ++kk) {
-        const float av = alpha * arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = b.Row(kk);
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    });
-  } else if (trans_a && !trans_b) {
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float* arow = a.Row(kk);  // a is k x m
-      const float* brow = b.Row(kk);
-      for (size_t i = 0; i < m; ++i) {
-        const float av = alpha * arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c->Row(i);
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else if (!trans_a && trans_b) {
-    ForEachOutputRow(m, k, n, [&](size_t i) {
-      const float* arow = a.Row(i);
-      float* crow = c->Row(i);
-      for (size_t j = 0; j < n; ++j) {
-        const float* brow = b.Row(j);  // b is n x k
-        float acc = 0.0f;
-        for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] += alpha * acc;
-      }
-    });
-  } else {  // trans_a && trans_b
-    ForEachOutputRow(m, k, n, [&](size_t i) {
-      float* crow = c->Row(i);
-      for (size_t j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (size_t kk = 0; kk < k; ++kk) {
-          acc += a.At(kk, i) * b.At(j, kk);
-        }
-        crow[j] += alpha * acc;
-      }
-    });
-  }
-}
-
-void ShardedGemmTN(const Matrix& a, const Matrix& b, Matrix* c,
-                   size_t shard_rows) {
-  const size_t batch = a.rows();
-  DEEPAQP_CHECK_EQ(batch, b.rows());
-  DEEPAQP_CHECK_EQ(c->rows(), a.cols());
-  DEEPAQP_CHECK_EQ(c->cols(), b.cols());
-  DEEPAQP_CHECK_GT(shard_rows, 0u);
-  const size_t num_shards = (batch + shard_rows - 1) / shard_rows;
-  if (num_shards <= 1) {
-    Gemm(a, true, b, false, 1.0f, 1.0f, c);
-    return;
-  }
-  // One partial per shard, filled in parallel. The shard layout is a pure
-  // function of the batch size, so the ascending-order reduction below
-  // yields the same bits at every thread count.
-  std::vector<Matrix> partials(num_shards);
-  util::ParallelFor(0, num_shards, [&](size_t s) {
-    const size_t lo = s * shard_rows;
-    const size_t hi = std::min(batch, lo + shard_rows);
-    Matrix& p = partials[s];
-    p = Matrix(a.cols(), b.cols());
-    for (size_t kk = lo; kk < hi; ++kk) {
-      const float* arow = a.Row(kk);
-      const float* brow = b.Row(kk);
-      for (size_t i = 0; i < a.cols(); ++i) {
-        const float av = arow[i];
-        if (av == 0.0f) continue;
-        float* prow = p.Row(i);
-        for (size_t j = 0; j < b.cols(); ++j) prow[j] += av * brow[j];
-      }
-    }
-  });
-  for (const Matrix& p : partials) Axpy(1.0f, p, c);
-}
+// Gemm and ShardedGemmTN live in kernels.cc: they dispatch between the
+// blocked kernel and the retained naive reference (nn/kernels.h).
 
 void AddRowBroadcast(const Matrix& bias, Matrix* out) {
   DEEPAQP_CHECK_EQ(bias.rows(), 1u);

@@ -35,11 +35,26 @@ class Matrix {
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
   void Zero() { Fill(0.0f); }
 
+  /// Reshapes to rows x cols without initializing: contents are
+  /// unspecified afterwards (no zero-fill pass — callers that Resize must
+  /// fully overwrite). Reuses the existing allocation when capacity
+  /// suffices, which is what makes scratch-arena buffers allocation-free
+  /// in steady state.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Fills with N(0, stddev) entries.
   void RandomizeGaussian(util::Rng& rng, float stddev);
 
   /// Returns the subset of rows given by `indices` (minibatch gather).
   Matrix GatherRows(const std::vector<size_t>& indices) const;
+
+  /// GatherRows into a caller-owned buffer (resized to indices.size() x
+  /// cols); lets hot loops reuse one minibatch Matrix across iterations.
+  void GatherRowsInto(const std::vector<size_t>& indices, Matrix* out) const;
 
   void Serialize(util::ByteWriter& w) const;
   static util::Result<Matrix> Deserialize(util::ByteReader& r);
@@ -51,10 +66,12 @@ class Matrix {
 };
 
 /// C = alpha * op(A) @ op(B) + beta * C, where op is optional transpose.
-/// Shapes are checked; C is resized only when beta == 0. Large products are
-/// computed on the global thread pool, parallelized over output rows; each
-/// output element keeps the serial accumulation order, so results are
-/// bit-identical at every thread count.
+/// Shapes are checked; C is resized only when beta == 0. Dispatches to the
+/// active kernel (see nn/kernels.h): the default cache-blocked kernel or
+/// the naive reference. Either way the work layout is a pure function of
+/// the shape and each output element keeps one fixed accumulation order,
+/// so results are bit-identical at every thread count for a fixed kernel.
+/// Implemented in kernels.cc.
 void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
           float alpha, float beta, Matrix* c);
 
@@ -62,7 +79,8 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
 /// B is batch x out). The batch is cut into fixed `shard_rows`-row shards;
 /// shard partials are computed in parallel and reduced into C in ascending
 /// shard order. The shard layout depends only on the batch size, so the
-/// accumulated gradient is bit-identical at every thread count.
+/// accumulated gradient is bit-identical at every thread count (per kernel
+/// kind). Implemented in kernels.cc.
 void ShardedGemmTN(const Matrix& a, const Matrix& b, Matrix* c,
                    size_t shard_rows = 64);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/arena.h"
+#include "nn/kernels.h"
 #include "util/logging.h"
 #include "util/snapshot.h"
 #include "util/thread_pool.h"
@@ -56,6 +58,13 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
   std::vector<uint8_t> quantile_initialized(n, 0);
   const int warmup_epochs = std::max(1, options.epochs / 3);
 
+  // Minibatch buffers reused across every batch of every epoch: the gather
+  // target and the per-row threshold vector reach steady-state capacity in
+  // the first iteration and never reallocate again.
+  std::vector<size_t> idx;
+  Matrix batch;
+  std::vector<float> batch_t;
+
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     util::Stopwatch epoch_watch;
     EpochStats epoch_stats;
@@ -65,10 +74,10 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
     size_t batches = 0;
     for (size_t start = 0; start < n; start += options.batch_size) {
       const size_t end = std::min(n, start + options.batch_size);
-      std::vector<size_t> idx(perm.begin() + start, perm.begin() + end);
-      Matrix batch = data.GatherRows(idx);
+      idx.assign(perm.begin() + start, perm.begin() + end);
+      data.GatherRowsInto(idx, &batch);
 
-      std::vector<float> batch_t(idx.size());
+      batch_t.resize(idx.size());
       for (size_t i = 0; i < idx.size(); ++i) batch_t[i] = row_t[idx[i]];
       TrainStepOptions step;
       step.use_vrs = vrs_active;
@@ -119,19 +128,29 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
     std::vector<float> t_values;
     t_values.reserve(calib_rows);
     const size_t batch_size = 256;
+    // Calibration is pure inference on the finished net, so it runs on the
+    // cache-free const paths (bit-identical to Encode/LogRatioRows) with
+    // all per-batch/per-draw buffers hoisted out of the loops.
+    nn::ScratchArena arena;
+    Matrix eps;
+    Matrix z;
+    Matrix ratio;
+    VaeNet::Posterior post;
+    std::vector<std::vector<float>> draws;
     for (size_t start = 0; start < calib_rows; start += batch_size) {
       const size_t end = std::min(calib_rows, start + batch_size);
-      std::vector<size_t> idx(rows.begin() + start, rows.begin() + end);
-      Matrix batch = data.GatherRows(idx);
-      VaeNet::Posterior post = model->net_->Encode(batch);
-      std::vector<std::vector<float>> draws(idx.size());
+      idx.assign(rows.begin() + start, rows.begin() + end);
+      data.GatherRowsInto(idx, &batch);
+      model->net_->EncodeConstInto(batch, &post, &arena);
+      draws.resize(idx.size());
+      for (auto& d : draws) d.clear();
       for (int d = 0; d < kDraws; ++d) {
-        Matrix eps(idx.size(), model->net_->latent_dim());
+        eps.Resize(idx.size(), model->net_->latent_dim());
         for (size_t i = 0; i < eps.size(); ++i) {
           eps.data()[i] = static_cast<float>(rng.NextGaussian());
         }
-        Matrix z = VaeNet::Reparameterize(post, eps);
-        Matrix ratio = model->net_->LogRatioRows(batch, post, z);
+        VaeNet::ReparameterizeInto(post, eps, &z);
+        model->net_->LogRatioRowsConstInto(batch, post, z, &ratio, &arena);
         for (size_t i = 0; i < idx.size(); ++i) {
           draws[i].push_back(ratio.At(i, 0));
         }
@@ -211,30 +230,41 @@ relation::Table VaeAqpModel::GenerateChunk(size_t n, double t,
   const bool reject = t != kTPlusInf;
   const size_t window = std::max<size_t>(128, std::min<size_t>(1024, n));
 
+  // Every Matrix in the window loop is reused across iterations: the arena
+  // feeds the inference intermediates and the named buffers below reach
+  // steady-state capacity on the first window. The arena is chunk-local, so
+  // sibling chunks on other pool threads never share mutable state.
+  nn::ScratchArena arena;
+  Matrix z;
+  Matrix logits;
+  Matrix bits;
+  Matrix ratio;
+  Matrix kept;
+  VaeNet::Posterior post;
+  std::vector<size_t> accepted;
+
   while (out.num_rows() < n) {
     const size_t remaining = n - out.num_rows();
     const size_t batch = std::min(window, std::max<size_t>(remaining, 64));
-    Matrix z = net_->SamplePrior(batch, rng);
-    Matrix logits = net_->DecodeLogitsConst(z);
+    net_->SamplePriorInto(batch, rng, &z);
+    net_->DecodeLogitsConstInto(z, &logits, &arena);
 
-    std::vector<size_t> accepted;
+    accepted.clear();
     if (!reject) {
       accepted.resize(batch);
       for (size_t i = 0; i < batch; ++i) accepted[i] = i;
     } else {
       // Candidate bits x' ~ Bernoulli(sigmoid(logits)): the acceptance test
       // runs on the encoded representation; attribute decoding of accepted
-      // rows happens afterwards with the configured strategy.
-      Matrix bits(batch, logits.cols());
-      for (size_t i = 0; i < bits.size(); ++i) {
-        const float prob =
-            1.0f / (1.0f + std::exp(-logits.data()[i]));
-        bits.data()[i] = rng.Bernoulli(prob) ? 1.0f : 0.0f;
-      }
-      VaeNet::Posterior post = net_->EncodeConst(bits);
+      // rows happens afterwards with the configured strategy. The sigmoid
+      // pass is vectorized; the Bernoulli draws consume one uniform per
+      // element in index order, as before.
+      bits.Resize(batch, logits.cols());
+      nn::SigmoidBernoulliVec(logits.data(), bits.size(), rng, bits.data());
+      net_->EncodeConstInto(bits, &post, &arena);
       // The cache-free const paths keep this chunk self-contained: nothing
       // on the shared net is written, so sibling chunks can run in parallel.
-      Matrix ratio = net_->LogRatioRowsConst(bits, post, z);
+      net_->LogRatioRowsConstInto(bits, post, z, &ratio, &arena);
       size_t best = 0;
       for (size_t i = 0; i < batch; ++i) {
         if (ratio.At(i, 0) > ratio.At(best, 0)) best = i;
@@ -249,7 +279,7 @@ relation::Table VaeAqpModel::GenerateChunk(size_t n, double t,
       if (accepted.empty()) accepted.push_back(best);
     }
     if (accepted.size() > remaining) accepted.resize(remaining);
-    Matrix kept = logits.GatherRows(accepted);
+    logits.GatherRowsInto(accepted, &kept);
     relation::Table decoded =
         encoder_.DecodeLogits(kept, options_.decode, rng);
     DEEPAQP_CHECK(out.Append(decoded).ok());

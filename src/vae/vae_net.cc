@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "util/logging.h"
 
 namespace deepaqp::vae {
@@ -39,15 +40,25 @@ VaeNet::Posterior VaeNet::Encode(const Matrix& x) {
 }
 
 VaeNet::Posterior VaeNet::EncodeConst(const Matrix& x) const {
-  Matrix h = nn::InferenceForward(*encoder_trunk_, x);
   Posterior post;
-  post.mu = nn::InferenceForward(*mu_head_, h);
-  post.logvar = nn::InferenceForward(*logvar_head_, h);
-  for (size_t i = 0; i < post.logvar.size(); ++i) {
-    post.logvar.data()[i] =
-        std::clamp(post.logvar.data()[i], -8.0f, 8.0f);
-  }
+  EncodeConstInto(x, &post, &nn::ScratchArena::ThreadLocal());
   return post;
+}
+
+void VaeNet::EncodeConstInto(const Matrix& x, Posterior* post,
+                             nn::ScratchArena* arena) const {
+  Matrix h = arena->Acquire();
+  nn::InferenceForwardInto(*encoder_trunk_, x, &h, arena);
+  nn::FusedLinearForward(h, mu_head_->weight.value, mu_head_->bias.value,
+                         nn::Activation::kIdentity, 0.0f, &post->mu);
+  nn::FusedLinearForward(h, logvar_head_->weight.value,
+                         logvar_head_->bias.value, nn::Activation::kIdentity,
+                         0.0f, &post->logvar);
+  arena->Release(std::move(h));
+  for (size_t i = 0; i < post->logvar.size(); ++i) {
+    post->logvar.data()[i] =
+        std::clamp(post->logvar.data()[i], -8.0f, 8.0f);
+  }
 }
 
 Matrix VaeNet::DecodeLogits(const Matrix& z) { return decoder_->Forward(z); }
@@ -56,20 +67,37 @@ Matrix VaeNet::DecodeLogitsConst(const Matrix& z) const {
   return nn::InferenceForward(*decoder_, z);
 }
 
+void VaeNet::DecodeLogitsConstInto(const Matrix& z, Matrix* logits,
+                                   nn::ScratchArena* arena) const {
+  nn::InferenceForwardInto(*decoder_, z, logits, arena);
+}
+
 Matrix VaeNet::Reparameterize(const Posterior& post, const Matrix& eps) {
-  Matrix z = post.mu;
-  for (size_t i = 0; i < z.size(); ++i) {
-    z.data()[i] += std::exp(0.5f * post.logvar.data()[i]) * eps.data()[i];
-  }
+  Matrix z;
+  ReparameterizeInto(post, eps, &z);
   return z;
 }
 
-Matrix VaeNet::SamplePrior(size_t n, util::Rng& rng) const {
-  Matrix z(n, options_.latent_dim);
-  for (size_t i = 0; i < z.size(); ++i) {
-    z.data()[i] = static_cast<float>(rng.NextGaussian());
+void VaeNet::ReparameterizeInto(const Posterior& post, const Matrix& eps,
+                                Matrix* z) {
+  z->Resize(post.mu.rows(), post.mu.cols());
+  for (size_t i = 0; i < z->size(); ++i) {
+    z->data()[i] = post.mu.data()[i] +
+                   std::exp(0.5f * post.logvar.data()[i]) * eps.data()[i];
   }
+}
+
+Matrix VaeNet::SamplePrior(size_t n, util::Rng& rng) const {
+  Matrix z;
+  SamplePriorInto(n, rng, &z);
   return z;
+}
+
+void VaeNet::SamplePriorInto(size_t n, util::Rng& rng, Matrix* z) const {
+  z->Resize(n, options_.latent_dim);
+  for (size_t i = 0; i < z->size(); ++i) {
+    z->data()[i] = static_cast<float>(rng.NextGaussian());
+  }
 }
 
 Matrix VaeNet::LogJointRows(const Matrix& x_bits, const Matrix& z) {
@@ -111,6 +139,23 @@ Matrix VaeNet::LogRatioRowsConst(const Matrix& x_bits, const Posterior& post,
   Matrix log_q = LogPosteriorRows(post, z);
   for (size_t i = 0; i < r.rows(); ++i) r.At(i, 0) -= log_q.At(i, 0);
   return r;
+}
+
+void VaeNet::LogRatioRowsConstInto(const Matrix& x_bits, const Posterior& post,
+                                   const Matrix& z, Matrix* out,
+                                   nn::ScratchArena* arena) const {
+  // Same terms in the same order as LogRatioRowsConst; only the decoder
+  // logits (the one batch x input_dim intermediate) come from the arena.
+  Matrix logits = arena->Acquire();
+  DecodeLogitsConstInto(z, &logits, arena);
+  *out = nn::BernoulliLogLikelihoodRows(logits, x_bits);
+  arena->Release(std::move(logits));
+  Matrix log_pz = nn::StandardNormalLogDensityRows(z);
+  for (size_t r = 0; r < out->rows(); ++r) {
+    out->At(r, 0) += log_pz.At(r, 0);
+  }
+  Matrix log_q = LogPosteriorRows(post, z);
+  for (size_t i = 0; i < out->rows(); ++i) out->At(i, 0) -= log_q.At(i, 0);
 }
 
 namespace {

@@ -75,11 +75,22 @@ class VaeNet {
   /// threads may call it simultaneously. Cannot be followed by Backward.
   Posterior EncodeConst(const nn::Matrix& x) const;
 
+  /// Allocation-free EncodeConst: posterior matrices and every intermediate
+  /// come from caller-owned storage (`post` is resized; scratch is drawn
+  /// from `arena`). Bit-identical to EncodeConst; lets generation loops
+  /// reuse one Posterior across batches.
+  void EncodeConstInto(const nn::Matrix& x, Posterior* post,
+                       nn::ScratchArena* arena) const;
+
   /// Decoder forward: latent batch -> Bernoulli logits over encoded bits.
   nn::Matrix DecodeLogits(const nn::Matrix& z);
 
   /// Const, cache-free decoder forward (see EncodeConst).
   nn::Matrix DecodeLogitsConst(const nn::Matrix& z) const;
+
+  /// Allocation-free DecodeLogitsConst (see EncodeConstInto).
+  void DecodeLogitsConstInto(const nn::Matrix& z, nn::Matrix* logits,
+                             nn::ScratchArena* arena) const;
 
   /// Runs one optimizer step on batch `x` (encoded tuples in [0,1]) and
   /// returns diagnostics. `opt` must have been built over Parameters().
@@ -118,12 +129,25 @@ class VaeNet {
                                const Posterior& post,
                                const nn::Matrix& z) const;
 
+  /// Allocation-free LogRatioRowsConst: the decoder logits (the one large
+  /// intermediate) come from `arena`; the n x 1 result is written to `out`.
+  void LogRatioRowsConstInto(const nn::Matrix& x_bits, const Posterior& post,
+                             const nn::Matrix& z, nn::Matrix* out,
+                             nn::ScratchArena* arena) const;
+
   /// Draws z ~ N(0, I) (the generative prior).
   nn::Matrix SamplePrior(size_t n, util::Rng& rng) const;
+
+  /// SamplePrior into a reused buffer; consumes the same RNG stream.
+  void SamplePriorInto(size_t n, util::Rng& rng, nn::Matrix* z) const;
 
   /// Reparameterized posterior draw z = mu + exp(logvar/2) * eps.
   static nn::Matrix Reparameterize(const Posterior& post,
                                    const nn::Matrix& eps);
+
+  /// Reparameterize into a reused buffer (identical arithmetic).
+  static void ReparameterizeInto(const Posterior& post, const nn::Matrix& eps,
+                                 nn::Matrix* z);
 
   std::vector<nn::Parameter*> Parameters();
 
