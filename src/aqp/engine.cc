@@ -1,0 +1,465 @@
+// The vectorized query engine behind the AQP layer. One dispatch point
+// (ActiveEngine) selects between:
+//
+//  * kScalar — the seed row-at-a-time path: Predicate::Matches per row,
+//    std::map group accumulators. Kept verbatim as the correctness oracle
+//    and the `DEEPAQP_ENGINE=scalar` escape hatch.
+//  * kVector — per-condition selection kernels producing bitmaps (one tight
+//    loop per condition over the raw column, comparisons auto-vectorized),
+//    word-wise AND/OR predicate combination, and a fused filter+aggregate
+//    pass into dense array-indexed group accumulators.
+//
+// Determinism contract: the vector path visits matching rows in ascending
+// row order and each group's moments see exactly the same sequence of
+// additions as the scalar path, so results are bit-identical between the
+// engines and across `--threads` settings (the engine itself never
+// threads; a query over a client pool is already sub-millisecond).
+
+#include "aqp/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "aqp/metrics.h"
+#include "util/flags.h"
+
+namespace deepaqp::aqp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine selection
+// ---------------------------------------------------------------------------
+
+EngineKind KindFromEnv() {
+  const char* env = std::getenv("DEEPAQP_ENGINE");
+  if (env == nullptr || env[0] == '\0') return EngineKind::kVector;
+  const std::string value(env);
+  if (value == "scalar") return EngineKind::kScalar;
+  if (value == "vector") return EngineKind::kVector;
+  std::fprintf(stderr,
+               "DEEPAQP_ENGINE='%s' not recognized (scalar|vector); "
+               "keeping 'vector'\n",
+               env);
+  return EngineKind::kVector;
+}
+
+EngineKind& EngineSlot() {
+  static EngineKind kind = KindFromEnv();
+  return kind;
+}
+
+}  // namespace
+
+EngineKind ActiveEngine() { return EngineSlot(); }
+
+void SetEngine(EngineKind kind) { EngineSlot() = kind; }
+
+const char* EngineName(EngineKind kind) {
+  return kind == EngineKind::kScalar ? "scalar" : "vector";
+}
+
+void ApplyEngineFlag(const util::Flags& flags) {
+  const std::string value = flags.GetString("engine", "");
+  if (value.empty()) return;
+  if (value == "scalar") {
+    SetEngine(EngineKind::kScalar);
+  } else if (value == "vector") {
+    SetEngine(EngineKind::kVector);
+  } else {
+    std::fprintf(stderr, "--engine=%s not recognized (scalar|vector)\n",
+                 value.c_str());
+    std::exit(2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SelectionVector
+// ---------------------------------------------------------------------------
+
+void SelectionVector::Resize(size_t n) {
+  words_.resize((n + kWordBits - 1) / kWordBits, 0);
+  if (n < size_) {
+    // Clear bits at and above n so CountRange never sees stale tail bits.
+    const size_t w = n / kWordBits;
+    if (w < words_.size()) {
+      const size_t bit = n % kWordBits;
+      words_[w] &= bit == 0 ? 0 : (~uint64_t{0} >> (kWordBits - bit));
+      std::fill(words_.begin() + w + 1, words_.end(), 0);
+    }
+  }
+  size_ = n;
+}
+
+size_t SelectionVector::CountRange(size_t begin, size_t end) const {
+  if (begin >= end) return 0;
+  size_t hits = 0;
+  size_t w = begin / kWordBits;
+  const size_t w_end = (end - 1) / kWordBits;
+  uint64_t word = words_[w] & (~uint64_t{0} << (begin % kWordBits));
+  for (;;) {
+    if (w == w_end) {
+      const size_t bit = end % kWordBits;
+      if (bit != 0) word &= ~uint64_t{0} >> (kWordBits - bit);
+      hits += static_cast<size_t>(__builtin_popcountll(word));
+      return hits;
+    }
+    hits += static_cast<size_t>(__builtin_popcountll(word));
+    word = words_[++w];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selection kernels
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One tight comparison pass over a raw column slice: out[i] = col[begin+i]
+/// OP value, with categorical codes widened to double first so the
+/// comparison semantics are exactly Condition::Matches(CellAsDouble).
+/// The op switch sits outside the loop; each loop body is branch-free and
+/// auto-vectorizable.
+template <typename T>
+void FillConditionMask(const T* col, size_t begin, size_t end, CmpOp op,
+                       double value, uint8_t* out) {
+  const size_t n = end - begin;
+  col += begin;
+  switch (op) {
+    case CmpOp::kEq:
+      for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>(col[i]) == value;
+      break;
+    case CmpOp::kNe:
+      for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>(col[i]) != value;
+      break;
+    case CmpOp::kLt:
+      for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>(col[i]) < value;
+      break;
+    case CmpOp::kGt:
+      for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>(col[i]) > value;
+      break;
+    case CmpOp::kLe:
+      for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>(col[i]) <= value;
+      break;
+    case CmpOp::kGe:
+      for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>(col[i]) >= value;
+      break;
+  }
+}
+
+void FillCondition(const Condition& c, const relation::Table& table,
+                   size_t begin, size_t end, uint8_t* out) {
+  if (table.schema().IsCategorical(c.attr)) {
+    FillConditionMask(table.CatColumn(c.attr).data(), begin, end, c.op,
+                      c.value, out);
+  } else {
+    FillConditionMask(table.NumColumn(c.attr).data(), begin, end, c.op,
+                      c.value, out);
+  }
+}
+
+}  // namespace
+
+void EvalPredicate(const Predicate& pred, const relation::Table& table,
+                   size_t begin, size_t end, SelectionVector* sel) {
+  sel->Resize(std::max(sel->size(), end));
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  if (pred.conditions.empty()) {
+    for (size_t r = begin; r < end; ++r) sel->Set(r);
+    return;
+  }
+  // Condition masks as bytes (vectorizable compares and combines), packed
+  // into the bitmap once at the end.
+  std::vector<uint8_t> mask(n);
+  FillCondition(pred.conditions[0], table, begin, end, mask.data());
+  std::vector<uint8_t> scratch;
+  for (size_t ci = 1; ci < pred.conditions.size(); ++ci) {
+    scratch.resize(n);
+    FillCondition(pred.conditions[ci], table, begin, end, scratch.data());
+    if (pred.conjunctive) {
+      for (size_t i = 0; i < n; ++i) mask[i] &= scratch[i];
+    } else {
+      for (size_t i = 0; i < n; ++i) mask[i] |= scratch[i];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (mask[i]) sel->Set(begin + i);
+  }
+}
+
+size_t CountMatches(const Predicate& pred, const relation::Table& table) {
+  const size_t n = table.num_rows();
+  if (pred.conditions.empty()) return n;
+  if (ActiveEngine() == EngineKind::kScalar) {
+    size_t hits = 0;
+    for (size_t r = 0; r < n; ++r) {
+      if (pred.Matches(table, r)) ++hits;
+    }
+    return hits;
+  }
+  SelectionVector sel;
+  EvalPredicate(pred, table, 0, n, &sel);
+  return sel.CountRange(0, n);
+}
+
+// ---------------------------------------------------------------------------
+// Dense group accumulation
+// ---------------------------------------------------------------------------
+
+void DenseGroupMoments::EnsureGroups(size_t groups, bool with_values) {
+  if (m.size() < groups) m.resize(groups);
+  if (with_values && values.size() < groups) values.resize(groups);
+}
+
+void DenseGroupMoments::Clear() {
+  std::fill(m.begin(), m.end(), Moments{});
+  for (auto& v : values) v.clear();
+}
+
+void AccumulateSelected(const AggregateQuery& query,
+                        const relation::Table& table,
+                        const SelectionVector& sel, size_t begin, size_t end,
+                        DenseGroupMoments* acc) {
+  if (begin >= end) return;
+  const bool group_by = query.IsGroupBy();
+  const bool quantile = query.agg == AggFunc::kQuantile;
+  const int32_t* codes =
+      group_by
+          ? table.CatColumn(static_cast<size_t>(query.group_by_attr)).data()
+          : nullptr;
+  const double* meas =
+      query.agg == AggFunc::kCount
+          ? nullptr
+          : table.NumColumn(static_cast<size_t>(query.measure_attr)).data();
+
+  if (!group_by && meas == nullptr) {
+    // Scalar COUNT: a popcount, not a per-row loop. The moments stay exact
+    // integers, so folding the block count in one addition is bit-identical
+    // to the scalar path's repeated `+= 1.0`.
+    const size_t hits = sel.CountRange(begin, end);
+    Moments& m0 = acc->m[0];
+    m0.count += hits;
+    m0.sum += static_cast<double>(hits);
+    m0.sum_sq += static_cast<double>(hits);
+    return;
+  }
+
+  // Walk set bits in ascending row order: per-group additions happen in the
+  // same sequence as the scalar row loop, so the sums are bit-identical.
+  constexpr size_t kWordBits = SelectionVector::kWordBits;
+  const std::vector<uint64_t>& words = sel.words();
+  size_t w = begin / kWordBits;
+  const size_t w_last = (end - 1) / kWordBits;
+  uint64_t word = words[w] & (~uint64_t{0} << (begin % kWordBits));
+  for (;; word = words[++w]) {
+    if (w == w_last) {
+      const size_t bit = end % kWordBits;
+      if (bit != 0) word &= ~uint64_t{0} >> (kWordBits - bit);
+    }
+    while (word != 0) {
+      const size_t r =
+          w * kWordBits + static_cast<size_t>(__builtin_ctzll(word));
+      word &= word - 1;
+      const size_t slot = group_by ? static_cast<size_t>(codes[r]) : 0;
+      const double x = meas == nullptr ? 1.0 : meas[r];
+      acc->m[slot].Add(x);
+      if (quantile) acc->values[slot].push_back(x);
+    }
+    if (w == w_last) break;
+  }
+}
+
+std::vector<GroupMoments> ToGroupMoments(const DenseGroupMoments& acc,
+                                         bool group_by) {
+  std::vector<GroupMoments> out;
+  if (!group_by) {
+    if (!acc.m.empty() && acc.m[0].count > 0) {
+      GroupMoments g;
+      g.group = -1;
+      g.m = acc.m[0];
+      if (!acc.values.empty()) g.values = acc.values[0];
+      out.push_back(std::move(g));
+    }
+    return out;
+  }
+  for (size_t slot = 0; slot < acc.m.size(); ++slot) {
+    if (acc.m[slot].count == 0) continue;
+    GroupMoments g;
+    g.group = static_cast<int32_t>(slot);
+    g.m = acc.m[slot];
+    if (slot < acc.values.size()) g.values = acc.values[slot];
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared accumulation walk (both engines)
+// ---------------------------------------------------------------------------
+
+std::vector<GroupMoments> AccumulateQuery(const AggregateQuery& query,
+                                          const relation::Table& table) {
+  const size_t n = table.num_rows();
+  const bool group_by = query.IsGroupBy();
+  const bool quantile = query.agg == AggFunc::kQuantile;
+
+  if (ActiveEngine() == EngineKind::kVector) {
+    SelectionVector sel;
+    EvalPredicate(query.filter, table, 0, n, &sel);
+    DenseGroupMoments acc;
+    const size_t groups =
+        group_by ? static_cast<size_t>(table.Cardinality(
+                       static_cast<size_t>(query.group_by_attr)))
+                 : 1;
+    acc.EnsureGroups(std::max<size_t>(groups, 1), quantile);
+    AccumulateSelected(query, table, sel, 0, n, &acc);
+    return ToGroupMoments(acc, group_by);
+  }
+
+  // Scalar oracle: row-at-a-time filter, map-based accumulation.
+  const auto gattr = static_cast<size_t>(std::max(query.group_by_attr, 0));
+  const auto mattr = static_cast<size_t>(std::max(query.measure_attr, 0));
+  std::map<int32_t, GroupMoments> acc;
+  for (size_t r = 0; r < n; ++r) {
+    if (!query.filter.Matches(table, r)) continue;
+    const int32_t key = group_by ? table.CatCode(r, gattr) : -1;
+    GroupMoments& g = acc[key];
+    g.group = key;
+    const double x =
+        query.agg == AggFunc::kCount ? 1.0 : table.NumValue(r, mattr);
+    g.m.Add(x);
+    if (quantile) g.values.push_back(x);
+  }
+  std::vector<GroupMoments> out;
+  out.reserve(acc.size());
+  for (auto& [key, g] : acc) out.push_back(std::move(g));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Finalizers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr double kZ95 = 1.959963985;
+
+/// Appends the scalar COUNT/SUM empty-selection convention: 0, not
+/// "missing". AVG and QUANTILE of nothing stay absent.
+void AddEmptyScalarConvention(const AggregateQuery& query,
+                              QueryResult* result) {
+  if (!query.IsGroupBy() && result->groups.empty() &&
+      (query.agg == AggFunc::kCount || query.agg == AggFunc::kSum)) {
+    result->groups.push_back(GroupValue{-1, 0.0, 0, 0.0});
+  }
+}
+
+}  // namespace
+
+double SampleQuantileOfSorted(const std::vector<double>& sorted, double q) {
+  const double k = static_cast<double>(sorted.size());
+  const double pos = q * (k - 1.0);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min<size_t>(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+QueryResult FinalizeExact(const AggregateQuery& query,
+                          std::vector<GroupMoments> groups) {
+  QueryResult result;
+  for (GroupMoments& gm : groups) {
+    GroupValue g;
+    g.group = gm.group;
+    g.support = gm.m.count;
+    switch (query.agg) {
+      case AggFunc::kCount:
+        g.value = static_cast<double>(gm.m.count);
+        break;
+      case AggFunc::kSum:
+        g.value = gm.m.sum;
+        break;
+      case AggFunc::kAvg:
+        g.value = gm.m.sum / static_cast<double>(gm.m.count);
+        break;
+      case AggFunc::kQuantile:
+        g.value = EmpiricalQuantile(std::move(gm.values), query.quantile);
+        break;
+    }
+    result.groups.push_back(g);
+  }
+  AddEmptyScalarConvention(query, &result);
+  return result;
+}
+
+QueryResult FinalizeEstimate(const AggregateQuery& query,
+                             std::vector<GroupMoments> groups,
+                             size_t sample_rows, size_t population_rows) {
+  const double ns = static_cast<double>(sample_rows);
+  const double scale = static_cast<double>(population_rows) / ns;
+  QueryResult result;
+  for (GroupMoments& gm : groups) {
+    const Moments& m = gm.m;
+    GroupValue g;
+    g.group = gm.group;
+    g.support = m.count;
+    const double k = static_cast<double>(m.count);
+    switch (query.agg) {
+      case AggFunc::kCount: {
+        g.value = scale * k;
+        const double p = k / ns;
+        g.ci_half_width = scale * kZ95 * std::sqrt(ns * p * (1.0 - p));
+        break;
+      }
+      case AggFunc::kSum: {
+        g.value = scale * m.sum;
+        // Treat each sample tuple's contribution (value if in group, else 0)
+        // as one draw; variance over all ns tuples.
+        const double mean_contrib = m.sum / ns;
+        const double var_contrib =
+            std::max(0.0, m.sum_sq / ns - mean_contrib * mean_contrib);
+        g.ci_half_width = scale * kZ95 * std::sqrt(var_contrib * ns);
+        break;
+      }
+      case AggFunc::kAvg: {
+        g.value = m.Mean();
+        g.ci_half_width =
+            m.count >= 2 ? kZ95 * std::sqrt(m.Variance() / k) : 0.0;
+        break;
+      }
+      case AggFunc::kQuantile: {
+        // Sample quantile; distribution-free CI from binomial order
+        // statistics: the true q-quantile lies between the ranks
+        // k*q -+ z*sqrt(k*q*(1-q)) with ~95% coverage.
+        std::vector<double> values = std::move(gm.values);
+        std::sort(values.begin(), values.end());
+        const double q = query.quantile;
+        const double center = k * q;
+        const double spread = kZ95 * std::sqrt(k * q * (1.0 - q));
+        const auto lo_rank =
+            static_cast<size_t>(std::clamp(center - spread, 0.0, k - 1.0));
+        const auto hi_rank =
+            static_cast<size_t>(std::clamp(center + spread, 0.0, k - 1.0));
+        g.value = SampleQuantileOfSorted(values, q);
+        g.ci_half_width = (values[hi_rank] - values[lo_rank]) / 2.0;
+        break;
+      }
+    }
+    result.groups.push_back(g);
+  }
+  AddEmptyScalarConvention(query, &result);
+  return result;
+}
+
+}  // namespace deepaqp::aqp

@@ -1,43 +1,9 @@
 #include "aqp/estimator.h"
 
+#include "aqp/engine.h"
 #include "aqp/executor.h"
 
-#include <algorithm>
-#include <cmath>
-#include <map>
-#include <vector>
-
 namespace deepaqp::aqp {
-
-namespace {
-
-constexpr double kZ95 = 1.959963985;
-
-/// Per-group running moments of the measure (or of the 0/1 membership
-/// indicator for COUNT).
-struct Moments {
-  size_t count = 0;
-  double sum = 0.0;
-  double sum_sq = 0.0;
-
-  void Add(double x) {
-    ++count;
-    sum += x;
-    sum_sq += x * x;
-  }
-
-  double Mean() const { return count == 0 ? 0.0 : sum / count; }
-
-  double Variance() const {
-    if (count < 2) return 0.0;
-    const double m = Mean();
-    const double v = sum_sq / count - m * m;
-    // Bessel correction; clamp tiny negative values from cancellation.
-    return std::max(0.0, v * count / (count - 1.0));
-  }
-};
-
-}  // namespace
 
 util::Result<QueryResult> EstimateFromSample(const AggregateQuery& query,
                                              const relation::Table& sample,
@@ -47,87 +13,11 @@ util::Result<QueryResult> EstimateFromSample(const AggregateQuery& query,
   if (ns == 0) {
     return util::Status::FailedPrecondition("empty sample");
   }
-  const double scale =
-      static_cast<double>(population_rows) / static_cast<double>(ns);
-
-  std::map<int32_t, Moments> acc;
-  std::map<int32_t, std::vector<double>> group_values;  // kQuantile only
-  const bool group_by = query.IsGroupBy();
-  const auto gattr = static_cast<size_t>(query.group_by_attr);
-  const auto mattr = static_cast<size_t>(std::max(query.measure_attr, 0));
-
-  for (size_t r = 0; r < ns; ++r) {
-    if (!query.filter.Matches(sample, r)) continue;
-    const int32_t key = group_by ? sample.CatCode(r, gattr) : -1;
-    acc[key].Add(query.agg == AggFunc::kCount ? 1.0
-                                              : sample.NumValue(r, mattr));
-    if (query.agg == AggFunc::kQuantile) {
-      group_values[key].push_back(sample.NumValue(r, mattr));
-    }
-  }
-
-  QueryResult result;
-  for (const auto& [key, m] : acc) {
-    GroupValue g;
-    g.group = key;
-    g.support = m.count;
-    const double k = static_cast<double>(m.count);
-    switch (query.agg) {
-      case AggFunc::kCount: {
-        g.value = scale * k;
-        const double p = k / static_cast<double>(ns);
-        g.ci_half_width =
-            scale * kZ95 * std::sqrt(static_cast<double>(ns) * p * (1.0 - p));
-        break;
-      }
-      case AggFunc::kSum: {
-        g.value = scale * m.sum;
-        // Treat each sample tuple's contribution (value if in group, else 0)
-        // as one draw; variance over all ns tuples.
-        const double mean_contrib = m.sum / static_cast<double>(ns);
-        const double var_contrib =
-            std::max(0.0, m.sum_sq / static_cast<double>(ns) -
-                              mean_contrib * mean_contrib);
-        g.ci_half_width =
-            scale * kZ95 * std::sqrt(var_contrib * static_cast<double>(ns));
-        break;
-      }
-      case AggFunc::kAvg: {
-        g.value = m.Mean();
-        g.ci_half_width = m.count >= 2
-                              ? kZ95 * std::sqrt(m.Variance() / k)
-                              : 0.0;
-        break;
-      }
-      case AggFunc::kQuantile: {
-        // Sample quantile; distribution-free CI from binomial order
-        // statistics: the true q-quantile lies between the ranks
-        // k*q -+ z*sqrt(k*q*(1-q)) with ~95% coverage.
-        std::vector<double> values = std::move(group_values[key]);
-        std::sort(values.begin(), values.end());
-        const double q = query.quantile;
-        const double center = k * q;
-        const double spread = kZ95 * std::sqrt(k * q * (1.0 - q));
-        const auto lo_rank = static_cast<size_t>(
-            std::clamp(center - spread, 0.0, k - 1.0));
-        const auto hi_rank = static_cast<size_t>(
-            std::clamp(center + spread, 0.0, k - 1.0));
-        const double pos = q * (k - 1.0);
-        const auto lo = static_cast<size_t>(pos);
-        const size_t hi = std::min<size_t>(lo + 1, values.size() - 1);
-        const double frac = pos - static_cast<double>(lo);
-        g.value = values[lo] * (1.0 - frac) + values[hi] * frac;
-        g.ci_half_width = (values[hi_rank] - values[lo_rank]) / 2.0;
-        break;
-      }
-    }
-    result.groups.push_back(g);
-  }
-  if (!group_by && result.groups.empty() &&
-      (query.agg == AggFunc::kCount || query.agg == AggFunc::kSum)) {
-    result.groups.push_back(GroupValue{-1, 0.0, 0, 0.0});
-  }
-  return result;
+  // Accumulation (engine-dispatched) and the estimate/CI formulas are the
+  // shared helpers in aqp/engine.h, so this path, ExecuteExact, and the
+  // bootstrap replicate loop all aggregate through the same code.
+  return FinalizeEstimate(query, AccumulateQuery(query, sample), ns,
+                          population_rows);
 }
 
 }  // namespace deepaqp::aqp

@@ -1,10 +1,9 @@
 #include "aqp/executor.h"
 
 #include <algorithm>
-#include <map>
 #include <vector>
 
-#include "aqp/metrics.h"
+#include "aqp/engine.h"
 
 namespace deepaqp::aqp {
 
@@ -43,79 +42,18 @@ util::Status ValidateQuery(const AggregateQuery& query,
   return util::Status::OK();
 }
 
-namespace {
-
-/// Running aggregate state for one group.
-struct GroupAccumulator {
-  size_t count = 0;
-  double sum = 0.0;
-};
-
-}  // namespace
-
 util::Result<QueryResult> ExecuteExact(const AggregateQuery& query,
                                        const relation::Table& table) {
   DEEPAQP_RETURN_IF_ERROR(ValidateQuery(query, table));
-
-  std::map<int32_t, GroupAccumulator> acc;
-  std::map<int32_t, std::vector<double>> group_values;  // kQuantile only
-  const size_t n = table.num_rows();
-  const bool group_by = query.IsGroupBy();
-  const auto gattr = static_cast<size_t>(query.group_by_attr);
-  const auto mattr = static_cast<size_t>(std::max(query.measure_attr, 0));
-
-  for (size_t r = 0; r < n; ++r) {
-    if (!query.filter.Matches(table, r)) continue;
-    const int32_t key = group_by ? table.CatCode(r, gattr) : -1;
-    GroupAccumulator& a = acc[key];
-    ++a.count;
-    if (query.agg == AggFunc::kQuantile) {
-      group_values[key].push_back(table.NumValue(r, mattr));
-    } else if (query.agg != AggFunc::kCount) {
-      a.sum += table.NumValue(r, mattr);
-    }
-  }
-
-  QueryResult result;
-  for (const auto& [key, a] : acc) {
-    GroupValue g;
-    g.group = key;
-    g.support = a.count;
-    switch (query.agg) {
-      case AggFunc::kCount:
-        g.value = static_cast<double>(a.count);
-        break;
-      case AggFunc::kSum:
-        g.value = a.sum;
-        break;
-      case AggFunc::kAvg:
-        g.value = a.sum / static_cast<double>(a.count);
-        break;
-      case AggFunc::kQuantile:
-        g.value =
-            EmpiricalQuantile(std::move(group_values[key]), query.quantile);
-        break;
-    }
-    result.groups.push_back(g);
-  }
-  // Scalar COUNT/SUM of an empty selection is 0, not "missing"; AVG and
-  // QUANTILE of nothing stay absent.
-  if (!group_by && result.groups.empty() &&
-      (query.agg == AggFunc::kCount || query.agg == AggFunc::kSum)) {
-    result.groups.push_back(GroupValue{-1, 0.0, 0, 0.0});
-  }
-  return result;
+  return FinalizeExact(query, AccumulateQuery(query, table));
 }
 
 double Selectivity(const AggregateQuery& query,
                    const relation::Table& table) {
   const size_t n = table.num_rows();
   if (n == 0) return 0.0;
-  size_t hits = 0;
-  for (size_t r = 0; r < n; ++r) {
-    if (query.filter.Matches(table, r)) ++hits;
-  }
-  return static_cast<double>(hits) / static_cast<double>(n);
+  return static_cast<double>(CountMatches(query.filter, table)) /
+         static_cast<double>(n);
 }
 
 }  // namespace deepaqp::aqp

@@ -3,6 +3,7 @@
 
 #include <map>
 
+#include "aqp/engine.h"
 #include "aqp/query.h"
 #include "relation/table.h"
 #include "util/status.h"
@@ -22,7 +23,11 @@ class OnlineAggregator {
   OnlineAggregator(AggregateQuery query, size_t population_rows);
 
   /// Feeds one batch of uniform sample tuples. The batch schema must match
-  /// the first batch's schema; the query must validate against it.
+  /// the first batch's schema; the query must validate against it. Under
+  /// the vector engine the filter runs as a selection-vector kernel over
+  /// the batch; matched rows still merge into the running moments in row
+  /// order, so the estimate stream is bit-identical to the scalar engine
+  /// at every batch split.
   util::Status AddBatch(const relation::Table& batch);
 
   /// Current estimate (same shape as EstimateFromSample's result). Fails
@@ -37,12 +42,6 @@ class OnlineAggregator {
   size_t tuples_seen() const { return tuples_seen_; }
 
  private:
-  struct Moments {
-    size_t count = 0;
-    double sum = 0.0;
-    double sum_sq = 0.0;
-  };
-
   AggregateQuery query_;
   size_t population_rows_;
   size_t tuples_seen_ = 0;

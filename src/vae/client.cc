@@ -2,12 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 
 #include "aqp/estimator.h"
+#include "aqp/executor.h"
 #include "aqp/sql_parser.h"
 #include "util/logging.h"
 
 namespace deepaqp::vae {
+
+namespace {
+
+/// Exact textual key of a filter predicate. Constants are rendered as the
+/// bit pattern of the double, so two conditions collide only if they are
+/// bit-identical.
+std::string PredicateKey(const aqp::Predicate& pred) {
+  std::string key = pred.conjunctive ? "&" : "|";
+  char buf[64];
+  for (const aqp::Condition& c : pred.conditions) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &c.value, sizeof(bits));
+    std::snprintf(buf, sizeof(buf), ";%zu,%d,%016llx", c.attr,
+                  static_cast<int>(c.op),
+                  static_cast<unsigned long long>(bits));
+    key += buf;
+  }
+  return key;
+}
+
+/// Key of a query's accumulation state: everything that shapes the dense
+/// moments except the quantile level (which only enters at finalization).
+std::string AggKey(const aqp::AggregateQuery& query) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d/%d/%d:", static_cast<int>(query.agg),
+                query.measure_attr, query.group_by_attr);
+  return buf + PredicateKey(query.filter);
+}
+
+}  // namespace
 
 AqpClient::AqpClient(std::unique_ptr<VaeAqpModel> model,
                      const Options& options)
@@ -56,7 +89,51 @@ util::Result<aqp::QueryResult> AqpClient::Query(const std::string& sql) {
 
 util::Result<aqp::QueryResult> AqpClient::Query(
     const aqp::AggregateQuery& query) {
-  return aqp::EstimateFromSample(query, pool_, options_.population_rows);
+  if (aqp::ActiveEngine() != aqp::EngineKind::kVector) {
+    // Scalar escape hatch: plain full scans, no cache.
+    return aqp::EstimateFromSample(query, pool_, options_.population_rows);
+  }
+  return QueryCached(query);
+}
+
+util::Result<aqp::QueryResult> AqpClient::QueryCached(
+    const aqp::AggregateQuery& query) {
+  DEEPAQP_RETURN_IF_ERROR(aqp::ValidateQuery(query, pool_));
+  const size_t n = pool_.num_rows();
+  if (n == 0) {
+    return util::Status::FailedPrecondition("empty sample");
+  }
+  const bool group_by = query.IsGroupBy();
+  const bool quantile = query.agg == aqp::AggFunc::kQuantile;
+
+  // Extend the predicate's bitmap over rows appended since its last use.
+  FilterCacheEntry& filter = filter_cache_[PredicateKey(query.filter)];
+  if (filter.rows_seen < n) {
+    aqp::EvalPredicate(query.filter, pool_, filter.rows_seen, n, &filter.sel);
+    cache_stats_.rows_filtered += n - filter.rows_seen;
+    filter.rows_seen = n;
+  }
+
+  // Fold the same suffix into the query's dense group moments. New group
+  // codes can appear in generated suffix rows, so re-span the cardinality
+  // before accumulating.
+  AggCacheEntry& agg = agg_cache_[AggKey(query)];
+  if (agg.rows_seen < n) {
+    const size_t groups =
+        group_by ? static_cast<size_t>(pool_.Cardinality(
+                       static_cast<size_t>(query.group_by_attr)))
+                 : 1;
+    agg.acc.EnsureGroups(std::max<size_t>(groups, 1), quantile);
+    aqp::AccumulateSelected(query, pool_, filter.sel, agg.rows_seen, n,
+                            &agg.acc);
+    cache_stats_.rows_aggregated += n - agg.rows_seen;
+    agg.rows_seen = n;
+  }
+  cache_stats_.filter_entries = filter_cache_.size();
+  cache_stats_.agg_entries = agg_cache_.size();
+
+  return aqp::FinalizeEstimate(query, aqp::ToGroupMoments(agg.acc, group_by),
+                               n, options_.population_rows);
 }
 
 util::Result<aqp::QueryResult> AqpClient::QueryWithMaxRelativeCi(

@@ -1,10 +1,12 @@
 #ifndef DEEPAQP_VAE_CLIENT_H_
 #define DEEPAQP_VAE_CLIENT_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "aqp/engine.h"
 #include "aqp/query.h"
 #include "relation/table.h"
 #include "util/rng.h"
@@ -20,6 +22,15 @@ namespace deepaqp::vae {
 /// client grows the pool instead of contacting any server. Pool generation
 /// runs on the global thread pool (util::SetGlobalThreads / --threads) and
 /// is deterministic in `seed` regardless of the thread count.
+///
+/// The pool is append-only, so under the vector engine the client keeps a
+/// per-predicate selection bitmap and per-query dense group moments: a
+/// repeated query re-aggregates nothing, and after precision-on-demand
+/// growth only the newly generated suffix rows are filtered and folded in.
+/// Because suffix rows fold into the running moments in row order, a warm
+/// cache returns results bit-identical to a cold scan of the same pool
+/// (and to the `DEEPAQP_ENGINE=scalar` path). With the scalar engine the
+/// cache is bypassed entirely.
 class AqpClient {
  public:
   struct Options {
@@ -54,6 +65,21 @@ class AqpClient {
   util::Result<aqp::QueryResult> QueryWithMaxRelativeCi(
       const aqp::AggregateQuery& query, double max_relative_ci);
 
+  /// Observability of the query cache (tests, benches). Counters are
+  /// cumulative over the client's lifetime.
+  struct CacheStats {
+    /// Distinct predicate bitmaps / aggregation states held.
+    size_t filter_entries = 0;
+    size_t agg_entries = 0;
+    /// Rows pushed through the selection kernels / aggregation pass. With a
+    /// warm cache these advance by exactly the pool growth per query, not
+    /// by the full pool size.
+    uint64_t rows_filtered = 0;
+    uint64_t rows_aggregated = 0;
+  };
+
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
   /// Current pool size (grows monotonically).
   size_t pool_size() const { return pool_.num_rows(); }
 
@@ -63,15 +89,38 @@ class AqpClient {
   VaeAqpModel& model() { return *model_; }
 
  private:
+  /// Cached selection bitmap of one predicate over the pool prefix
+  /// [0, rows_seen); growth appends bits for the new suffix only.
+  struct FilterCacheEntry {
+    size_t rows_seen = 0;
+    aqp::SelectionVector sel;
+  };
+
+  /// Cached dense group moments of one (agg, measure, group-by, predicate)
+  /// shape over the pool prefix [0, rows_seen). The quantile level is not
+  /// part of the key: it only enters at finalization, so QUANTILE(0.5) and
+  /// QUANTILE(0.9) share one accumulation.
+  struct AggCacheEntry {
+    size_t rows_seen = 0;
+    aqp::DenseGroupMoments acc;
+  };
+
   AqpClient(std::unique_ptr<VaeAqpModel> model, const Options& options);
 
   void GrowPool(size_t target_rows);
+
+  /// The vector-engine fast path behind Query(): suffix-incremental bitmap
+  /// + moments lookup, then the shared FinalizeEstimate.
+  util::Result<aqp::QueryResult> QueryCached(const aqp::AggregateQuery& query);
 
   Options options_;
   std::unique_ptr<VaeAqpModel> model_;
   double t_;
   util::Rng rng_;
   relation::Table pool_;
+  std::map<std::string, FilterCacheEntry> filter_cache_;
+  std::map<std::string, AggCacheEntry> agg_cache_;
+  CacheStats cache_stats_;
 };
 
 }  // namespace deepaqp::vae

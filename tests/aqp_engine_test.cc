@@ -1,0 +1,287 @@
+// Property tests of the vectorized query engine: for random tables x query
+// shapes x selectivities (including empty selections and AVG-of-empty), the
+// vector engine must produce results bit-identical to the scalar path, at
+// every --threads setting, across ExecuteExact, EstimateFromSample,
+// BootstrapEstimate, Selectivity, and OnlineAggregator.
+
+#include "aqp/engine.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "aqp/bootstrap.h"
+#include "aqp/estimator.h"
+#include "aqp/executor.h"
+#include "aqp/online.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "util/thread_pool.h"
+
+namespace deepaqp::aqp {
+namespace {
+
+using relation::AttrType;
+using relation::Datum;
+using relation::Schema;
+using relation::Table;
+
+uint64_t Bits(double x) {
+  uint64_t b = 0;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+/// Bit-level equality, so NaN == NaN and +0.0 != -0.0: the engines must
+/// agree on the exact doubles, not just approximately.
+void ExpectBitIdentical(const QueryResult& scalar, const QueryResult& vector,
+                        const std::string& context) {
+  ASSERT_EQ(scalar.groups.size(), vector.groups.size()) << context;
+  for (size_t i = 0; i < scalar.groups.size(); ++i) {
+    const GroupValue& s = scalar.groups[i];
+    const GroupValue& v = vector.groups[i];
+    EXPECT_EQ(s.group, v.group) << context << " group " << i;
+    EXPECT_EQ(s.support, v.support) << context << " group " << i;
+    EXPECT_EQ(Bits(s.value), Bits(v.value))
+        << context << " group " << i << " value " << s.value << " vs "
+        << v.value;
+    EXPECT_EQ(Bits(s.ci_half_width), Bits(v.ci_half_width))
+        << context << " group " << i << " ci " << s.ci_half_width << " vs "
+        << v.ci_half_width;
+  }
+}
+
+/// Restores the ambient engine choice so test order never leaks state.
+struct EngineGuard {
+  EngineKind saved = ActiveEngine();
+  ~EngineGuard() { SetEngine(saved); }
+};
+
+template <typename Fn>
+auto WithEngine(EngineKind kind, Fn&& fn) {
+  const EngineKind saved = ActiveEngine();
+  SetEngine(kind);
+  auto result = fn();
+  SetEngine(saved);
+  return result;
+}
+
+TEST(EngineTest, NameAndOverrideRoundTrip) {
+  EngineGuard guard;
+  EXPECT_STREQ(EngineName(EngineKind::kScalar), "scalar");
+  EXPECT_STREQ(EngineName(EngineKind::kVector), "vector");
+  SetEngine(EngineKind::kScalar);
+  EXPECT_EQ(ActiveEngine(), EngineKind::kScalar);
+  SetEngine(EngineKind::kVector);
+  EXPECT_EQ(ActiveEngine(), EngineKind::kVector);
+}
+
+TEST(EngineTest, SelectionVectorResizeAndCount) {
+  SelectionVector sel;
+  sel.Resize(130);
+  sel.Set(0);
+  sel.Set(63);
+  sel.Set(64);
+  sel.Set(129);
+  EXPECT_EQ(sel.CountRange(0, 130), 4u);
+  EXPECT_EQ(sel.CountRange(1, 129), 2u);
+  EXPECT_EQ(sel.CountRange(64, 64), 0u);
+  EXPECT_TRUE(sel.Test(63));
+  EXPECT_FALSE(sel.Test(62));
+  // Shrinking clears the tail so a later regrow starts from zero bits.
+  sel.Resize(64);
+  sel.Resize(130);
+  EXPECT_EQ(sel.CountRange(0, 130), 2u);
+}
+
+TEST(EngineTest, RandomizedWorkloadBitIdenticalAcrossEnginesAndThreads) {
+  EngineGuard guard;
+  struct DatasetSpec {
+    const char* name;
+    Table table;
+  };
+  std::vector<DatasetSpec> datasets;
+  datasets.push_back({"census", data::GenerateCensus({.rows = 2000, .seed = 11})});
+  datasets.push_back({"taxi", data::GenerateTaxi({.rows = 2500, .seed = 12})});
+
+  for (const DatasetSpec& ds : datasets) {
+    data::WorkloadConfig wc;
+    wc.num_queries = 25;
+    wc.seed = 31;
+    wc.group_by_prob = 0.5;
+    wc.quantile_prob = 0.25;
+    const auto workload = data::GenerateWorkload(ds.table, wc);
+    ASSERT_FALSE(workload.empty());
+    const size_t population = ds.table.num_rows() * 10;
+
+    for (int threads : {1, 3}) {
+      util::SetGlobalThreads(threads);
+      for (size_t qi = 0; qi < workload.size(); ++qi) {
+        const AggregateQuery& q = workload[qi];
+        const std::string ctx = std::string(ds.name) + " q" +
+                                std::to_string(qi) + " threads=" +
+                                std::to_string(threads);
+
+        auto exact_s = WithEngine(EngineKind::kScalar, [&] {
+          return ExecuteExact(q, ds.table);
+        });
+        auto exact_v = WithEngine(EngineKind::kVector, [&] {
+          return ExecuteExact(q, ds.table);
+        });
+        ASSERT_TRUE(exact_s.ok() && exact_v.ok()) << ctx;
+        ExpectBitIdentical(*exact_s, *exact_v, ctx + " exact");
+
+        auto est_s = WithEngine(EngineKind::kScalar, [&] {
+          return EstimateFromSample(q, ds.table, population);
+        });
+        auto est_v = WithEngine(EngineKind::kVector, [&] {
+          return EstimateFromSample(q, ds.table, population);
+        });
+        ASSERT_TRUE(est_s.ok() && est_v.ok()) << ctx;
+        ExpectBitIdentical(*est_s, *est_v, ctx + " estimate");
+
+        const double sel_s = WithEngine(EngineKind::kScalar, [&] {
+          return Selectivity(q, ds.table);
+        });
+        const double sel_v = WithEngine(EngineKind::kVector, [&] {
+          return Selectivity(q, ds.table);
+        });
+        EXPECT_EQ(Bits(sel_s), Bits(sel_v)) << ctx << " selectivity";
+
+        BootstrapOptions bopts;
+        bopts.resamples = 20;
+        bopts.seed = 1789 + qi;
+        auto boot_s = WithEngine(EngineKind::kScalar, [&] {
+          return BootstrapEstimate(q, ds.table, population, bopts);
+        });
+        auto boot_v = WithEngine(EngineKind::kVector, [&] {
+          return BootstrapEstimate(q, ds.table, population, bopts);
+        });
+        ASSERT_TRUE(boot_s.ok() && boot_v.ok()) << ctx;
+        ExpectBitIdentical(*boot_s, *boot_v, ctx + " bootstrap");
+      }
+    }
+    util::SetGlobalThreads(0);
+  }
+}
+
+Table EdgeTable() {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("grp", AttrType::kCategorical).ok());
+  EXPECT_TRUE(s.AddAttribute("val", AttrType::kNumeric).ok());
+  Table t(s);
+  t.AppendRow({Datum::Categorical(0), Datum::Numeric(1.5)});
+  t.AppendRow({Datum::Categorical(2), Datum::Numeric(-3.0)});
+  t.AppendRow({Datum::Categorical(0), Datum::Numeric(0.0)});
+  t.AppendRow({Datum::Categorical(1), Datum::Numeric(7.25)});
+  // Declared cardinality above the observed max exercises empty dense slots.
+  t.DeclareCardinality(0, 6);
+  return t;
+}
+
+TEST(EngineTest, EmptySelectionsAndEdgeShapesMatchScalar) {
+  EngineGuard guard;
+  Table t = EdgeTable();
+  std::vector<AggregateQuery> queries;
+
+  for (AggFunc agg :
+       {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg, AggFunc::kQuantile}) {
+    for (int group_by : {-1, 0}) {
+      // Impossible filter: empty selection (AVG/QUANTILE of empty).
+      AggregateQuery empty;
+      empty.agg = agg;
+      empty.measure_attr = agg == AggFunc::kCount ? -1 : 1;
+      empty.group_by_attr = group_by;
+      empty.filter.conditions.push_back({1, CmpOp::kGt, 1e9});
+      queries.push_back(empty);
+
+      // Empty predicate: everything matches.
+      AggregateQuery all = empty;
+      all.filter.conditions.clear();
+      queries.push_back(all);
+
+      // Disjunctive multi-condition filter.
+      AggregateQuery dis = empty;
+      dis.filter.conditions = {{1, CmpOp::kLt, 0.0}, {0, CmpOp::kEq, 1.0}};
+      dis.filter.conjunctive = false;
+      queries.push_back(dis);
+
+      // Conjunctive filter mixing categorical and numeric columns.
+      AggregateQuery con = empty;
+      con.filter.conditions = {{0, CmpOp::kLe, 1.0}, {1, CmpOp::kGe, 0.0}};
+      queries.push_back(con);
+    }
+  }
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const AggregateQuery& q = queries[qi];
+    const std::string ctx = "edge q" + std::to_string(qi);
+    auto exact_s = WithEngine(EngineKind::kScalar,
+                              [&] { return ExecuteExact(q, t); });
+    auto exact_v = WithEngine(EngineKind::kVector,
+                              [&] { return ExecuteExact(q, t); });
+    ASSERT_TRUE(exact_s.ok() && exact_v.ok()) << ctx;
+    ExpectBitIdentical(*exact_s, *exact_v, ctx + " exact");
+
+    auto est_s = WithEngine(EngineKind::kScalar,
+                            [&] { return EstimateFromSample(q, t, 40); });
+    auto est_v = WithEngine(EngineKind::kVector,
+                            [&] { return EstimateFromSample(q, t, 40); });
+    ASSERT_TRUE(est_s.ok() && est_v.ok()) << ctx;
+    ExpectBitIdentical(*est_s, *est_v, ctx + " estimate");
+  }
+
+  // The explicit semantic anchors: empty COUNT is 0, empty AVG is absent.
+  AggregateQuery count_none;
+  count_none.filter.conditions.push_back({1, CmpOp::kGt, 1e9});
+  EXPECT_EQ(ExecuteExact(count_none, t)->Scalar(), 0.0);
+  AggregateQuery avg_none = count_none;
+  avg_none.agg = AggFunc::kAvg;
+  avg_none.measure_attr = 1;
+  EXPECT_TRUE(ExecuteExact(avg_none, t)->groups.empty());
+}
+
+TEST(EngineTest, OnlineAggregatorMatchesAcrossEnginesAndBatchSplits) {
+  EngineGuard guard;
+  auto table = data::GenerateTaxi({.rows = 1500, .seed = 17});
+  AggregateQuery q;
+  q.agg = AggFunc::kAvg;
+  q.measure_attr = table.schema().IndexOf("fare");
+  q.group_by_attr = table.schema().IndexOf("pickup_borough");
+  q.filter.conditions.push_back(
+      {static_cast<size_t>(table.schema().IndexOf("trip_distance")),
+       CmpOp::kGt, 1.0});
+
+  auto run = [&](EngineKind kind, const std::vector<size_t>& splits) {
+    return WithEngine(kind, [&] {
+      OnlineAggregator agg(q, table.num_rows() * 10);
+      size_t start = 0;
+      for (size_t len : splits) {
+        EXPECT_TRUE(agg.AddBatch(table.Gather([&] {
+                       std::vector<size_t> rows(len);
+                       for (size_t i = 0; i < len; ++i) rows[i] = start + i;
+                       return rows;
+                     }())).ok());
+        start += len;
+      }
+      auto current = agg.Current();
+      EXPECT_TRUE(current.ok());
+      return *current;
+    });
+  };
+
+  const std::vector<size_t> one_batch = {1500};
+  const std::vector<size_t> three_batches = {500, 700, 300};
+  QueryResult s1 = run(EngineKind::kScalar, one_batch);
+  QueryResult v1 = run(EngineKind::kVector, one_batch);
+  QueryResult s3 = run(EngineKind::kScalar, three_batches);
+  QueryResult v3 = run(EngineKind::kVector, three_batches);
+  ExpectBitIdentical(s1, v1, "online one batch");
+  ExpectBitIdentical(s3, v3, "online three batches");
+  // Batch splits merge per matched row, so the split itself is invisible.
+  ExpectBitIdentical(s1, s3, "online scalar split invariance");
+  ExpectBitIdentical(v1, v3, "online vector split invariance");
+}
+
+}  // namespace
+}  // namespace deepaqp::aqp

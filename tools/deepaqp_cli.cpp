@@ -20,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "aqp/engine.h"
 #include "aqp/estimator.h"
 #include "aqp/sql_parser.h"
 #include "data/generators.h"
@@ -343,6 +344,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   util::Flags flags(argc - 1, argv + 1);
   util::ApplyThreadsFlag(flags);
+  aqp::ApplyEngineFlag(flags);
   if (cmd == "make-data") return CmdMakeData(flags);
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "info") return CmdInfo(flags);
