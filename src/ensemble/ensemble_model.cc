@@ -3,15 +3,32 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/snapshot.h"
 #include "util/thread_pool.h"
 
 namespace deepaqp::ensemble {
 
+namespace {
+
+std::string MemberSectionName(size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "member-%04zu", i);
+  return buf;
+}
+
+/// Training attempts per member: the first pass plus bounded retries with a
+/// deterministically perturbed seed (attempt 0 reproduces the historical
+/// seed exactly, so healthy training stays bit-identical).
+constexpr int kMemberTrainAttempts = 3;
+
+}  // namespace
+
 util::Result<std::unique_ptr<EnsembleModel>> EnsembleModel::Train(
     const relation::Table& table, const std::vector<AtomicGroup>& groups,
-    const Partition& partition, const vae::VaeAqpOptions& options) {
+    const Partition& partition, const vae::VaeAqpOptions& options,
+    EnsembleTrainReport* report) {
   if (partition.parts.empty()) {
     return util::Status::InvalidArgument("partition has no parts");
   }
@@ -35,35 +52,93 @@ util::Result<std::unique_ptr<EnsembleModel>> EnsembleModel::Train(
   }
 
   // One VAE per part, trained in parallel. Each member's seed is a fixed
-  // function of (options.seed, p) and members share no mutable state, so
-  // the trained ensemble is bit-identical at every thread count.
+  // function of (options.seed, p, attempt) and members share no mutable
+  // state, so the trained ensemble is bit-identical at every thread count.
   std::vector<std::unique_ptr<vae::VaeAqpModel>> members(parts);
   std::vector<util::Status> statuses(parts);
-  util::ParallelFor(0, parts, [&](size_t p) {
+  auto train_member = [&](size_t p, int attempt) {
+    // Chaos site, keyed by member index: simulated member-training failure.
+    if (util::FailpointTriggered("ensemble/train_member", p)) {
+      members[p].reset();
+      statuses[p] = util::FailpointError("ensemble/train_member");
+      return;
+    }
     relation::Table part_table = table.Gather(part_rows[p]);
     vae::VaeAqpOptions member_options = options;
-    member_options.seed = options.seed + 1000003 * (p + 1);
+    member_options.seed = options.seed + 1000003 * (p + 1) +
+                          0x9E3779B9ull * static_cast<uint64_t>(attempt);
     auto member = vae::VaeAqpModel::Train(part_table, member_options);
     if (member.ok()) {
       members[p] = std::move(*member);
+      statuses[p] = util::Status::OK();
     } else {
       statuses[p] = member.status();
     }
-  });
-  for (const util::Status& status : statuses) {
-    DEEPAQP_RETURN_IF_ERROR(status);
+  };
+  util::ParallelFor(0, parts, [&](size_t p) { train_member(p, 0); });
+
+  EnsembleTrainReport rep;
+  rep.members_total = parts;
+
+  // Bounded per-member retries, serial and in member order so the retrained
+  // weights are a deterministic function of which members failed.
+  for (size_t p = 0; p < parts; ++p) {
+    for (int attempt = 1;
+         attempt < kMemberTrainAttempts && !statuses[p].ok(); ++attempt) {
+      DEEPAQP_LOG(Warning)
+          << "ensemble member " << p << " failed to train ("
+          << statuses[p].ToString() << "); retry " << attempt << "/"
+          << (kMemberTrainAttempts - 1) << " with perturbed seed";
+      ++rep.retries;
+      train_member(p, attempt);
+    }
   }
 
+  // Degraded completion: skip irrecoverable members, renormalize the
+  // surviving weights, and report the lost coverage (the training-time
+  // mirror of DeserializeImpl's tolerant path).
   size_t total_rows = 0;
+  size_t covered_rows = 0;
+  std::string first_error;
+  for (size_t p = 0; p < parts; ++p) total_rows += part_rows[p].size();
   for (size_t p = 0; p < parts; ++p) {
-    model->members_.push_back(std::move(members[p]));
-    model->member_rows_.push_back(std::move(part_rows[p]));
-    total_rows += model->member_rows_.back().size();
+    if (statuses[p].ok()) {
+      covered_rows += part_rows[p].size();
+      model->members_.push_back(std::move(members[p]));
+      model->member_rows_.push_back(std::move(part_rows[p]));
+      ++rep.members_trained;
+    } else {
+      const std::string error =
+          MemberSectionName(p) + ": " + statuses[p].ToString();
+      if (first_error.empty()) first_error = error;
+      rep.member_errors.push_back(error);
+    }
+  }
+  if (model->members_.empty()) {
+    if (report != nullptr) {
+      rep.coverage = 0.0;
+      *report = rep;
+    }
+    return util::Status::Internal(
+        "all " + std::to_string(parts) +
+        " ensemble members failed to train after " +
+        std::to_string(kMemberTrainAttempts) +
+        " attempts each (first: " + first_error + ")");
   }
   for (const auto& rows : model->member_rows_) {
     model->weights_.push_back(static_cast<double>(rows.size()) /
-                              static_cast<double>(total_rows));
+                              static_cast<double>(covered_rows));
   }
+  rep.coverage = total_rows > 0
+                     ? static_cast<double>(covered_rows) /
+                           static_cast<double>(total_rows)
+                     : 0.0;
+  if (rep.degraded()) {
+    DEEPAQP_LOG(Warning) << "ensemble trained degraded: "
+                         << rep.members_trained << "/" << rep.members_total
+                         << " members, coverage " << rep.coverage;
+  }
+  if (report != nullptr) *report = rep;
   return model;
 }
 
@@ -104,16 +179,6 @@ size_t EnsembleModel::ModelSizeBytes() const {
   for (const auto& member : members_) total += member->ModelSizeBytes();
   return total;
 }
-
-namespace {
-
-std::string MemberSectionName(size_t i) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "member-%04zu", i);
-  return buf;
-}
-
-}  // namespace
 
 std::vector<uint8_t> EnsembleModel::Serialize() const {
   util::SnapshotWriter snap(kEnsembleSnapshotKind, kEnsemblePayloadVersion);

@@ -36,6 +36,24 @@ struct EnsembleLoadReport {
   bool degraded() const { return members_loaded < members_total; }
 };
 
+/// What degraded ensemble *training* actually produced — the training-time
+/// mirror of EnsembleLoadReport. A member whose training fails is retried
+/// with a perturbed seed; members that still fail are skipped, surviving
+/// weights are renormalized, and the lost coverage is reported here.
+struct EnsembleTrainReport {
+  size_t members_total = 0;
+  size_t members_trained = 0;
+  /// Member retraining attempts spent after first-attempt failures.
+  size_t retries = 0;
+  /// Fraction of the training rows covered by trained members (1.0 when
+  /// nothing was lost).
+  double coverage = 1.0;
+  /// One "member-NNNN: <status>" line per member that was skipped.
+  std::vector<std::string> member_errors;
+
+  bool degraded() const { return members_trained < members_total; }
+};
+
 /// A collection of per-partition VAEs acting as one generative model of the
 /// whole relation (paper Sec. V): each member learns the finer structure of
 /// its partition; generation draws from members proportionally to partition
@@ -47,9 +65,15 @@ class EnsembleModel {
   /// lists group indices per part. Member seeds derive deterministically
   /// from (options.seed, part index), so members differ from each other but
   /// the trained ensemble is identical at every thread count.
+  ///
+  /// Self-healing: a member whose training fails is retried (bounded,
+  /// deterministic seed perturbation); irrecoverable members are skipped
+  /// with renormalized weights and reported via `report`. Errors only when
+  /// the partition is invalid or no member can be trained at all.
   static util::Result<std::unique_ptr<EnsembleModel>> Train(
       const relation::Table& table, const std::vector<AtomicGroup>& groups,
-      const Partition& partition, const vae::VaeAqpOptions& options);
+      const Partition& partition, const vae::VaeAqpOptions& options,
+      EnsembleTrainReport* report = nullptr);
 
   /// Generates `n` tuples: each member contributes a share proportional to
   /// its partition's row count (multinomial split of n).

@@ -1,8 +1,14 @@
 #include "nn/arena.h"
 
+#include "util/failpoint.h"
+
 namespace deepaqp::nn {
 
 Matrix ScratchArena::Acquire() {
+  // Chaos site: simulated allocator pressure. Dropping the pool forces every
+  // caller down the fresh-allocation path; numerics are unaffected, so this
+  // is the one site safe to enable under the full deterministic test suite.
+  if (util::FailpointTriggered("arena/acquire")) pool_.clear();
   if (pool_.empty()) return Matrix();
   Matrix m = std::move(pool_.back());
   pool_.pop_back();

@@ -26,9 +26,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -36,6 +38,15 @@
 namespace deepaqp::nn {
 
 namespace {
+
+// Chaos site shared by both fused and plain GEMM dispatch: poisons one output
+// element with a quiet NaN, modeling a transient compute fault (bad SIMD
+// lane, corrupted scratch). Downstream sentinels must catch and contain it.
+inline void MaybePoisonGemmOutput(Matrix* out) {
+  if (out->size() > 0 && util::FailpointTriggered("nn/gemm")) {
+    out->data()[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Kernel selection
@@ -342,6 +353,7 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
           float alpha, float beta, Matrix* c) {
   if (ActiveGemmKernel() == GemmKernelKind::kNaive) {
     ReferenceGemm(a, trans_a, b, trans_b, alpha, beta, c);
+    MaybePoisonGemmOutput(c);
     return;
   }
   const size_t m = trans_a ? a.cols() : a.rows();
@@ -362,6 +374,7 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
   }
   BlockedGemmDriver(OpView(a, trans_a), OpView(b, trans_b), m, k, n, alpha,
                     overwrite, nullptr, c->data(), c->cols());
+  MaybePoisonGemmOutput(c);
 }
 
 void ShardedGemmTN(const Matrix& a, const Matrix& b, Matrix* c,
@@ -447,6 +460,7 @@ void FusedLinearForward(const Matrix& x, const Matrix& w, const Matrix& bias,
     ReferenceGemm(x, false, w, false, 1.0f, 0.0f, out);
     if (has_bias) AddRowBroadcast(bias, out);
     ApplyActivation(act, leaky_slope, out->data(), out->size());
+    MaybePoisonGemmOutput(out);
     return;
   }
   out->Resize(x.rows(), w.cols());
@@ -454,6 +468,7 @@ void FusedLinearForward(const Matrix& x, const Matrix& w, const Matrix& bias,
   BlockedGemmDriver(OpView(x, false), OpView(w, false), x.rows(), x.cols(),
                     w.cols(), 1.0f, /*overwrite=*/true, &epi, out->data(),
                     out->cols());
+  MaybePoisonGemmOutput(out);
 }
 
 void SigmoidVec(const float* x, float* out, size_t n) {

@@ -1,6 +1,8 @@
 #ifndef DEEPAQP_NN_LOSS_H_
 #define DEEPAQP_NN_LOSS_H_
 
+#include <cmath>
+
 #include "nn/matrix.h"
 
 namespace deepaqp::nn {
@@ -9,6 +11,9 @@ namespace deepaqp::nn {
 struct LossResult {
   double value = 0.0;
   Matrix grad;  // dL/d(output), same shape as the output.
+
+  /// Divergence sentinel: the loss value is a usable training signal.
+  bool finite() const { return std::isfinite(value); }
 };
 
 /// Numerically-stable binary cross-entropy on logits, summed over features

@@ -1,6 +1,7 @@
 #include "nn/matrix.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 
@@ -82,6 +83,13 @@ double SumSquares(const Matrix& m) {
     acc += static_cast<double>(m.data()[i]) * m.data()[i];
   }
   return acc;
+}
+
+bool AllFinite(const Matrix& m) {
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(m.data()[i])) return false;
+  }
+  return true;
 }
 
 }  // namespace deepaqp::nn

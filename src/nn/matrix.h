@@ -96,6 +96,9 @@ void Axpy(float scale, const Matrix& b, Matrix* a);
 /// Element-wise sum of squares (for gradient-norm diagnostics).
 double SumSquares(const Matrix& m);
 
+/// True when every entry is finite (divergence sentinel for trainers).
+bool AllFinite(const Matrix& m);
+
 }  // namespace deepaqp::nn
 
 #endif  // DEEPAQP_NN_MATRIX_H_

@@ -19,12 +19,24 @@ void Sgd::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter* p = params_[i];
     if (momentum_ == 0.0f) {
-      Axpy(-lr_, p->grad, &p->value);
+      for (size_t j = 0; j < p->value.size(); ++j) {
+        const float g = p->grad.data()[j];
+        if (!std::isfinite(g)) {
+          ++nonfinite_grads_;
+          continue;
+        }
+        p->value.data()[j] += -lr_ * g;
+      }
       continue;
     }
     Matrix& v = velocity_[i];
     for (size_t j = 0; j < v.size(); ++j) {
-      v.data()[j] = momentum_ * v.data()[j] + p->grad.data()[j];
+      const float g = p->grad.data()[j];
+      if (!std::isfinite(g)) {
+        ++nonfinite_grads_;
+        continue;
+      }
+      v.data()[j] = momentum_ * v.data()[j] + g;
       p->value.data()[j] -= lr_ * v.data()[j];
     }
   }
@@ -55,6 +67,10 @@ void Adam::Step() {
     Matrix& v = v_[i];
     for (size_t j = 0; j < p->value.size(); ++j) {
       const float g = p->grad.data()[j];
+      if (!std::isfinite(g)) {
+        ++nonfinite_grads_;
+        continue;
+      }
       m.data()[j] = beta1_ * m.data()[j] + (1.0f - beta1_) * g;
       v.data()[j] = beta2_ * v.data()[j] + (1.0f - beta2_) * g * g;
       const float mhat = m.data()[j] / bc1;
@@ -79,6 +95,10 @@ void RmsProp::Step() {
     Matrix& c = cache_[i];
     for (size_t j = 0; j < p->value.size(); ++j) {
       const float g = p->grad.data()[j];
+      if (!std::isfinite(g)) {
+        ++nonfinite_grads_;
+        continue;
+      }
       c.data()[j] = decay_ * c.data()[j] + (1.0f - decay_) * g * g;
       p->value.data()[j] -= lr_ * g / (std::sqrt(c.data()[j]) + eps_);
     }

@@ -1,6 +1,7 @@
 #ifndef DEEPAQP_NN_OPTIMIZER_H_
 #define DEEPAQP_NN_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/layers.h"
@@ -9,6 +10,12 @@ namespace deepaqp::nn {
 
 /// Base interface for first-order optimizers over a fixed parameter set.
 /// Usage per batch: ZeroGrad() -> forward/backward -> Step().
+///
+/// Divergence sentinel: every concrete Step() skips non-finite gradient
+/// entries (the parameter and its moment state keep their previous values)
+/// and counts them in nonfinite_grads(). Healthy training never produces
+/// such entries, so the skip is bit-neutral; trainers poll the counter
+/// between epochs to detect divergence.
 class Optimizer {
  public:
   explicit Optimizer(std::vector<Parameter*> params)
@@ -24,8 +31,12 @@ class Optimizer {
 
   const std::vector<Parameter*>& params() const { return params_; }
 
+  /// Total non-finite gradient entries skipped across all Step() calls.
+  uint64_t nonfinite_grads() const { return nonfinite_grads_; }
+
  protected:
   std::vector<Parameter*> params_;
+  uint64_t nonfinite_grads_ = 0;
 };
 
 /// Stochastic gradient descent with optional classical momentum.

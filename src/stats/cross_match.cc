@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "stats/matching.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace deepaqp::stats {
@@ -37,6 +38,11 @@ util::Result<CrossMatchResult> CrossMatchTest(
   if (sample_d.size() < 2 || sample_m.size() < 2) {
     return util::Status::InvalidArgument(
         "cross-match test needs at least 2 points per sample");
+  }
+  // Chaos site: simulated matcher failure mid-bias-elimination; the caller
+  // (EliminateModelBias) must degrade rather than abort the workflow.
+  if (util::FailpointTriggered("stats/cross_match")) {
+    return util::FailpointError("stats/cross_match");
   }
   // Pool points with labels; drop one at random if the total is odd.
   std::vector<std::vector<double>> points;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/failpoint.h"
+
 namespace deepaqp::util {
 
 void ByteWriter::WriteString(const std::string& s) {
@@ -133,6 +135,8 @@ Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
 
 Status AtomicWriteFile(const std::string& path,
                        const std::vector<uint8_t>& bytes) {
+  // Chaos site: simulated full disk / permission flap on persist.
+  if (FailpointTriggered("io/write")) return FailpointError("io/write");
   const std::string tmp = path + ".tmp";
   DEEPAQP_RETURN_IF_ERROR(WriteFile(tmp, bytes));
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -143,6 +147,8 @@ Status AtomicWriteFile(const std::string& path,
 }
 
 Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  // Chaos site: simulated unreadable file on load.
+  if (FailpointTriggered("io/read")) return FailpointError("io/read");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open for read: " + path);
   std::fseek(f, 0, SEEK_END);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/crc32.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -50,6 +51,10 @@ Result<SnapshotReader> SnapshotReader::OpenTolerant(
 
 Result<SnapshotReader> SnapshotReader::OpenImpl(
     const std::vector<uint8_t>& bytes, bool tolerant) {
+  // Chaos site: simulated unreadable/corrupt snapshot header.
+  if (FailpointTriggered("snapshot/open")) {
+    return FailpointError("snapshot/open");
+  }
   Stopwatch watch;
   constexpr size_t kMagicSize = sizeof(kSnapshotMagic);
   if (bytes.size() < kMagicSize + sizeof(uint32_t)) {
@@ -161,6 +166,11 @@ bool SnapshotReader::HasSection(const std::string& name) const {
 }
 
 Result<ByteReader> SnapshotReader::Section(const std::string& name) const {
+  // Chaos site: simulated per-section bit rot (what degraded ensemble
+  // loading is built to survive).
+  if (FailpointTriggered("snapshot/section")) {
+    return FailpointError("snapshot/section");
+  }
   for (const SnapshotSection& s : sections_) {
     if (s.name != name) continue;
     if (!s.in_bounds) {

@@ -40,13 +40,28 @@ std::string AggKey(const aqp::AggregateQuery& query) {
   return buf + PredicateKey(query.filter);
 }
 
+/// Resolves the client's rejection threshold. NaN in `requested` means "use
+/// the model's calibrated default" — but a NaN *default* (corrupt snapshot,
+/// calibration gone wrong upstream of the accept-all fallback) must not
+/// become the threshold: every acceptance test would silently misbehave.
+/// +/-inf are legitimate sentinels and pass through.
+double ResolveThreshold(double requested, double default_t) {
+  const double t = std::isnan(requested) ? default_t : requested;
+  if (std::isnan(t)) {
+    DEEPAQP_LOG(Warning) << "model default_t is NaN; falling back to "
+                            "accept-all generation (t = +inf)";
+    return kTPlusInf;
+  }
+  return t;
+}
+
 }  // namespace
 
 AqpClient::AqpClient(std::unique_ptr<VaeAqpModel> model,
                      const Options& options)
     : options_(options),
       model_(std::move(model)),
-      t_(std::isnan(options.t) ? model_->default_t() : options.t),
+      t_(ResolveThreshold(options.t, model_->default_t())),
       rng_(options.seed),
       pool_(model_->tuple_encoder().schema()) {
   GrowPool(options_.initial_samples);
@@ -89,11 +104,40 @@ util::Result<aqp::QueryResult> AqpClient::Query(const std::string& sql) {
 
 util::Result<aqp::QueryResult> AqpClient::Query(
     const aqp::AggregateQuery& query) {
-  if (aqp::ActiveEngine() != aqp::EngineKind::kVector) {
-    // Scalar escape hatch: plain full scans, no cache.
-    return aqp::EstimateFromSample(query, pool_, options_.population_rows);
+  util::Result<aqp::QueryResult> result =
+      aqp::ActiveEngine() != aqp::EngineKind::kVector
+          // Scalar escape hatch: plain full scans, no cache.
+          ? aqp::EstimateFromSample(query, pool_, options_.population_rows)
+          : QueryCached(query);
+  // Bias-elimination widening: estimates are unchanged (bit-identical to a
+  // healthy client), only their stated uncertainty grows.
+  if (result.ok() && ci_inflation_ != 1.0) {
+    for (auto& g : result->groups) g.ci_half_width *= ci_inflation_;
   }
-  return QueryCached(query);
+  return result;
+}
+
+void AqpClient::NoteBiasElimination(const BiasEliminationResult& result) {
+  if (result.outcome == BiasEliminationOutcome::kPassed) {
+    ci_inflation_ = 1.0;
+    return;
+  }
+  // The model never validated against the data: serve best-effort answers
+  // with visibly widened confidence intervals instead of failing or, worse,
+  // quietly pretending full confidence.
+  constexpr double kUnvalidatedCiInflation = 1.5;
+  ci_inflation_ = kUnvalidatedCiInflation;
+  std::string why =
+      result.outcome == BiasEliminationOutcome::kDegraded
+          ? "bias elimination degraded"
+          : "bias elimination budget exhausted";
+  why += " (final_t=" + std::to_string(result.final_t) + ", " +
+         std::to_string(result.iterations) + " iterations)";
+  for (const std::string& w : result.warnings) why += "; " + w;
+  why += "; confidence intervals widened by " +
+         std::to_string(kUnvalidatedCiInflation) + "x";
+  warnings_.push_back(why);
+  DEEPAQP_LOG(Warning) << "AqpClient: " << why;
 }
 
 util::Result<aqp::QueryResult> AqpClient::QueryCached(

@@ -12,6 +12,7 @@
 #include "util/rng.h"
 #include "util/status.h"
 #include "vae/vae_model.h"
+#include "vae/workflow.h"
 
 namespace deepaqp::vae {
 
@@ -88,6 +89,19 @@ class AqpClient {
 
   VaeAqpModel& model() { return *model_; }
 
+  /// Registers an Algorithm 1 outcome with the client. A non-passed outcome
+  /// (budget exhausted or degraded) records a warning and widens every
+  /// subsequent confidence interval by a fixed inflation factor — the model
+  /// serves best-effort answers instead of silently presenting unvalidated
+  /// estimates at face value. A passed outcome clears the inflation.
+  void NoteBiasElimination(const BiasEliminationResult& result);
+
+  /// Multiplier currently applied to every CI half-width (1.0 = none).
+  double ci_inflation() const { return ci_inflation_; }
+
+  /// Accumulated robustness warnings (bias-elimination degradations etc.).
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
  private:
   /// Cached selection bitmap of one predicate over the pool prefix
   /// [0, rows_seen); growth appends bits for the new suffix only.
@@ -121,6 +135,8 @@ class AqpClient {
   std::map<std::string, FilterCacheEntry> filter_cache_;
   std::map<std::string, AggCacheEntry> agg_cache_;
   CacheStats cache_stats_;
+  double ci_inflation_ = 1.0;
+  std::vector<std::string> warnings_;
 };
 
 }  // namespace deepaqp::vae

@@ -5,6 +5,7 @@
 
 #include "nn/arena.h"
 #include "nn/kernels.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/snapshot.h"
 #include "util/thread_pool.h"
@@ -47,7 +48,9 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
   Matrix data = model->encoder_.EncodeAll(table);
   const size_t n = data.rows();
 
-  nn::Adam opt(model->net_->Parameters(), options.learning_rate);
+  float lr = options.learning_rate;
+  auto opt =
+      std::make_unique<nn::Adam>(model->net_->Parameters(), lr);
   util::Rng rng(options.seed ^ 0xABCDEF);
 
   // Per-tuple VRS thresholds, maintained as a stochastic-approximation
@@ -58,6 +61,31 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
   std::vector<uint8_t> quantile_initialized(n, 0);
   const int warmup_epochs = std::max(1, options.epochs / 3);
 
+  TrainReport report;
+  report.final_learning_rate = lr;
+
+  // Best-checkpoint for divergence rollback: parameter values plus every
+  // piece of epoch-loop state (thresholds, rng) so a restore replays
+  // training from the checkpointed epoch deterministically. The initial
+  // state is a valid checkpoint, so even an epoch-0 divergence can roll
+  // back. `loss` is recon+kl of the epoch that produced the checkpoint.
+  struct Checkpoint {
+    std::vector<Matrix> params;
+    std::vector<float> row_t;
+    std::vector<float> neg_quantile;
+    std::vector<uint8_t> quantile_initialized;
+    util::Rng rng;
+    int next_epoch = 0;
+    double loss = std::numeric_limits<double>::infinity();
+  };
+  Checkpoint best{model->net_->CloneParameterValues(),
+                  row_t,
+                  neg_quantile,
+                  quantile_initialized,
+                  rng,
+                  0,
+                  std::numeric_limits<double>::infinity()};
+
   // Minibatch buffers reused across every batch of every epoch: the gather
   // target and the per-row threshold vector reach steady-state capacity in
   // the first iteration and never reallocate again.
@@ -65,11 +93,12 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
   Matrix batch;
   std::vector<float> batch_t;
 
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = 0; epoch < options.epochs;) {
     util::Stopwatch epoch_watch;
     EpochStats epoch_stats;
     epoch_stats.acceptance = 0.0;  // accumulated below, then averaged
     const bool vrs_active = options.vrs_training && epoch >= warmup_epochs;
+    const uint64_t nf_grads_before = opt->nonfinite_grads();
     const auto perm = rng.Permutation(n);
     size_t batches = 0;
     for (size_t start = 0; start < n; start += options.batch_size) {
@@ -84,7 +113,7 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
       step.row_t = &batch_t;
       step.max_rounds = options.vrs_rounds;
 
-      StepStats s = model->net_->TrainStep(batch, opt, rng, step);
+      StepStats s = model->net_->TrainStep(batch, *opt, rng, step);
       epoch_stats.recon_loss += s.recon_loss;
       epoch_stats.kl += s.kl;
       epoch_stats.acceptance += s.acceptance;
@@ -92,10 +121,16 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
 
       // Update per-tuple quantile estimates of r(x) by quantile SGD:
       // q <- q + eta * (p - 1[r < q]) tracks the p-quantile of r.
+      // Non-finite log-ratios carry no quantile information; skipping them
+      // (counted) keeps the thresholds usable through a transient fault.
       const float p = static_cast<float>(1.0 - options.train_accept_target);
       const float eta = 0.5f;
       for (size_t i = 0; i < idx.size(); ++i) {
         const float r = s.log_ratio[i];
+        if (!std::isfinite(r)) {
+          ++report.nonfinite_log_ratios;
+          continue;
+        }
         float& q = neg_quantile[idx[i]];
         if (!quantile_initialized[idx[i]]) {
           q = r;
@@ -112,8 +147,85 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
       epoch_stats.acceptance /= static_cast<double>(batches);
     }
     epoch_stats.seconds = epoch_watch.ElapsedSeconds();
+
+    // Divergence sentinels: a non-finite epoch loss, gradient entries the
+    // optimizer had to skip, non-finite parameters, or an injected fault
+    // (chaos site, keyed by epoch) all reject this epoch's work.
+    const uint64_t nf_grads_delta = opt->nonfinite_grads() - nf_grads_before;
+    const bool injected = util::FailpointTriggered(
+        "vae/train_epoch", static_cast<uint64_t>(epoch));
+    const bool diverged = injected ||
+                          !std::isfinite(epoch_stats.recon_loss) ||
+                          !std::isfinite(epoch_stats.kl) ||
+                          nf_grads_delta > 0 ||
+                          !model->net_->ParametersFinite();
+    if (diverged) {
+      ++report.divergence_events;
+      if (report.rollbacks >= options.max_divergence_retries) {
+        report.nonfinite_grads += opt->nonfinite_grads();
+        if (stats != nullptr) {
+          stats->report = report;
+          stats->total_seconds = total_watch.ElapsedSeconds();
+        }
+        return util::Status::Internal(
+            "training diverged at epoch " + std::to_string(epoch) +
+            " and exhausted " +
+            std::to_string(options.max_divergence_retries) +
+            " rollback retries (learning rate backed off to " +
+            std::to_string(lr) + "); sentinel: " +
+            (injected ? "injected fault"
+             : nf_grads_delta > 0
+                 ? "non-finite gradients"
+                 : !std::isfinite(epoch_stats.recon_loss) ||
+                           !std::isfinite(epoch_stats.kl)
+                       ? "non-finite loss"
+                       : "non-finite parameters"));
+      }
+      // Roll back to the best checkpoint and retry from there with a
+      // backed-off learning rate and fresh optimizer moments. The restored
+      // rng replays the same permutations/draws, so the retry differs only
+      // through the smaller steps.
+      model->net_->RestoreParameterValues(best.params);
+      row_t = best.row_t;
+      neg_quantile = best.neg_quantile;
+      quantile_initialized = best.quantile_initialized;
+      rng = best.rng;
+      epoch = best.next_epoch;
+      lr *= options.divergence_lr_backoff;
+      report.nonfinite_grads += opt->nonfinite_grads();
+      opt = std::make_unique<nn::Adam>(model->net_->Parameters(), lr);
+      ++report.rollbacks;
+      report.final_learning_rate = lr;
+      DEEPAQP_LOG(Warning)
+          << "training divergence detected; rolled back to epoch "
+          << best.next_epoch << ", lr backed off to " << lr << " (retry "
+          << report.rollbacks << "/" << options.max_divergence_retries
+          << ")";
+      if (stats != nullptr) {
+        // Healthy epochs at or after the rollback point are retrained;
+        // drop their stale entries.
+        while (stats->epochs.size() >
+               static_cast<size_t>(best.next_epoch)) {
+          stats->epochs.pop_back();
+        }
+      }
+      continue;
+    }
+
     if (stats != nullptr) stats->epochs.push_back(epoch_stats);
+    ++epoch;
+    const double epoch_loss = epoch_stats.recon_loss + epoch_stats.kl;
+    if (epoch_loss <= best.loss) {
+      best.params = model->net_->CloneParameterValues();
+      best.row_t = row_t;
+      best.neg_quantile = neg_quantile;
+      best.quantile_initialized = quantile_initialized;
+      best.rng = rng;
+      best.next_epoch = epoch;
+      best.loss = epoch_loss;
+    }
   }
+  report.nonfinite_grads += opt->nonfinite_grads();
 
   // Calibrate per-tuple thresholds T(x) with a dedicated Monte-Carlo pass
   // (Sec. VI-A): for each tuple draw several posterior samples, estimate
@@ -159,14 +271,23 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
           (1.0 - options.train_accept_target) * (kDraws - 1));
       for (auto& d : draws) {
         std::sort(d.begin(), d.end());
-        t_values.push_back(-d[q_index]);
+        // A non-finite quantile (poisoned forward pass, degenerate
+        // posterior) is useless as a threshold; drop it rather than let it
+        // become a non-finite default_t.
+        const float threshold = -d[q_index];
+        if (std::isfinite(threshold)) t_values.push_back(threshold);
       }
     }
     std::sort(t_values.begin(), t_values.end());
     if (t_values.empty()) {
-      // No calibration data (defensive; Train rejects empty tables):
-      // accept every sample rather than index out of bounds.
+      // No finite calibration threshold survived (or no calibration data at
+      // all): fall back to accept-all generation rather than propagating a
+      // non-finite default into clients' NaN-means-default logic.
       model->default_t_ = kTPlusInf;
+      report.calibration_fallback = true;
+      DEEPAQP_LOG(Warning)
+          << "T(x) calibration produced no finite threshold; default_t "
+             "falls back to accept-all (t = +inf)";
     } else {
       // Nearest-rank 90th percentile, ceil(0.9*n)-1: floor-based
       // 0.9*(n-1) picks a too-low order statistic on tiny calibration
@@ -179,7 +300,10 @@ util::Result<std::unique_ptr<VaeAqpModel>> VaeAqpModel::Train(
     }
   }
 
-  if (stats != nullptr) stats->total_seconds = total_watch.ElapsedSeconds();
+  if (stats != nullptr) {
+    stats->report = report;
+    stats->total_seconds = total_watch.ElapsedSeconds();
+  }
   return model;
 }
 
@@ -201,31 +325,45 @@ relation::Table VaeAqpModel::MakeEmptySampleTable() const {
 /// stream — depends only on n.
 static constexpr size_t kGenerateChunkRows = 512;
 
-relation::Table VaeAqpModel::Generate(size_t n, double t, util::Rng& rng) {
+relation::Table VaeAqpModel::Generate(size_t n, double t, util::Rng& rng,
+                                      GenerateStats* stats) {
   relation::Table out = MakeEmptySampleTable();
   if (n == 0) return out;
   const uint64_t master = rng.NextUint64();
   const size_t num_chunks =
       (n + kGenerateChunkRows - 1) / kGenerateChunkRows;
   std::vector<relation::Table> chunks(num_chunks, out);
+  std::vector<GenerateStats> chunk_stats(num_chunks);
   util::ParallelFor(0, num_chunks, [&](size_t c) {
     const size_t begin = c * kGenerateChunkRows;
     const size_t rows = std::min(kGenerateChunkRows, n - begin);
     util::Rng chunk_rng = util::Rng::ChildStream(master, c);
-    chunks[c] = GenerateChunk(rows, t, chunk_rng);
+    chunks[c] = GenerateChunk(rows, t, chunk_rng, &chunk_stats[c]);
   });
-  for (relation::Table& chunk : chunks) {
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (stats != nullptr) stats->Merge(chunk_stats[c]);
     if (out.num_rows() == 0) {
-      out = std::move(chunk);
+      out = std::move(chunks[c]);
     } else {
-      DEEPAQP_CHECK(out.Append(chunk).ok());
+      DEEPAQP_CHECK(out.Append(chunks[c]).ok());
     }
+  }
+  if (out.num_rows() < n) {
+    DEEPAQP_LOG(Warning) << "Generate produced " << out.num_rows() << "/"
+                         << n << " rows (degraded chunks gave up early)";
   }
   return out;
 }
 
+/// Consecutive zero-progress candidate windows a chunk tolerates before
+/// degrading (first to accept-all, then giving up). A healthy window always
+/// yields at least its best finite candidate, so this budget only engages
+/// when the model emits non-finite ratios or undecodable rows.
+static constexpr size_t kMaxStalledWindows = 8;
+
 relation::Table VaeAqpModel::GenerateChunk(size_t n, double t,
-                                           util::Rng& rng) const {
+                                           util::Rng& rng,
+                                           GenerateStats* stats) const {
   relation::Table out = MakeEmptySampleTable();
   const bool reject = t != kTPlusInf;
   const size_t window = std::max<size_t>(128, std::min<size_t>(1024, n));
@@ -242,6 +380,10 @@ relation::Table VaeAqpModel::GenerateChunk(size_t n, double t,
   Matrix kept;
   VaeNet::Posterior post;
   std::vector<size_t> accepted;
+  std::vector<size_t> finite_rows;
+
+  size_t consecutive_stalls = 0;
+  bool force_accept = false;
 
   while (out.num_rows() < n) {
     const size_t remaining = n - out.num_rows();
@@ -250,7 +392,7 @@ relation::Table VaeAqpModel::GenerateChunk(size_t n, double t,
     net_->DecodeLogitsConstInto(z, &logits, &arena);
 
     accepted.clear();
-    if (!reject) {
+    if (!reject || force_accept) {
       accepted.resize(batch);
       for (size_t i = 0; i < batch; ++i) accepted[i] = i;
     } else {
@@ -265,24 +407,91 @@ relation::Table VaeAqpModel::GenerateChunk(size_t n, double t,
       // The cache-free const paths keep this chunk self-contained: nothing
       // on the shared net is written, so sibling chunks can run in parallel.
       net_->LogRatioRowsConstInto(bits, post, z, &ratio, &arena);
+      // Chaos site: simulated compute fault during sampling — poisons one
+      // candidate's log-ratio, which the non-finite-rejection path below
+      // must absorb.
+      if (util::FailpointTriggered("vae/sample_chunk")) {
+        ratio.At(0, 0) = std::numeric_limits<float>::quiet_NaN();
+      }
       size_t best = 0;
+      bool have_best = false;
       for (size_t i = 0; i < batch; ++i) {
-        if (ratio.At(i, 0) > ratio.At(best, 0)) best = i;
+        const double r = ratio.At(i, 0);
+        // A non-finite log-ratio is an explicit rejection: it carries no
+        // usable acceptance probability (NaN would otherwise slip through
+        // min(0, t + NaN) as an accept). The uniform draw is skipped, so
+        // the rng stream only shifts when a fault is actually present.
+        if (!std::isfinite(r)) {
+          if (stats != nullptr) ++stats->nonfinite_ratios;
+          continue;
+        }
+        if (!have_best || r > ratio.At(best, 0)) {
+          best = i;
+          have_best = true;
+        }
         if (t == kTMinusInf) continue;
-        const double log_a = std::min(0.0, t + ratio.At(i, 0));
+        const double log_a = std::min(0.0, t + r);
         if (std::log(std::max(rng.NextDouble(), 1e-300)) <= log_a) {
           accepted.push_back(i);
         }
       }
       // Guarantee progress: a fully rejected window (always, at t = -inf)
-      // contributes its single best-ratio candidate.
-      if (accepted.empty()) accepted.push_back(best);
+      // contributes its single best-ratio candidate — when one exists.
+      if (accepted.empty() && have_best) accepted.push_back(best);
     }
     if (accepted.size() > remaining) accepted.resize(remaining);
-    logits.GatherRowsInto(accepted, &kept);
-    relation::Table decoded =
-        encoder_.DecodeLogits(kept, options_.decode, rng);
-    DEEPAQP_CHECK(out.Append(decoded).ok());
+    if (!accepted.empty()) {
+      logits.GatherRowsInto(accepted, &kept);
+      relation::Table decoded =
+          encoder_.DecodeLogits(kept, options_.decode, rng);
+      // Scrub: a poisoned forward pass can decode into non-finite numeric
+      // cells; such rows would surface as NaN aggregates downstream. Drop
+      // them (counted). Healthy rows pass through untouched.
+      finite_rows.clear();
+      for (size_t r = 0; r < decoded.num_rows(); ++r) {
+        bool finite = true;
+        for (size_t c = 0; c < decoded.num_attributes(); ++c) {
+          if (!decoded.schema().IsCategorical(c) &&
+              !std::isfinite(decoded.NumValue(r, c))) {
+            finite = false;
+            break;
+          }
+        }
+        if (finite) finite_rows.push_back(r);
+      }
+      if (finite_rows.size() != decoded.num_rows()) {
+        if (stats != nullptr) {
+          stats->nonfinite_rows_dropped +=
+              decoded.num_rows() - finite_rows.size();
+        }
+        decoded = decoded.Gather(finite_rows);
+      }
+      if (decoded.num_rows() > 0) {
+        DEEPAQP_CHECK(out.Append(decoded).ok());
+        consecutive_stalls = 0;
+        continue;
+      }
+    }
+
+    // Zero-progress window. Tolerate a bounded streak, then degrade: first
+    // to accept-all (rejection no longer gates progress), and if even that
+    // cannot produce a finite row, give up and return what we have.
+    if (stats != nullptr) ++stats->stalled_windows;
+    if (++consecutive_stalls >= kMaxStalledWindows) {
+      if (!force_accept && reject) {
+        force_accept = true;
+        consecutive_stalls = 0;
+        if (stats != nullptr) ++stats->forced_accept_windows;
+        DEEPAQP_LOG(Warning)
+            << "sample generation stalled for " << kMaxStalledWindows
+            << " windows; degrading to accept-all for this chunk";
+      } else {
+        DEEPAQP_LOG(Warning)
+            << "sample generation cannot make progress; returning "
+            << out.num_rows() << "/" << n << " rows";
+        break;
+      }
+    }
   }
   return out;
 }
@@ -291,6 +500,21 @@ relation::Table VaeAqpModel::GenerateWhere(size_t n,
                                            const aqp::Predicate& predicate,
                                            double t, util::Rng& rng,
                                            size_t max_candidates) {
+  GenerateWhereResult result =
+      GenerateWhereReport(n, predicate, t, rng, max_candidates);
+  if (result.shortfall() > 0) {
+    DEEPAQP_LOG(Warning) << "GenerateWhere returned "
+                         << result.rows.num_rows() << "/" << result.requested
+                         << " rows after " << result.candidates
+                         << " candidates (selective predicate or degraded "
+                            "model); aggregates will be under-sampled";
+  }
+  return std::move(result.rows);
+}
+
+GenerateWhereResult VaeAqpModel::GenerateWhereReport(
+    size_t n, const aqp::Predicate& predicate, double t, util::Rng& rng,
+    size_t max_candidates) {
   relation::Table out(encoder_.schema());
   for (size_t c = 0; c < encoder_.schema().num_attributes(); ++c) {
     if (encoder_.schema().IsCategorical(c)) {
@@ -305,7 +529,9 @@ relation::Table VaeAqpModel::GenerateWhere(size_t n,
     const size_t batch =
         std::min<size_t>(1024, max_candidates - candidates);
     relation::Table sample = Generate(batch, t, rng);
-    candidates += sample.num_rows();
+    // A degraded model can return short (or empty) batches; count the
+    // requested budget so an unproductive model still terminates.
+    candidates += std::max(batch, sample.num_rows());
     std::vector<size_t> matching;
     for (size_t r = 0; r < sample.num_rows(); ++r) {
       if (predicate.Matches(sample, r)) matching.push_back(r);
@@ -317,7 +543,7 @@ relation::Table VaeAqpModel::GenerateWhere(size_t n,
       DEEPAQP_CHECK(out.Append(sample.Gather(matching)).ok());
     }
   }
-  return out;
+  return GenerateWhereResult{std::move(out), n, candidates};
 }
 
 aqp::SampleFn VaeAqpModel::MakeSampler(double t, uint64_t seed) {

@@ -49,6 +49,12 @@ struct VaeAqpOptions {
   bool vrs_training = true;
   double train_accept_target = 0.9;
   int vrs_rounds = 3;
+  /// Self-healing: how many divergence rollbacks Train() may spend before
+  /// giving up with a descriptive Status. Each rollback restores the best
+  /// finite checkpoint and multiplies the learning rate by
+  /// `divergence_lr_backoff` for the retry.
+  int max_divergence_retries = 3;
+  float divergence_lr_backoff = 0.5f;
   /// Output decoding (Fig. 7; paper recommends aggregated decoding).
   encoding::DecodeOptions decode;
 };
@@ -61,9 +67,56 @@ struct EpochStats {
   double seconds = 0.0;
 };
 
+/// Structured self-healing summary of one Train() call. All-zero (with
+/// `final_learning_rate` = the configured rate) on a healthy run.
+struct TrainReport {
+  /// Epochs rejected by the divergence sentinels (non-finite loss,
+  /// non-finite parameters, skipped gradients, or an injected fault).
+  int divergence_events = 0;
+  /// Best-checkpoint restores performed (each consumes one retry).
+  int rollbacks = 0;
+  /// Learning rate in effect when training finished.
+  float final_learning_rate = 0.0f;
+  /// Non-finite gradient entries skipped by the optimizer sentinels.
+  uint64_t nonfinite_grads = 0;
+  /// Per-tuple T(x) quantile updates skipped on a non-finite log-ratio.
+  uint64_t nonfinite_log_ratios = 0;
+  /// True when no finite calibration threshold survived and default_t fell
+  /// back to accept-all (kTPlusInf).
+  bool calibration_fallback = false;
+};
+
 struct TrainingStats {
-  std::vector<EpochStats> epochs;
+  std::vector<EpochStats> epochs;  ///< healthy (kept) epochs only
   double total_seconds = 0.0;
+  TrainReport report;
+};
+
+/// Health counters for one Generate() call. All-zero in a healthy run; the
+/// non-zero fields describe how generation degraded under faults.
+struct GenerateStats {
+  size_t nonfinite_ratios = 0;  ///< candidates rejected: non-finite log-ratio
+  size_t nonfinite_rows_dropped = 0;  ///< decoded rows scrubbed (NaN/Inf cell)
+  size_t stalled_windows = 0;  ///< candidate windows that yielded no rows
+  size_t forced_accept_windows = 0;  ///< windows pushed to accept-all mode
+  void Merge(const GenerateStats& o) {
+    nonfinite_ratios += o.nonfinite_ratios;
+    nonfinite_rows_dropped += o.nonfinite_rows_dropped;
+    stalled_windows += o.stalled_windows;
+    forced_accept_windows += o.forced_accept_windows;
+  }
+};
+
+/// Conditional generation outcome: the rows plus enough accounting for the
+/// caller to see an under-sampled result instead of trusting num_rows()
+/// blindly.
+struct GenerateWhereResult {
+  relation::Table rows;
+  size_t requested = 0;
+  size_t candidates = 0;  ///< model samples drawn while matching
+  size_t shortfall() const {
+    return rows.num_rows() < requested ? requested - rows.num_rows() : 0;
+  }
 };
 
 /// The paper's primary artifact: a trained VAE + fitted tuple encoder that
@@ -90,7 +143,15 @@ class VaeAqpModel {
   /// Rng::ChildStream(master, i) where `master` is one value taken from
   /// `rng`, and chunks are concatenated in index order — so the output is
   /// bit-identical for every thread count, including the serial pool.
-  relation::Table Generate(size_t n, double t, util::Rng& rng);
+  ///
+  /// Robustness: non-finite log-ratios are treated as rejections (counted in
+  /// `stats`), decoded rows with non-finite numeric cells are scrubbed, and
+  /// a window budget bounds the acceptance loop — a chunk that cannot make
+  /// progress degrades to accept-all and ultimately returns fewer rows
+  /// rather than spinning. Healthy runs never hit any of these paths, so
+  /// outputs stay bit-identical to the unhardened loop.
+  relation::Table Generate(size_t n, double t, util::Rng& rng,
+                           GenerateStats* stats = nullptr);
 
   /// Generates with the calibrated default threshold (90th percentile of
   /// the per-tuple T(x) distribution from the final training epoch).
@@ -100,9 +161,17 @@ class VaeAqpModel {
 
   /// Conditional generation (the paper's Sec. VIII extension): produces up
   /// to `n` tuples satisfying `predicate` by rejecting non-matching model
-  /// samples. Returns fewer rows if `max_candidates` model samples do not
-  /// yield enough matches (very selective predicates) — callers should
-  /// check `num_rows()`.
+  /// samples. The result reports the candidate budget spent and any
+  /// shortfall, so callers can widen confidence intervals instead of
+  /// silently under-sampling when `max_candidates` model samples do not
+  /// yield enough matches (very selective predicates).
+  GenerateWhereResult GenerateWhereReport(size_t n,
+                                          const aqp::Predicate& predicate,
+                                          double t, util::Rng& rng,
+                                          size_t max_candidates = 1 << 20);
+
+  /// Legacy table-only wrapper over GenerateWhereReport; WARN-logs any
+  /// shortfall so under-sampling is at least visible in the logs.
   relation::Table GenerateWhere(size_t n, const aqp::Predicate& predicate,
                                 double t, util::Rng& rng,
                                 size_t max_candidates = 1 << 20);
@@ -149,7 +218,9 @@ class VaeAqpModel {
 
   /// Serial generation of one chunk's quota from its own rng stream. Const
   /// (uses the cache-free net inference paths) so chunks run concurrently.
-  relation::Table GenerateChunk(size_t n, double t, util::Rng& rng) const;
+  /// `stats` (required) accumulates this chunk's health counters.
+  relation::Table GenerateChunk(size_t n, double t, util::Rng& rng,
+                                GenerateStats* stats) const;
 
   VaeAqpOptions options_;
   encoding::TupleEncoder encoder_;

@@ -325,6 +325,29 @@ size_t VaeNet::NumParameters() {
   return total;
 }
 
+std::vector<nn::Matrix> VaeNet::CloneParameterValues() {
+  std::vector<nn::Matrix> values;
+  for (const nn::Parameter* p : Parameters()) values.push_back(p->value);
+  return values;
+}
+
+void VaeNet::RestoreParameterValues(const std::vector<nn::Matrix>& values) {
+  std::vector<nn::Parameter*> params = Parameters();
+  DEEPAQP_CHECK_EQ(params.size(), values.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    DEEPAQP_CHECK_EQ(params[i]->value.rows(), values[i].rows());
+    DEEPAQP_CHECK_EQ(params[i]->value.cols(), values[i].cols());
+    params[i]->value = values[i];
+  }
+}
+
+bool VaeNet::ParametersFinite() {
+  for (const nn::Parameter* p : Parameters()) {
+    if (!nn::AllFinite(p->value)) return false;
+  }
+  return true;
+}
+
 /// Bump when the serialized layout below changes; Deserialize rejects
 /// mismatches with a diagnosable error instead of misparsing weights.
 static constexpr uint32_t kVaeNetSchemaVersion = 1;

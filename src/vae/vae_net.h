@@ -154,6 +154,17 @@ class VaeNet {
   /// Number of scalar weights (model-size accounting).
   size_t NumParameters();
 
+  /// Value-only copy of every parameter matrix, in Parameters() order — a
+  /// cheap in-memory checkpoint for divergence rollback.
+  std::vector<nn::Matrix> CloneParameterValues();
+
+  /// Restores parameter values from a CloneParameterValues() snapshot.
+  /// Shapes must match the current architecture.
+  void RestoreParameterValues(const std::vector<nn::Matrix>& values);
+
+  /// True when every parameter entry is finite (divergence sentinel).
+  bool ParametersFinite();
+
   void Serialize(util::ByteWriter& w) const;
   static util::Result<std::unique_ptr<VaeNet>> Deserialize(
       util::ByteReader& r);

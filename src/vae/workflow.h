@@ -1,6 +1,7 @@
 #ifndef DEEPAQP_VAE_WORKFLOW_H_
 #define DEEPAQP_VAE_WORKFLOW_H_
 
+#include <string>
 #include <vector>
 
 #include "relation/table.h"
@@ -24,6 +25,22 @@ struct BiasEliminationOptions {
   /// Points per side for the cross-match test.
   size_t test_points = 128;
   uint64_t seed = 17;
+  /// Wall-clock budget in seconds; 0 means unlimited. Checked between
+  /// iterations, so one in-flight test round always completes.
+  double max_seconds = 0.0;
+};
+
+/// How an Algorithm 1 run ended.
+enum class BiasEliminationOutcome {
+  /// The cross-match test accepted H0 at `final_t`.
+  kPassed,
+  /// The iteration or wall-clock budget ran out with the test still
+  /// rejecting; `final_t` is the last threshold attempted.
+  kBudgetExhausted,
+  /// A test round itself failed (matcher error, degenerate projection, or
+  /// an injected fault); the result is best-effort and clients should
+  /// widen confidence intervals rather than trust the model blindly.
+  kDegraded,
 };
 
 /// Diagnostics of one Algorithm 1 run.
@@ -32,9 +49,12 @@ struct BiasEliminationResult {
   /// attempted threshold when `passed` is false).
   double final_t = 0.0;
   bool passed = false;
+  BiasEliminationOutcome outcome = BiasEliminationOutcome::kBudgetExhausted;
   int iterations = 0;
   /// p-value and statistic per iteration, in order.
   std::vector<stats::CrossMatchResult> tests;
+  /// Human-readable notes on budget exhaustion / degraded rounds.
+  std::vector<std::string> warnings;
 };
 
 /// Runs Algorithm 1: generate a model sample at threshold T, project both a

@@ -7,9 +7,17 @@
 #include "aqp/executor.h"
 #include "aqp/metrics.h"
 #include "data/generators.h"
+#include "util/failpoint.h"
 
 namespace deepaqp::ensemble {
 namespace {
+
+/// Scoped fail-point hygiene for the degraded-training scenarios below:
+/// the registry is process-global, so leak nothing into sibling tests.
+struct FailpointGuard {
+  FailpointGuard() { util::DisableFailpoints(); }
+  ~FailpointGuard() { util::DisableFailpoints(); }
+};
 
 vae::VaeAqpOptions FastOptions() {
   vae::VaeAqpOptions opts;
@@ -122,6 +130,89 @@ TEST(EnsembleModelTest, SamplerWorksWithHarness) {
   util::Rng rng(9);
   auto s = sampler(150, rng);
   EXPECT_EQ(s.num_rows(), 150u);
+}
+
+TEST(EnsembleModelTest, MemberRetriesAfterTransientFaultAndFullyRecovers) {
+  FailpointGuard guard;
+  auto table = data::GenerateTaxi({.rows = 1200, .seed = 9});
+  auto groups = GroupByAttribute(table, 0, 0.02);
+  ASSERT_GE(groups.size(), 2u);
+  Partition partition;
+  partition.parts = {{0}, {1}};
+  // Exactly one member-training attempt fails (whichever evaluates first);
+  // the bounded retry with a perturbed seed must recover it in full.
+  ASSERT_TRUE(util::ConfigureFailpoints("ensemble/train_member=once").ok());
+  EnsembleTrainReport report;
+  auto model =
+      EnsembleModel::Train(table, groups, partition, FastOptions(), &report);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(report.members_total, 2u);
+  EXPECT_EQ(report.members_trained, 2u);
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_EQ(report.coverage, 1.0);
+  EXPECT_FALSE(report.degraded());
+  EXPECT_TRUE(report.member_errors.empty());
+  EXPECT_EQ((*model)->num_members(), 2u);
+  util::Rng rng(4);
+  auto sample = (*model)->Generate(300, vae::kTPlusInf, rng);
+  EXPECT_EQ(sample.num_rows(), 300u);
+}
+
+TEST(EnsembleModelTest, PermanentMemberFailureSkippedWithRenormalizedWeights) {
+  FailpointGuard guard;
+  auto table = data::GenerateTaxi({.rows = 1500, .seed = 10});
+  auto groups = GroupByAttribute(table, 0, 0.02);
+  ASSERT_GE(groups.size(), 3u);
+  Partition partition;
+  partition.parts = {{0}, {1}, {2}};
+  // Member 1 fails on every attempt; the ensemble must complete degraded
+  // with the surviving members' weights renormalized over their rows.
+  ASSERT_TRUE(
+      util::ConfigureFailpoints("ensemble/train_member=always@1").ok());
+  EnsembleTrainReport report;
+  auto model =
+      EnsembleModel::Train(table, groups, partition, FastOptions(), &report);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(report.members_total, 3u);
+  EXPECT_EQ(report.members_trained, 2u);
+  EXPECT_TRUE(report.degraded());
+  ASSERT_EQ(report.member_errors.size(), 1u);
+  EXPECT_NE(report.member_errors[0].find("member-0001"), std::string::npos);
+  EXPECT_NE(report.member_errors[0].find("injected fault"),
+            std::string::npos);
+  const double total = static_cast<double>(
+      groups[0].rows.size() + groups[1].rows.size() + groups[2].rows.size());
+  const double covered =
+      static_cast<double>(groups[0].rows.size() + groups[2].rows.size());
+  EXPECT_DOUBLE_EQ(report.coverage, covered / total);
+  // Renormalized mixture: generation still fills the full request from the
+  // surviving members.
+  EXPECT_EQ((*model)->num_members(), 2u);
+  util::Rng rng(6);
+  auto sample = (*model)->Generate(400, vae::kTPlusInf, rng);
+  EXPECT_EQ(sample.num_rows(), 400u);
+}
+
+TEST(EnsembleModelTest, AllMembersFailingReturnsDescriptiveStatus) {
+  FailpointGuard guard;
+  auto table = data::GenerateTaxi({.rows = 1000, .seed = 11});
+  auto groups = GroupByAttribute(table, 0, 0.02);
+  ASSERT_GE(groups.size(), 2u);
+  Partition partition;
+  partition.parts = {{0}, {1}};
+  ASSERT_TRUE(util::ConfigureFailpoints("ensemble/train_member=always").ok());
+  EnsembleTrainReport report;
+  auto model =
+      EnsembleModel::Train(table, groups, partition, FastOptions(), &report);
+  ASSERT_FALSE(model.ok());
+  const std::string message = model.status().ToString();
+  EXPECT_NE(message.find("all 2 ensemble members failed"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("injected fault"), std::string::npos) << message;
+  EXPECT_EQ(report.members_trained, 0u);
+  EXPECT_EQ(report.coverage, 0.0);
+  EXPECT_EQ(report.member_errors.size(), 2u);
+  EXPECT_EQ(report.retries, 4u);  // two bounded retries per member
 }
 
 }  // namespace

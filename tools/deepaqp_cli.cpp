@@ -27,6 +27,7 @@
 #include "encoding/tuple_encoder.h"
 #include "ensemble/ensemble_model.h"
 #include "relation/csv.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/serialize.h"
 #include "util/snapshot.h"
@@ -345,12 +346,33 @@ int main(int argc, char** argv) {
   util::Flags flags(argc - 1, argv + 1);
   util::ApplyThreadsFlag(flags);
   aqp::ApplyEngineFlag(flags);
-  if (cmd == "make-data") return CmdMakeData(flags);
-  if (cmd == "train") return CmdTrain(flags);
-  if (cmd == "info") return CmdInfo(flags);
-  if (cmd == "generate") return CmdGenerate(flags);
-  if (cmd == "query") return CmdQuery(flags);
-  if (cmd == "load-model") return CmdLoadModel(flags);
-  if (cmd == "save-model") return CmdSaveModel(flags);
-  return Usage();
+  util::ApplyFailpointsFlag(flags);
+  int rc;
+  if (cmd == "make-data") rc = CmdMakeData(flags);
+  else if (cmd == "train") rc = CmdTrain(flags);
+  else if (cmd == "info") rc = CmdInfo(flags);
+  else if (cmd == "generate") rc = CmdGenerate(flags);
+  else if (cmd == "query") rc = CmdQuery(flags);
+  else if (cmd == "load-model") rc = CmdLoadModel(flags);
+  else if (cmd == "save-model") rc = CmdSaveModel(flags);
+  else return Usage();
+  // Chaos observability: with fail points active, persist (or print) the
+  // per-site fault counters so a chaos run leaves a structured record.
+  if (util::FailpointsEnabled()) {
+    const std::string fault_log = flags.GetString("fault-log", "");
+    const std::string json = util::FailpointReportJson();
+    if (!fault_log.empty()) {
+      std::FILE* f = std::fopen(fault_log.c_str(), "w");
+      if (f != nullptr) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "cannot write --fault-log %s\n",
+                     fault_log.c_str());
+      }
+    } else {
+      std::fputs(json.c_str(), stderr);
+    }
+  }
+  return rc;
 }
