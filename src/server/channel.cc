@@ -1,0 +1,162 @@
+#include "server/channel.h"
+
+#include <algorithm>
+
+#include "util/failpoint.h"
+
+namespace deepaqp::server {
+
+ChannelProducer::ChannelProducer(uint64_t channel_id, const Options& options)
+    : channel_(channel_id), options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  if (options_.retransmit_ticks == 0) options_.retransmit_ticks = 1;
+}
+
+bool ChannelProducer::CanPush() const {
+  return error_.ok() && !final_pushed_ &&
+         in_flight_.size() < options_.window;
+}
+
+util::Status ChannelProducer::Push(std::vector<uint8_t> payload, bool final) {
+  if (!error_.ok()) return error_;
+  if (final_pushed_) {
+    return util::Status::FailedPrecondition(
+        "channel " + std::to_string(channel_) +
+        ": push after final frame");
+  }
+  if (in_flight_.size() >= options_.window) {
+    return util::Status::FailedPrecondition(
+        "channel " + std::to_string(channel_) + ": window full (" +
+        std::to_string(options_.window) + " unacked frames)");
+  }
+  if (util::FailpointTriggered("server/channel_send", next_seq_)) {
+    error_ = util::FailpointError("server/channel_send");
+    return error_;
+  }
+  Pending& p = in_flight_[next_seq_];
+  p.payload = std::move(payload);
+  p.final = final;
+  ++next_seq_;
+  final_pushed_ = final;
+  ++stats_.pushed;
+  return util::Status::OK();
+}
+
+std::vector<DataFrame> ChannelProducer::PollSend() {
+  std::vector<DataFrame> out;
+  if (!error_.ok()) return out;
+  for (auto& [seq, p] : in_flight_) {
+    if (p.sent && !p.resend_due) continue;
+    DataFrame frame;
+    frame.channel = channel_;
+    frame.seq = seq;
+    frame.final = p.final;
+    frame.payload = p.payload;
+    out.push_back(std::move(frame));
+    p.sent = true;
+    p.resend_due = false;
+    p.last_sent_tick = now_;
+    ++stats_.transmissions;
+  }
+  return out;
+}
+
+void ChannelProducer::OnAck(const AckFrame& ack) {
+  if (!error_.ok()) return;
+  ++stats_.acks;
+  bool progressed = false;
+
+  if (ack.cumulative > cumulative_acked_) {
+    cumulative_acked_ = ack.cumulative;
+    progressed = true;
+  }
+  // Drop everything below the (monotonic) cumulative mark.
+  while (!in_flight_.empty() &&
+         in_flight_.begin()->first < cumulative_acked_) {
+    in_flight_.erase(in_flight_.begin());
+  }
+  // Drop selectively acknowledged frames and infer NACKs: any sent frame
+  // below the highest selective ack that the consumer did not report is
+  // missing on its side — retransmit without waiting for the timeout.
+  uint64_t highest_sack = 0;
+  for (uint64_t seq : ack.selective) {
+    if (seq < ack.cumulative) continue;  // stale SACK entry
+    highest_sack = std::max(highest_sack, seq);
+    auto it = in_flight_.find(seq);
+    if (it != in_flight_.end()) {
+      in_flight_.erase(it);
+      progressed = true;
+    }
+  }
+  if (highest_sack > 0) {
+    for (auto& [seq, p] : in_flight_) {
+      if (seq >= highest_sack) break;
+      if (p.sent && !p.resend_due) {
+        p.resend_due = true;
+        ++p.retransmits;
+        ++stats_.nack_retransmits;
+      }
+    }
+  }
+  if (!progressed) ++stats_.stale_acks;
+}
+
+void ChannelProducer::Tick() {
+  if (!error_.ok()) return;
+  ++now_;
+  for (auto& [seq, p] : in_flight_) {
+    if (!p.sent || p.resend_due) continue;
+    if (now_ - p.last_sent_tick < options_.retransmit_ticks) continue;
+    if (p.retransmits >= options_.max_retransmits_per_frame) {
+      error_ = util::Status::Internal(
+          "channel " + std::to_string(channel_) + ": seq " +
+          std::to_string(seq) + " unacknowledged after " +
+          std::to_string(p.retransmits) +
+          " retransmits (peer dead or schedule hostile)");
+      return;
+    }
+    p.resend_due = true;
+    ++p.retransmits;
+    ++stats_.timeout_retransmits;
+  }
+}
+
+void ChannelConsumer::OnData(const DataFrame& frame) {
+  ++stats_.frames;
+  if (frame.seq < next_expected_ || parked_.count(frame.seq) != 0) {
+    ++stats_.duplicates;
+    return;
+  }
+  Parked& p = parked_[frame.seq];
+  p.payload = frame.payload;
+  p.final = frame.final;
+  if (frame.seq != next_expected_) ++stats_.buffered;
+  // Release the in-order run that just became contiguous.
+  auto it = parked_.begin();
+  while (it != parked_.end() && it->first == next_expected_) {
+    ready_.push_back(std::move(it->second.payload));
+    ++stats_.delivered;
+    if (it->second.final) finished_ = true;
+    it = parked_.erase(it);
+    ++next_expected_;
+  }
+}
+
+std::vector<std::vector<uint8_t>> ChannelConsumer::TakeDelivered() {
+  std::vector<std::vector<uint8_t>> out;
+  out.swap(ready_);
+  return out;
+}
+
+AckFrame ChannelConsumer::MakeAck(bool selective) const {
+  AckFrame ack;
+  ack.channel = channel_;
+  ack.cumulative = next_expected_;
+  if (selective) {
+    ack.selective.reserve(parked_.size());
+    for (const auto& [seq, p] : parked_) ack.selective.push_back(seq);
+  }
+  return ack;
+}
+
+}  // namespace deepaqp::server

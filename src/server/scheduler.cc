@@ -1,0 +1,69 @@
+#include "server/scheduler.h"
+
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace deepaqp::server {
+
+RequestScheduler::RequestScheduler(util::ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &util::GlobalThreadPool()) {}
+
+RequestScheduler::~RequestScheduler() { WaitIdle(); }
+
+util::Status RequestScheduler::Post(uint64_t key,
+                                    std::function<void()> task) {
+  if (util::FailpointTriggered("server/enqueue", key)) {
+    return util::FailpointError("server/enqueue");
+  }
+  bool start_runner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Strand& strand = strands_[key];
+    strand.queue.push_back(std::move(task));
+    ++pending_;
+    if (!strand.running) {
+      strand.running = true;
+      ++runners_;
+      start_runner = true;
+    }
+  }
+  if (start_runner) {
+    pool_->Submit([this, key] { RunStrand(key); });
+  }
+  return util::Status::OK();
+}
+
+void RequestScheduler::RunStrand(uint64_t key) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Strand& strand = strands_[key];
+      if (strand.queue.empty()) {
+        strand.running = false;
+        if (--runners_ == 0 && pending_ == 0) idle_cv_.notify_all();
+        return;
+      }
+      task = std::move(strand.queue.front());
+      strand.queue.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+  }
+}
+
+void RequestScheduler::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0 && runners_ == 0; });
+}
+
+size_t RequestScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+}  // namespace deepaqp::server

@@ -1,0 +1,240 @@
+#include "server/server.h"
+
+#include <future>
+#include <utility>
+
+namespace deepaqp::server {
+
+AqpServer::AqpServer(const Options& options, util::ThreadPool* pool)
+    : options_(options), scheduler_(pool) {}
+
+AqpServer::~AqpServer() {
+  // Drain before members go away: strand tasks hold their own SessionState
+  // refs, but they also touch the registry and scheduler internals.
+  scheduler_.WaitIdle();
+}
+
+void AqpServer::Handle(const ClientMessage& message,
+                       const std::shared_ptr<MessageSink>& sink) {
+  switch (message.kind) {
+    case ClientMessageKind::kOpenSession:
+      HandleOpenSession(message, sink);
+      return;
+    case ClientMessageKind::kQuery:
+      HandleQuery(message, sink);
+      return;
+    case ClientMessageKind::kAck:
+      HandleAck(message, sink);
+      return;
+    case ClientMessageKind::kCloseSession:
+      HandleCloseSession(message, sink);
+      return;
+  }
+  sink->Deliver(MakeError(
+      0, 0,
+      util::Status::InvalidArgument("unhandled client message kind")));
+}
+
+void AqpServer::HandleOpenSession(const ClientMessage& message,
+                                  const std::shared_ptr<MessageSink>& sink) {
+  auto snapshot = registry_.Get(message.model_name);
+  if (!snapshot.ok()) {
+    sink->Deliver(MakeError(0, 0, snapshot.status()));
+    return;
+  }
+  vae::AqpClient::Options copts = options_.client;
+  if (message.initial_samples > 0) copts.initial_samples = message.initial_samples;
+  if (message.max_samples > 0) copts.max_samples = message.max_samples;
+  if (message.population_rows > 0) copts.population_rows = message.population_rows;
+  if (message.seed > 0) copts.seed = message.seed;
+
+  auto state = std::make_shared<SessionState>();
+  uint64_t session_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session_id = next_session_id_++;
+  }
+  // Building the session generates the initial pool — do it on the strand
+  // so Handle stays non-blocking and open requests pipeline with queries.
+  state->sink = sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_[session_id] = state;
+  }
+  const std::string model_name = message.model_name;
+  auto snap = std::move(*snapshot);
+  util::Status posted = scheduler_.Post(
+      session_id, [this, state, session_id, model_name, snap, copts] {
+        state->session = std::make_unique<Session>(
+            session_id, model_name, snap, copts, options_.channel);
+        ServerMessage opened;
+        opened.kind = ServerMessageKind::kSessionOpened;
+        opened.session = session_id;
+        state->sink->Deliver(opened);
+      });
+  if (!posted.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.erase(session_id);
+    }
+    sink->Deliver(MakeError(session_id, 0, posted));
+  }
+}
+
+std::shared_ptr<AqpServer::SessionState> AqpServer::FindSession(
+    uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void AqpServer::ScheduleStep(uint64_t session_id,
+                             const std::shared_ptr<SessionState>& state) {
+  util::Status posted = scheduler_.Post(session_id, [this, state] {
+    std::vector<ServerMessage> errors;
+    std::vector<DataFrame> frames = state->session->Step(registry_, &errors);
+    for (const ServerMessage& e : errors) state->sink->Deliver(e);
+    for (DataFrame& frame : frames) {
+      ServerMessage msg;
+      msg.kind = ServerMessageKind::kData;
+      msg.session = state->session->id();
+      msg.channel = frame.channel;
+      msg.data = std::move(frame);
+      state->sink->Deliver(msg);
+    }
+    // No self-repost: after one step every stream is either window-full,
+    // waiting for acks, or finished — all states only an incoming event
+    // (ack, next query) can change, and each incoming event schedules the
+    // next step.
+  });
+  if (!posted.ok()) {
+    state->sink->Deliver(
+        MakeError(session_id, 0, posted));
+  }
+}
+
+void AqpServer::HandleQuery(const ClientMessage& message,
+                            const std::shared_ptr<MessageSink>& sink) {
+  auto state = FindSession(message.session);
+  if (state == nullptr) {
+    sink->Deliver(MakeError(
+        message.session, 0,
+        util::Status::NotFound("unknown session " +
+                               std::to_string(message.session))));
+    return;
+  }
+  uint64_t channel = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    channel = next_channel_id_++;
+  }
+  const std::string sql = message.sql;
+  const double max_relative_ci = message.max_relative_ci;
+  util::Status posted =
+      scheduler_.Post(message.session, [state, channel, sql,
+                                        max_relative_ci] {
+        util::Status status =
+            state->session->StartQuery(channel, sql, max_relative_ci);
+        if (!status.ok()) {
+          state->sink->Deliver(
+              MakeError(state->session->id(), channel, status));
+          return;
+        }
+        ServerMessage started;
+        started.kind = ServerMessageKind::kQueryStarted;
+        started.session = state->session->id();
+        started.channel = channel;
+        state->sink->Deliver(started);
+      });
+  if (!posted.ok()) {
+    sink->Deliver(MakeError(message.session, channel, posted));
+    return;
+  }
+  ScheduleStep(message.session, state);
+}
+
+void AqpServer::HandleAck(const ClientMessage& message,
+                          const std::shared_ptr<MessageSink>& sink) {
+  auto state = FindSession(message.session);
+  if (state == nullptr) {
+    sink->Deliver(MakeError(
+        message.session, message.ack.channel,
+        util::Status::NotFound("unknown session " +
+                               std::to_string(message.session))));
+    return;
+  }
+  const AckFrame ack = message.ack;
+  util::Status posted = scheduler_.Post(
+      message.session, [state, ack] { state->session->HandleAck(ack); });
+  if (!posted.ok()) {
+    sink->Deliver(MakeError(message.session, ack.channel, posted));
+    return;
+  }
+  ScheduleStep(message.session, state);
+}
+
+void AqpServer::HandleCloseSession(const ClientMessage& message,
+                                   const std::shared_ptr<MessageSink>& sink) {
+  std::shared_ptr<SessionState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(message.session);
+    if (it != sessions_.end()) {
+      state = it->second;
+      sessions_.erase(it);
+    }
+  }
+  if (state == nullptr) {
+    sink->Deliver(MakeError(
+        message.session, 0,
+        util::Status::NotFound("unknown session " +
+                               std::to_string(message.session))));
+    return;
+  }
+  ServerMessage closed;
+  closed.kind = ServerMessageKind::kSessionClosed;
+  closed.session = message.session;
+  // Deliver from the strand so the close trails any in-flight responses.
+  const uint64_t session_id = message.session;
+  util::Status posted = scheduler_.Post(
+      session_id, [state, closed] { state->sink->Deliver(closed); });
+  if (!posted.ok()) sink->Deliver(closed);
+}
+
+void AqpServer::WaitIdle() { scheduler_.WaitIdle(); }
+
+size_t AqpServer::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+util::Result<vae::AqpClient::CacheStats> AqpServer::SessionCacheStats(
+    uint64_t session_id) {
+  auto state = FindSession(session_id);
+  if (state == nullptr) {
+    return util::Status::NotFound("unknown session " +
+                                  std::to_string(session_id));
+  }
+  std::promise<vae::AqpClient::CacheStats> promise;
+  std::future<vae::AqpClient::CacheStats> future = promise.get_future();
+  DEEPAQP_RETURN_IF_ERROR(scheduler_.Post(session_id, [&state, &promise] {
+    promise.set_value(state->session->client().cache_stats());
+  }));
+  return future.get();
+}
+
+util::Result<uint64_t> AqpServer::SessionModelSwaps(uint64_t session_id) {
+  auto state = FindSession(session_id);
+  if (state == nullptr) {
+    return util::Status::NotFound("unknown session " +
+                                  std::to_string(session_id));
+  }
+  std::promise<uint64_t> promise;
+  std::future<uint64_t> future = promise.get_future();
+  DEEPAQP_RETURN_IF_ERROR(scheduler_.Post(session_id, [&state, &promise] {
+    promise.set_value(state->session->model_swaps());
+  }));
+  return future.get();
+}
+
+}  // namespace deepaqp::server

@@ -1,0 +1,114 @@
+#ifndef DEEPAQP_SERVER_SERVER_H_
+#define DEEPAQP_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "server/channel.h"
+#include "server/registry.h"
+#include "server/scheduler.h"
+#include "server/session.h"
+#include "server/transport.h"
+#include "server/wire.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "vae/client.h"
+
+namespace deepaqp::server {
+
+/// The transport-agnostic AQP serving daemon: model registry (shared
+/// read-only snapshots) + per-session AqpClient state + a strand scheduler
+/// multiplexing sessions over the shared thread pool + one reliable ordered
+/// channel per query stream.
+///
+/// A transport is anything that decodes ClientMessages, calls Handle, and
+/// owns a MessageSink for the responses — the in-process PipeTransport and
+/// the length-prefixed stdio framing of `deepaqp_cli serve` both reduce to
+/// exactly that.
+///
+/// Handle is cheap and non-blocking: session work (estimate computation,
+/// frame transmission, retransmits) happens on the session's scheduler
+/// strand, and responses can reach the sink from those threads at any time
+/// after Handle returns.
+class AqpServer {
+ public:
+  struct Options {
+    /// Per-session client defaults; non-zero OpenSession fields override
+    /// individual knobs. Sessions that do not pin a seed share `client.seed`
+    /// and therefore produce identical sample pools — the determinism the
+    /// multi-session bit-identity tests pin down.
+    vae::AqpClient::Options client;
+    ChannelProducer::Options channel;
+  };
+
+  /// `pool` = nullptr uses the process-global thread pool (--threads).
+  explicit AqpServer(const Options& options,
+                     util::ThreadPool* pool = nullptr);
+
+  /// Drains all in-flight session work.
+  ~AqpServer();
+
+  AqpServer(const AqpServer&) = delete;
+  AqpServer& operator=(const AqpServer&) = delete;
+
+  /// Models are registered/hot-swapped directly on the registry.
+  ModelRegistry& registry() { return registry_; }
+
+  /// Dispatches one client request. Responses — including the whole
+  /// asynchronous estimate stream triggered by a query — are delivered
+  /// through `sink`. Errors are responses too (kError): a malformed or
+  /// failed request never kills the session, let alone the server.
+  void Handle(const ClientMessage& message,
+              const std::shared_ptr<MessageSink>& sink);
+
+  /// Blocks until no session has scheduled work. Quiescence, not
+  /// completion: a stream stalled on missing acks is idle, not busy.
+  void WaitIdle();
+
+  size_t num_sessions() const;
+
+  /// Cache statistics of a session's AqpClient, read on the session's
+  /// strand (tests assert suffix-only evaluation through this).
+  util::Result<vae::AqpClient::CacheStats> SessionCacheStats(
+      uint64_t session_id);
+
+  /// Model hot-swaps a session has performed (registry-version bumps it
+  /// observed), read on the session's strand.
+  util::Result<uint64_t> SessionModelSwaps(uint64_t session_id);
+
+ private:
+  struct SessionState {
+    std::unique_ptr<Session> session;
+    std::shared_ptr<MessageSink> sink;
+  };
+
+  std::shared_ptr<SessionState> FindSession(uint64_t session_id) const;
+
+  /// Posts a strand task that steps `state`'s session and delivers whatever
+  /// it produced; reposts itself while the session still has runnable work.
+  void ScheduleStep(uint64_t session_id,
+                    const std::shared_ptr<SessionState>& state);
+
+  void HandleOpenSession(const ClientMessage& message,
+                         const std::shared_ptr<MessageSink>& sink);
+  void HandleQuery(const ClientMessage& message,
+                   const std::shared_ptr<MessageSink>& sink);
+  void HandleAck(const ClientMessage& message,
+                 const std::shared_ptr<MessageSink>& sink);
+  void HandleCloseSession(const ClientMessage& message,
+                          const std::shared_ptr<MessageSink>& sink);
+
+  Options options_;
+  ModelRegistry registry_;
+  RequestScheduler scheduler_;
+  mutable std::mutex mu_;
+  uint64_t next_session_id_ = 1;
+  uint64_t next_channel_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<SessionState>> sessions_;
+};
+
+}  // namespace deepaqp::server
+
+#endif  // DEEPAQP_SERVER_SERVER_H_

@@ -1,0 +1,126 @@
+#include "server/session.h"
+
+#include <utility>
+
+#include "aqp/sql_parser.h"
+
+namespace deepaqp::server {
+
+Session::Session(uint64_t id, std::string model_name,
+                 std::shared_ptr<const ModelSnapshot> snapshot,
+                 const vae::AqpClient::Options& client_options,
+                 const ChannelProducer::Options& channel_options)
+    : id_(id),
+      model_name_(std::move(model_name)),
+      snapshot_(std::move(snapshot)),
+      client_options_(client_options),
+      channel_options_(channel_options),
+      client_(vae::AqpClient::Share(snapshot_->model, client_options)) {}
+
+util::Status Session::StartQuery(uint64_t channel, const std::string& sql,
+                                 double max_relative_ci) {
+  if (!(max_relative_ci > 0.0)) {
+    return util::Status::InvalidArgument(
+        "max_relative_ci must be positive, got " +
+        std::to_string(max_relative_ci));
+  }
+  DEEPAQP_ASSIGN_OR_RETURN(aqp::AggregateQuery query,
+                           aqp::ParseSql(sql, client_->pool()));
+  QueryStream stream(channel, channel_options_);
+  stream.query = query;
+  stream.max_relative_ci = max_relative_ci;
+  streams_.push_back(std::move(stream));
+  return util::Status::OK();
+}
+
+bool Session::HasWork() const {
+  for (const QueryStream& s : streams_) {
+    if (!s.exhausted || s.producer.in_flight() > 0) return true;
+  }
+  return false;
+}
+
+std::vector<DataFrame> Session::Step(const ModelRegistry& registry,
+                                     std::vector<ServerMessage>* errors) {
+  // Hot-swap probe: the registry may have installed a newer version of our
+  // model. Refresh before computing anything so no estimate mixes pool rows
+  // or cached moments from two generators.
+  if (registry.VersionOf(model_name_) != snapshot_->version) {
+    auto snap = registry.Get(model_name_);
+    if (snap.ok()) {
+      snapshot_ = std::move(*snap);
+      client_->SwapModel(snapshot_->model);
+      ++model_swaps_;
+    }
+    // A NotFound (model deleted mid-flight) keeps the old refcounted
+    // snapshot serving — that is the point of refcounting.
+  }
+
+  std::vector<DataFrame> out;
+  // Only the front stream refines (per-session query serialization); it
+  // pushes estimates until its window is full, the stream completes, or the
+  // channel fails.
+  while (!streams_.empty()) {
+    QueryStream& front = streams_.front();
+    bool dropped = false;
+    while (!front.exhausted && front.producer.CanPush()) {
+      bool final = false;
+      auto result =
+          client_->QueryRefineStep(front.query, front.max_relative_ci, &final);
+      util::Status push_status;
+      if (result.ok()) {
+        Estimate estimate;
+        estimate.pool_rows = client_->pool_size();
+        estimate.result = std::move(*result);
+        push_status = front.producer.Push(EncodeEstimate(estimate), final);
+        front.exhausted = final && push_status.ok();
+      } else {
+        push_status = result.status();
+      }
+      if (!push_status.ok()) {
+        if (errors != nullptr) {
+          errors->push_back(MakeError(id_, front.channel, push_status));
+        }
+        streams_.pop_front();
+        dropped = true;
+        break;
+      }
+    }
+    // A live front stream (window-full, or exhausted and waiting for acks)
+    // blocks later streams — per-session queries refine strictly in order.
+    // Only a dropped front lets the next stream take over within this step.
+    if (!dropped) break;
+  }
+
+  // Collect due transmissions (new frames and retransmits) from every open
+  // stream, and retire streams whose final frame is fully acknowledged.
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->producer.failed()) {
+      if (errors != nullptr) {
+        errors->push_back(MakeError(id_, it->channel, it->producer.error()));
+      }
+      it = streams_.erase(it);
+      continue;
+    }
+    std::vector<DataFrame> frames = it->producer.PollSend();
+    out.insert(out.end(), std::make_move_iterator(frames.begin()),
+               std::make_move_iterator(frames.end()));
+    if (it->producer.complete()) {
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void Session::HandleAck(const AckFrame& ack) {
+  for (QueryStream& s : streams_) {
+    if (s.channel != ack.channel) continue;
+    s.producer.OnAck(ack);
+    s.producer.Tick();
+    return;
+  }
+}
+
+}  // namespace deepaqp::server

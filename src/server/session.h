@@ -1,0 +1,102 @@
+#ifndef DEEPAQP_SERVER_SESSION_H_
+#define DEEPAQP_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/channel.h"
+#include "server/registry.h"
+#include "server/wire.h"
+#include "util/status.h"
+#include "vae/client.h"
+
+namespace deepaqp::server {
+
+/// Per-session serving state: one vae::AqpClient (own sample pool, own
+/// suffix-incremental query cache, own deterministic rng stream) bound to a
+/// registry model by name. NOT thread-safe — the scheduler serializes all
+/// access on the session's strand.
+///
+/// Queries are precision-on-demand streams: StartQuery opens a channel and
+/// Step() pushes one refining estimate per call while the channel window
+/// has room, so a slow consumer (unacked frames) pauses estimate generation
+/// instead of buffering unboundedly. Streams of one session execute
+/// strictly in submission order — a later query starts refining only after
+/// the earlier stream pushed its final estimate, which keeps the pool
+/// growth trajectory (and therefore every estimate) bit-identical to a
+/// direct AqpClient::QueryRefineStep loop issuing the same sequence.
+class Session {
+ public:
+  /// Binds to `snapshot` (current registry version of `model_name`).
+  Session(uint64_t id, std::string model_name,
+          std::shared_ptr<const ModelSnapshot> snapshot,
+          const vae::AqpClient::Options& client_options,
+          const ChannelProducer::Options& channel_options);
+
+  uint64_t id() const { return id_; }
+  const std::string& model_name() const { return model_name_; }
+  uint64_t model_version() const { return snapshot_->version; }
+
+  /// Opens a stream for `sql` on channel id `channel`. The query is parsed
+  /// against the session pool's schema immediately; a parse/validation
+  /// error fails the request, not the session.
+  util::Status StartQuery(uint64_t channel, const std::string& sql,
+                          double max_relative_ci);
+
+  /// True when any stream still has estimates to compute or frames to
+  /// (re)transmit — i.e. another Step is worth scheduling.
+  bool HasWork() const;
+
+  /// One cooperative scheduling step:
+  ///  1. Registry staleness probe: a version bump hot-swaps the session's
+  ///     model and resets the client (pool + caches) before any further
+  ///     estimate is computed — the stale-cache invalidation hook.
+  ///  2. The front stream computes refinements while its window has room.
+  ///  3. Due frames of every open stream are collected for transmission.
+  /// Returns the frames to send; failed streams are reported through
+  /// `errors` (one ServerMessage::kError each) and dropped.
+  std::vector<DataFrame> Step(const ModelRegistry& registry,
+                              std::vector<ServerMessage>* errors);
+
+  /// Routes an acknowledgment to its stream (advancing the logical clock;
+  /// retransmission timeouts are measured in received-ack events, not wall
+  /// time). Unknown channel ids are ignored (late acks of completed
+  /// streams are legal).
+  void HandleAck(const AckFrame& ack);
+
+  /// Model hot-swaps observed by this session.
+  uint64_t model_swaps() const { return model_swaps_; }
+
+  /// Streams not yet fully delivered+acked.
+  size_t open_streams() const { return streams_.size(); }
+
+  const vae::AqpClient& client() const { return *client_; }
+
+ private:
+  struct QueryStream {
+    uint64_t channel = 0;
+    aqp::AggregateQuery query;
+    double max_relative_ci = 0.0;
+    ChannelProducer producer;
+    bool exhausted = false;  ///< final estimate pushed
+
+    QueryStream(uint64_t channel_id, const ChannelProducer::Options& options)
+        : channel(channel_id), producer(channel_id, options) {}
+  };
+
+  uint64_t id_;
+  std::string model_name_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  vae::AqpClient::Options client_options_;
+  ChannelProducer::Options channel_options_;
+  std::unique_ptr<vae::AqpClient> client_;
+  std::deque<QueryStream> streams_;  ///< FIFO; front refines first
+  uint64_t model_swaps_ = 0;
+};
+
+}  // namespace deepaqp::server
+
+#endif  // DEEPAQP_SERVER_SESSION_H_

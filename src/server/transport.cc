@@ -1,0 +1,54 @@
+#include "server/transport.h"
+
+namespace deepaqp::server {
+
+void PipeTransport::Deliver(const ServerMessage& message) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(message);
+  }
+  cv_.notify_one();
+}
+
+ServerMessage PipeTransport::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !queue_.empty(); });
+  ServerMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+bool PipeTransport::TryPop(ServerMessage* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+size_t PipeTransport::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void StdioTransport::Deliver(const ServerMessage& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Status status = WriteFramed(out_, EncodeServerMessage(message));
+  if (!status.ok()) last_error_ = std::move(status);
+}
+
+util::Result<std::optional<ClientMessage>> StdioTransport::ReadRequest(
+    std::FILE* in) {
+  DEEPAQP_ASSIGN_OR_RETURN(std::optional<std::vector<uint8_t>> body,
+                           ReadFramed(in));
+  if (!body.has_value()) return std::optional<ClientMessage>();
+  DEEPAQP_ASSIGN_OR_RETURN(ClientMessage msg, DecodeClientMessage(*body));
+  return std::optional<ClientMessage>(std::move(msg));
+}
+
+util::Status StdioTransport::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+}  // namespace deepaqp::server

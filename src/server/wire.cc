@@ -1,0 +1,290 @@
+#include "server/wire.h"
+
+#include "util/serialize.h"
+
+namespace deepaqp::server {
+
+namespace {
+
+void WriteU64Vector(util::ByteWriter* w, const std::vector<uint64_t>& v) {
+  w->WriteU64(v.size());
+  for (uint64_t x : v) w->WriteU64(x);
+}
+
+util::Result<std::vector<uint64_t>> ReadU64Vector(util::ByteReader* r) {
+  DEEPAQP_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  if (n > r->remaining() / sizeof(uint64_t)) {
+    return util::Status::InvalidArgument("u64 vector length exceeds buffer");
+  }
+  std::vector<uint64_t> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DEEPAQP_ASSIGN_OR_RETURN(uint64_t x, r->ReadU64());
+    v.push_back(x);
+  }
+  return v;
+}
+
+void WriteAck(util::ByteWriter* w, const AckFrame& ack) {
+  w->WriteU64(ack.channel);
+  w->WriteU64(ack.cumulative);
+  WriteU64Vector(w, ack.selective);
+}
+
+util::Result<AckFrame> ReadAck(util::ByteReader* r) {
+  AckFrame ack;
+  DEEPAQP_ASSIGN_OR_RETURN(ack.channel, r->ReadU64());
+  DEEPAQP_ASSIGN_OR_RETURN(ack.cumulative, r->ReadU64());
+  DEEPAQP_ASSIGN_OR_RETURN(ack.selective, ReadU64Vector(r));
+  return ack;
+}
+
+void WriteData(util::ByteWriter* w, const DataFrame& frame) {
+  w->WriteU64(frame.channel);
+  w->WriteU64(frame.seq);
+  w->WriteU8(frame.final ? 1 : 0);
+  w->WriteU64(frame.payload.size());
+  w->WriteRaw(frame.payload.data(), frame.payload.size());
+}
+
+util::Result<DataFrame> ReadData(util::ByteReader* r) {
+  DataFrame frame;
+  DEEPAQP_ASSIGN_OR_RETURN(frame.channel, r->ReadU64());
+  DEEPAQP_ASSIGN_OR_RETURN(frame.seq, r->ReadU64());
+  DEEPAQP_ASSIGN_OR_RETURN(uint8_t final_flag, r->ReadU8());
+  frame.final = final_flag != 0;
+  DEEPAQP_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  if (n > r->remaining()) {
+    return util::Status::InvalidArgument("data payload length exceeds buffer");
+  }
+  DEEPAQP_ASSIGN_OR_RETURN(frame.payload, r->ReadBytes(n));
+  return frame;
+}
+
+}  // namespace
+
+ServerMessage MakeError(uint64_t session, uint64_t channel,
+                        const util::Status& status) {
+  ServerMessage msg;
+  msg.kind = ServerMessageKind::kError;
+  msg.session = session;
+  msg.channel = channel;
+  msg.code = static_cast<int32_t>(status.code());
+  msg.message = status.ToString();
+  return msg;
+}
+
+std::vector<uint8_t> EncodeEstimate(const Estimate& estimate) {
+  util::ByteWriter w;
+  w.WriteU64(estimate.pool_rows);
+  w.WriteU32(static_cast<uint32_t>(estimate.result.groups.size()));
+  for (const aqp::GroupValue& g : estimate.result.groups) {
+    w.WriteI32(g.group);
+    w.WriteF64(g.value);
+    w.WriteU64(g.support);
+    w.WriteF64(g.ci_half_width);
+  }
+  return w.bytes();
+}
+
+util::Result<Estimate> DecodeEstimate(const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  Estimate e;
+  DEEPAQP_ASSIGN_OR_RETURN(e.pool_rows, r.ReadU64());
+  DEEPAQP_ASSIGN_OR_RETURN(uint32_t groups, r.ReadU32());
+  if (groups > r.remaining() / (sizeof(int32_t) + 2 * sizeof(double) +
+                                sizeof(uint64_t))) {
+    return util::Status::InvalidArgument("estimate group count exceeds buffer");
+  }
+  e.result.groups.resize(groups);
+  for (aqp::GroupValue& g : e.result.groups) {
+    DEEPAQP_ASSIGN_OR_RETURN(g.group, r.ReadI32());
+    DEEPAQP_ASSIGN_OR_RETURN(g.value, r.ReadF64());
+    DEEPAQP_ASSIGN_OR_RETURN(uint64_t support, r.ReadU64());
+    g.support = support;
+    DEEPAQP_ASSIGN_OR_RETURN(g.ci_half_width, r.ReadF64());
+  }
+  if (!r.AtEnd()) {
+    return util::Status::InvalidArgument("trailing bytes after estimate");
+  }
+  return e;
+}
+
+std::vector<uint8_t> EncodeClientMessage(const ClientMessage& msg) {
+  util::ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(msg.kind));
+  switch (msg.kind) {
+    case ClientMessageKind::kOpenSession:
+      w.WriteString(msg.model_name);
+      w.WriteU64(msg.initial_samples);
+      w.WriteU64(msg.max_samples);
+      w.WriteU64(msg.population_rows);
+      w.WriteU64(msg.seed);
+      break;
+    case ClientMessageKind::kQuery:
+      w.WriteU64(msg.session);
+      w.WriteString(msg.sql);
+      w.WriteF64(msg.max_relative_ci);
+      break;
+    case ClientMessageKind::kAck:
+      w.WriteU64(msg.session);
+      WriteAck(&w, msg.ack);
+      break;
+    case ClientMessageKind::kCloseSession:
+      w.WriteU64(msg.session);
+      break;
+  }
+  return w.bytes();
+}
+
+util::Result<ClientMessage> DecodeClientMessage(
+    const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  ClientMessage msg;
+  DEEPAQP_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+  switch (static_cast<ClientMessageKind>(kind)) {
+    case ClientMessageKind::kOpenSession: {
+      msg.kind = ClientMessageKind::kOpenSession;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.model_name, r.ReadString());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.initial_samples, r.ReadU64());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.max_samples, r.ReadU64());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.population_rows, r.ReadU64());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.seed, r.ReadU64());
+      break;
+    }
+    case ClientMessageKind::kQuery: {
+      msg.kind = ClientMessageKind::kQuery;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.session, r.ReadU64());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.sql, r.ReadString());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.max_relative_ci, r.ReadF64());
+      break;
+    }
+    case ClientMessageKind::kAck: {
+      msg.kind = ClientMessageKind::kAck;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.session, r.ReadU64());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.ack, ReadAck(&r));
+      break;
+    }
+    case ClientMessageKind::kCloseSession: {
+      msg.kind = ClientMessageKind::kCloseSession;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.session, r.ReadU64());
+      break;
+    }
+    default:
+      return util::Status::InvalidArgument(
+          "unknown client message kind " + std::to_string(kind));
+  }
+  if (!r.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "trailing bytes after client message");
+  }
+  return msg;
+}
+
+std::vector<uint8_t> EncodeServerMessage(const ServerMessage& msg) {
+  util::ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(msg.kind));
+  w.WriteU64(msg.session);
+  switch (msg.kind) {
+    case ServerMessageKind::kSessionOpened:
+    case ServerMessageKind::kSessionClosed:
+      break;
+    case ServerMessageKind::kQueryStarted:
+      w.WriteU64(msg.channel);
+      break;
+    case ServerMessageKind::kData:
+      WriteData(&w, msg.data);
+      break;
+    case ServerMessageKind::kError:
+      w.WriteU64(msg.channel);
+      w.WriteI32(msg.code);
+      w.WriteString(msg.message);
+      break;
+  }
+  return w.bytes();
+}
+
+util::Result<ServerMessage> DecodeServerMessage(
+    const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  ServerMessage msg;
+  DEEPAQP_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+  DEEPAQP_ASSIGN_OR_RETURN(msg.session, r.ReadU64());
+  switch (static_cast<ServerMessageKind>(kind)) {
+    case ServerMessageKind::kSessionOpened:
+      msg.kind = ServerMessageKind::kSessionOpened;
+      break;
+    case ServerMessageKind::kSessionClosed:
+      msg.kind = ServerMessageKind::kSessionClosed;
+      break;
+    case ServerMessageKind::kQueryStarted: {
+      msg.kind = ServerMessageKind::kQueryStarted;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.channel, r.ReadU64());
+      break;
+    }
+    case ServerMessageKind::kData: {
+      msg.kind = ServerMessageKind::kData;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.data, ReadData(&r));
+      msg.channel = msg.data.channel;
+      break;
+    }
+    case ServerMessageKind::kError: {
+      msg.kind = ServerMessageKind::kError;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.channel, r.ReadU64());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.code, r.ReadI32());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.message, r.ReadString());
+      break;
+    }
+    default:
+      return util::Status::InvalidArgument(
+          "unknown server message kind " + std::to_string(kind));
+  }
+  if (!r.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "trailing bytes after server message");
+  }
+  return msg;
+}
+
+void AppendFramed(const std::vector<uint8_t>& body,
+                  std::vector<uint8_t>* out) {
+  const auto n = static_cast<uint32_t>(body.size());
+  const auto* p = reinterpret_cast<const uint8_t*>(&n);
+  out->insert(out->end(), p, p + sizeof(n));
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+util::Status WriteFramed(std::FILE* f, const std::vector<uint8_t>& body) {
+  if (body.size() > kMaxFrameBytes) {
+    return util::Status::InvalidArgument("frame exceeds kMaxFrameBytes");
+  }
+  const auto n = static_cast<uint32_t>(body.size());
+  if (std::fwrite(&n, sizeof(n), 1, f) != 1 ||
+      (n > 0 && std::fwrite(body.data(), 1, n, f) != n)) {
+    return util::Status::IOError("short write on framed stream");
+  }
+  if (std::fflush(f) != 0) {
+    return util::Status::IOError("flush failed on framed stream");
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::optional<std::vector<uint8_t>>> ReadFramed(std::FILE* f) {
+  uint32_t n = 0;
+  const size_t got = std::fread(&n, 1, sizeof(n), f);
+  if (got == 0) return std::optional<std::vector<uint8_t>>();  // clean EOF
+  if (got != sizeof(n)) {
+    return util::Status::IOError("truncated frame length prefix");
+  }
+  if (n > kMaxFrameBytes) {
+    return util::Status::InvalidArgument(
+        "frame length " + std::to_string(n) + " exceeds limit");
+  }
+  std::vector<uint8_t> body(n);
+  if (n > 0 && std::fread(body.data(), 1, n, f) != n) {
+    return util::Status::IOError("truncated frame body");
+  }
+  return std::optional<std::vector<uint8_t>>(std::move(body));
+}
+
+}  // namespace deepaqp::server

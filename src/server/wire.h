@@ -1,0 +1,134 @@
+#ifndef DEEPAQP_SERVER_WIRE_H_
+#define DEEPAQP_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aqp/query.h"
+#include "server/channel.h"
+#include "util/status.h"
+
+namespace deepaqp::server {
+
+/// The AQP serving protocol: a small closed set of client->server requests
+/// and server->client responses. Both directions have one binary encoding
+/// (ByteWriter/ByteReader, little-endian, length fields bounds-checked on
+/// decode) used verbatim by every transport that needs bytes; the
+/// in-process pipe transport passes the structs through untouched.
+
+// ---------------------------------------------------------------------------
+// Client -> server.
+
+enum class ClientMessageKind : uint8_t {
+  kOpenSession = 1,
+  kQuery = 2,
+  kAck = 3,
+  kCloseSession = 4,
+};
+
+struct ClientMessage {
+  ClientMessageKind kind = ClientMessageKind::kOpenSession;
+
+  /// kOpenSession: model to bind the session to, plus client knobs
+  /// (0 = server default).
+  std::string model_name;
+  uint64_t initial_samples = 0;
+  uint64_t max_samples = 0;
+  uint64_t population_rows = 0;
+  uint64_t seed = 0;
+
+  /// kQuery / kAck / kCloseSession.
+  uint64_t session = 0;
+
+  /// kQuery: precision-on-demand request — estimates stream on a fresh
+  /// channel until every group's relative CI reaches `max_relative_ci`.
+  std::string sql;
+  double max_relative_ci = 0.0;
+
+  /// kAck.
+  AckFrame ack;
+};
+
+// ---------------------------------------------------------------------------
+// Server -> client.
+
+enum class ServerMessageKind : uint8_t {
+  kSessionOpened = 1,
+  kQueryStarted = 2,
+  kData = 3,
+  kError = 4,
+  kSessionClosed = 5,
+};
+
+struct ServerMessage {
+  ServerMessageKind kind = ServerMessageKind::kError;
+  uint64_t session = 0;
+
+  /// kQueryStarted / kData / kError (0 = not channel-scoped).
+  uint64_t channel = 0;
+
+  /// kData: one refining estimate.
+  DataFrame data;
+
+  /// kError: a util::Status projected onto the wire. The session survives
+  /// an error — only the failed request/stream is dead.
+  int32_t code = 0;
+  std::string message;
+};
+
+/// Convenience constructor for error responses.
+ServerMessage MakeError(uint64_t session, uint64_t channel,
+                        const util::Status& status);
+
+// ---------------------------------------------------------------------------
+// Estimate payload: what a DATA frame carries. `pool_rows` is the synthetic
+// sample size the estimate was computed on (monotonically growing across a
+// stream — the client watches precision rise with it).
+
+struct Estimate {
+  uint64_t pool_rows = 0;
+  aqp::QueryResult result;
+};
+
+/// Bit-exact encoding (doubles as raw bits): two encodes of equal estimates
+/// are byte-identical, which is what the multi-session identity tests
+/// compare.
+std::vector<uint8_t> EncodeEstimate(const Estimate& estimate);
+util::Result<Estimate> DecodeEstimate(const std::vector<uint8_t>& bytes);
+
+// ---------------------------------------------------------------------------
+// Binary codec.
+
+std::vector<uint8_t> EncodeClientMessage(const ClientMessage& msg);
+util::Result<ClientMessage> DecodeClientMessage(
+    const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodeServerMessage(const ServerMessage& msg);
+util::Result<ServerMessage> DecodeServerMessage(
+    const std::vector<uint8_t>& bytes);
+
+// ---------------------------------------------------------------------------
+// Length-prefixed stream framing (socket/stdio transports): each message is
+// a u32 little-endian byte count followed by the encoded body.
+
+/// Hard bound on a framed message body; a larger prefix means a corrupt or
+/// hostile stream and is rejected before any allocation.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Appends the length-prefixed encoding of `body` to `out`.
+void AppendFramed(const std::vector<uint8_t>& body, std::vector<uint8_t>* out);
+
+/// Writes one length-prefixed message to `f` and flushes.
+util::Status WriteFramed(std::FILE* f, const std::vector<uint8_t>& body);
+
+/// Reads one length-prefixed message from `f`. Returns nullopt on clean EOF
+/// (stream ended between messages) and a Status error on truncation inside
+/// a message or an oversized prefix.
+util::Result<std::optional<std::vector<uint8_t>>> ReadFramed(std::FILE* f);
+
+}  // namespace deepaqp::server
+
+#endif  // DEEPAQP_SERVER_WIRE_H_

@@ -57,7 +57,7 @@ double ResolveThreshold(double requested, double default_t) {
 
 }  // namespace
 
-AqpClient::AqpClient(std::unique_ptr<VaeAqpModel> model,
+AqpClient::AqpClient(std::shared_ptr<const VaeAqpModel> model,
                      const Options& options)
     : options_(options),
       model_(std::move(model)),
@@ -79,6 +79,29 @@ std::unique_ptr<AqpClient> AqpClient::Wrap(
     std::unique_ptr<VaeAqpModel> model, const Options& options) {
   return std::unique_ptr<AqpClient>(
       new AqpClient(std::move(model), options));
+}
+
+std::unique_ptr<AqpClient> AqpClient::Share(
+    std::shared_ptr<const VaeAqpModel> model, const Options& options) {
+  return std::unique_ptr<AqpClient>(
+      new AqpClient(std::move(model), options));
+}
+
+void AqpClient::SwapModel(std::shared_ptr<const VaeAqpModel> model) {
+  model_ = std::move(model);
+  t_ = ResolveThreshold(options_.t, model_->default_t());
+  // Everything derived from the old generator is stale: pool rows, cached
+  // predicate bitmaps, cached group moments. Rebuild from scratch exactly as
+  // a fresh client would so swapped and newly opened clients are
+  // bit-identical (the contract server_session_test pins down).
+  rng_ = util::Rng(options_.seed);
+  pool_ = relation::Table(model_->tuple_encoder().schema());
+  filter_cache_.clear();
+  agg_cache_.clear();
+  cache_stats_.filter_entries = 0;
+  cache_stats_.agg_entries = 0;
+  ++cache_stats_.invalidations;
+  GrowPool(options_.initial_samples);
 }
 
 void AqpClient::GrowPool(size_t target_rows) {
@@ -180,22 +203,35 @@ util::Result<aqp::QueryResult> AqpClient::QueryCached(
                                n, options_.population_rows);
 }
 
+util::Result<aqp::QueryResult> AqpClient::QueryRefineStep(
+    const aqp::AggregateQuery& query, double max_relative_ci, bool* final) {
+  DEEPAQP_ASSIGN_OR_RETURN(aqp::QueryResult result, Query(query));
+  bool tight = true;
+  for (const auto& g : result.groups) {
+    const double denom = std::abs(g.value);
+    const double rel = denom > 0 ? g.ci_half_width / denom
+                                 : g.ci_half_width;
+    if (rel > max_relative_ci) {
+      tight = false;
+      break;
+    }
+  }
+  if (tight || pool_.num_rows() >= options_.max_samples) {
+    *final = true;
+    return result;
+  }
+  *final = false;
+  GrowPool(pool_.num_rows() * 2);
+  return result;
+}
+
 util::Result<aqp::QueryResult> AqpClient::QueryWithMaxRelativeCi(
     const aqp::AggregateQuery& query, double max_relative_ci) {
   for (;;) {
-    DEEPAQP_ASSIGN_OR_RETURN(aqp::QueryResult result, Query(query));
-    bool tight = true;
-    for (const auto& g : result.groups) {
-      const double denom = std::abs(g.value);
-      const double rel = denom > 0 ? g.ci_half_width / denom
-                                   : g.ci_half_width;
-      if (rel > max_relative_ci) {
-        tight = false;
-        break;
-      }
-    }
-    if (tight || pool_.num_rows() >= options_.max_samples) return result;
-    GrowPool(pool_.num_rows() * 2);
+    bool final = false;
+    DEEPAQP_ASSIGN_OR_RETURN(aqp::QueryResult result,
+                             QueryRefineStep(query, max_relative_ci, &final));
+    if (final) return result;
   }
 }
 

@@ -55,6 +55,20 @@ class AqpClient {
   static std::unique_ptr<AqpClient> Wrap(
       std::unique_ptr<VaeAqpModel> model, const Options& options);
 
+  /// Shares an already-loaded read-only model (server sessions: the model
+  /// registry hands every session the same refcounted snapshot; Generate is
+  /// const and self-contained, so concurrent sessions need no locking).
+  static std::unique_ptr<AqpClient> Share(
+      std::shared_ptr<const VaeAqpModel> model, const Options& options);
+
+  /// Replaces the model (hot swap on a registry version bump). The sample
+  /// pool and every cached bitmap / group-moment entry were computed from
+  /// the old generator, so both are discarded and the client is re-seeded
+  /// from options.seed: after SwapModel the client is bit-identical to a
+  /// fresh client opened on `model` with the same options. Counts into
+  /// cache_stats().invalidations.
+  void SwapModel(std::shared_ptr<const VaeAqpModel> model);
+
   /// Answers a SQL-text query (see aqp::ParseSql for the dialect).
   util::Result<aqp::QueryResult> Query(const std::string& sql);
 
@@ -65,6 +79,17 @@ class AqpClient {
   /// every group's CI half-width is within `max_relative_ci` of its value.
   util::Result<aqp::QueryResult> QueryWithMaxRelativeCi(
       const aqp::AggregateQuery& query, double max_relative_ci);
+
+  /// One precision-on-demand refinement step — the resumable core of
+  /// QueryWithMaxRelativeCi, exposed so a server can stream every
+  /// intermediate estimate instead of only the final one. Answers `query`
+  /// on the current pool; when some group's relative CI still exceeds
+  /// `max_relative_ci` and the pool can grow, doubles the pool so the next
+  /// call refines further and sets *final = false; otherwise *final = true.
+  /// Calling QueryRefineStep until *final yields exactly the
+  /// QueryWithMaxRelativeCi trajectory (same pool growth, same answers).
+  util::Result<aqp::QueryResult> QueryRefineStep(
+      const aqp::AggregateQuery& query, double max_relative_ci, bool* final);
 
   /// Observability of the query cache (tests, benches). Counters are
   /// cumulative over the client's lifetime.
@@ -77,6 +102,9 @@ class AqpClient {
     /// by the full pool size.
     uint64_t rows_filtered = 0;
     uint64_t rows_aggregated = 0;
+    /// Full cache resets forced by SwapModel (stale bitmaps/moments from a
+    /// previous model version must never answer queries on the new one).
+    uint64_t invalidations = 0;
   };
 
   const CacheStats& cache_stats() const { return cache_stats_; }
@@ -87,7 +115,7 @@ class AqpClient {
   /// The pool itself (e.g., to hand to visualization code).
   const relation::Table& pool() const { return pool_; }
 
-  VaeAqpModel& model() { return *model_; }
+  const VaeAqpModel& model() const { return *model_; }
 
   /// Registers an Algorithm 1 outcome with the client. A non-passed outcome
   /// (budget exhausted or degraded) records a warning and widens every
@@ -119,7 +147,7 @@ class AqpClient {
     aqp::DenseGroupMoments acc;
   };
 
-  AqpClient(std::unique_ptr<VaeAqpModel> model, const Options& options);
+  AqpClient(std::shared_ptr<const VaeAqpModel> model, const Options& options);
 
   void GrowPool(size_t target_rows);
 
@@ -128,7 +156,7 @@ class AqpClient {
   util::Result<aqp::QueryResult> QueryCached(const aqp::AggregateQuery& query);
 
   Options options_;
-  std::unique_ptr<VaeAqpModel> model_;
+  std::shared_ptr<const VaeAqpModel> model_;
   double t_;
   util::Rng rng_;
   relation::Table pool_;

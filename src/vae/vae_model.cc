@@ -326,7 +326,7 @@ relation::Table VaeAqpModel::MakeEmptySampleTable() const {
 static constexpr size_t kGenerateChunkRows = 512;
 
 relation::Table VaeAqpModel::Generate(size_t n, double t, util::Rng& rng,
-                                      GenerateStats* stats) {
+                                      GenerateStats* stats) const {
   relation::Table out = MakeEmptySampleTable();
   if (n == 0) return out;
   const uint64_t master = rng.NextUint64();
@@ -499,7 +499,7 @@ relation::Table VaeAqpModel::GenerateChunk(size_t n, double t,
 relation::Table VaeAqpModel::GenerateWhere(size_t n,
                                            const aqp::Predicate& predicate,
                                            double t, util::Rng& rng,
-                                           size_t max_candidates) {
+                                           size_t max_candidates) const {
   GenerateWhereResult result =
       GenerateWhereReport(n, predicate, t, rng, max_candidates);
   if (result.shortfall() > 0) {
@@ -514,7 +514,7 @@ relation::Table VaeAqpModel::GenerateWhere(size_t n,
 
 GenerateWhereResult VaeAqpModel::GenerateWhereReport(
     size_t n, const aqp::Predicate& predicate, double t, util::Rng& rng,
-    size_t max_candidates) {
+    size_t max_candidates) const {
   relation::Table out(encoder_.schema());
   for (size_t c = 0; c < encoder_.schema().num_attributes(); ++c) {
     if (encoder_.schema().IsCategorical(c)) {
@@ -546,7 +546,7 @@ GenerateWhereResult VaeAqpModel::GenerateWhereReport(
   return GenerateWhereResult{std::move(out), n, candidates};
 }
 
-aqp::SampleFn VaeAqpModel::MakeSampler(double t, uint64_t seed) {
+aqp::SampleFn VaeAqpModel::MakeSampler(double t, uint64_t seed) const {
   // The sampler owns an independent RNG stream; the harness's rng argument
   // seeds per-draw variation.
   return [this, t, seed](size_t rows, util::Rng& harness_rng) {

@@ -150,12 +150,15 @@ class VaeAqpModel {
   /// progress degrades to accept-all and ultimately returns fewer rows
   /// rather than spinning. Healthy runs never hit any of these paths, so
   /// outputs stay bit-identical to the unhardened loop.
+  /// Const and self-contained (chunk-local arenas, cache-free net forwards),
+  /// so a model shared read-only across server sessions can generate
+  /// concurrently without synchronization.
   relation::Table Generate(size_t n, double t, util::Rng& rng,
-                           GenerateStats* stats = nullptr);
+                           GenerateStats* stats = nullptr) const;
 
   /// Generates with the calibrated default threshold (90th percentile of
   /// the per-tuple T(x) distribution from the final training epoch).
-  relation::Table Generate(size_t n, util::Rng& rng) {
+  relation::Table Generate(size_t n, util::Rng& rng) const {
     return Generate(n, default_t_, rng);
   }
 
@@ -168,16 +171,16 @@ class VaeAqpModel {
   GenerateWhereResult GenerateWhereReport(size_t n,
                                           const aqp::Predicate& predicate,
                                           double t, util::Rng& rng,
-                                          size_t max_candidates = 1 << 20);
+                                          size_t max_candidates = 1 << 20) const;
 
   /// Legacy table-only wrapper over GenerateWhereReport; WARN-logs any
   /// shortfall so under-sampling is at least visible in the logs.
   relation::Table GenerateWhere(size_t n, const aqp::Predicate& predicate,
                                 double t, util::Rng& rng,
-                                size_t max_candidates = 1 << 20);
+                                size_t max_candidates = 1 << 20) const;
 
   /// Adapts this model to the evaluation harness's SampleFn interface.
-  aqp::SampleFn MakeSampler(double t, uint64_t seed = 99);
+  aqp::SampleFn MakeSampler(double t, uint64_t seed = 99) const;
 
   /// Resampled-ELBO loss of this model on `table` at threshold `t` (lower
   /// is better; Sec. V-B). Evaluated on at most `max_rows` rows.

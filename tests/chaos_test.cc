@@ -18,6 +18,8 @@
 #include "ensemble/ensemble_model.h"
 #include "ensemble/partitioning.h"
 #include "relation/table.h"
+#include "server/server.h"
+#include "server/transport.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
 #include "vae/client.h"
@@ -392,6 +394,155 @@ TEST_F(ChaosTest, EndToEndSweepStaysFiniteAndLogsFaults) {
   ASSERT_NE(f, nullptr);
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Server daemon faults: an injected failure in any serving-path site is a
+// session-scoped error response — never process death, never a wedged
+// server.
+
+server::AqpServer::Options ServerChaosOptions() {
+  server::AqpServer::Options opts;
+  opts.client.initial_samples = 200;
+  opts.client.max_samples = 1600;
+  opts.client.population_rows = 800;
+  opts.client.seed = 99;
+  return opts;
+}
+
+/// Drives one query over the pipe to completion; returns the decoded final
+/// estimate, or the stream's error.
+util::Result<server::Estimate> RunServerQuery(
+    server::AqpServer& srv, const std::shared_ptr<server::PipeTransport>& pipe,
+    uint64_t session, const std::string& sql, double max_relative_ci) {
+  server::ClientMessage query;
+  query.kind = server::ClientMessageKind::kQuery;
+  query.session = session;
+  query.sql = sql;
+  query.max_relative_ci = max_relative_ci;
+  srv.Handle(query, pipe);
+
+  server::ServerMessage first;
+  do {
+    first = pipe->Pop();
+  } while (first.kind == server::ServerMessageKind::kData);  // stale frames
+  if (first.kind == server::ServerMessageKind::kError) {
+    return util::Status::Internal(first.message);
+  }
+  EXPECT_EQ(first.kind, server::ServerMessageKind::kQueryStarted);
+  server::ChannelConsumer consumer(first.channel);
+  std::vector<uint8_t> last_payload;
+  while (!consumer.finished()) {
+    server::ServerMessage msg = pipe->Pop();
+    if (msg.kind == server::ServerMessageKind::kData &&
+        msg.channel != first.channel) {
+      continue;
+    }
+    if (msg.kind == server::ServerMessageKind::kError) {
+      return util::Status::Internal(msg.message);
+    }
+    if (msg.kind != server::ServerMessageKind::kData) {
+      return util::Status::Internal("unexpected message kind");
+    }
+    consumer.OnData(msg.data);
+    for (auto& p : consumer.TakeDelivered()) last_payload = std::move(p);
+    server::ClientMessage ack;
+    ack.kind = server::ClientMessageKind::kAck;
+    ack.session = session;
+    ack.ack = consumer.MakeAck();
+    srv.Handle(ack, pipe);
+  }
+  return server::DecodeEstimate(last_payload);
+}
+
+uint64_t OpenServerSession(server::AqpServer& srv,
+                           const std::shared_ptr<server::PipeTransport>& pipe) {
+  server::ClientMessage open;
+  open.kind = server::ClientMessageKind::kOpenSession;
+  open.model_name = "m";
+  srv.Handle(open, pipe);
+  server::ServerMessage reply = pipe->Pop();
+  EXPECT_EQ(reply.kind, server::ServerMessageKind::kSessionOpened);
+  return reply.session;
+}
+
+TEST_F(ChaosTest, ServerRegistryLoadFaultLeavesOldVersionServing) {
+  server::AqpServer srv(ServerChaosOptions());
+  auto v1 = srv.registry().Register("m", HealthyModelBytes());
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+
+  ASSERT_TRUE(util::ConfigureFailpoints("server/registry_load=once").ok());
+  auto failed = srv.registry().Register("m", HealthyModelBytes());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().ToString().find("injected fault"),
+            std::string::npos);
+  // The previous version is untouched and keeps serving new sessions.
+  EXPECT_EQ(srv.registry().VersionOf("m"), 1u);
+  auto pipe = std::make_shared<server::PipeTransport>();
+  uint64_t session = OpenServerSession(srv, pipe);
+  auto result = RunServerQuery(srv, pipe, session,
+                               "SELECT AVG(fare) FROM R", 0.1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(std::isfinite(result->result.Scalar()));
+
+  // The trigger disarmed itself: the next hot swap succeeds as version 2.
+  auto v2 = srv.registry().Register("m", HealthyModelBytes());
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(*v2, 2u);
+}
+
+TEST_F(ChaosTest, ServerEnqueueFaultIsErrorResponseNotDeath) {
+  server::AqpServer srv(ServerChaosOptions());
+  ASSERT_TRUE(srv.registry().Register("m", HealthyModelBytes()).ok());
+  auto pipe = std::make_shared<server::PipeTransport>();
+  uint64_t session = OpenServerSession(srv, pipe);
+  srv.WaitIdle();
+
+  // The scheduler refuses the query's strand task; the client gets an
+  // error response and the session object survives.
+  ASSERT_TRUE(util::ConfigureFailpoints("server/enqueue=once").ok());
+  auto failed =
+      RunServerQuery(srv, pipe, session, "SELECT AVG(fare) FROM R", 0.1);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().ToString().find("injected fault"),
+            std::string::npos);
+  EXPECT_EQ(srv.num_sessions(), 1u);
+
+  // Resubmitting on the same session completes normally.
+  auto retried =
+      RunServerQuery(srv, pipe, session, "SELECT AVG(fare) FROM R", 0.1);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_TRUE(std::isfinite(retried->result.Scalar()));
+}
+
+TEST_F(ChaosTest, ServerChannelSendFaultFailsStreamNotSession) {
+  server::AqpServer srv(ServerChaosOptions());
+  ASSERT_TRUE(srv.registry().Register("m", HealthyModelBytes()).ok());
+  auto pipe = std::make_shared<server::PipeTransport>();
+  uint64_t session = OpenServerSession(srv, pipe);
+  srv.WaitIdle();
+
+  // The first frame push fails; the stream dies with an error response,
+  // the session does not.
+  ASSERT_TRUE(util::ConfigureFailpoints("server/channel_send=once").ok());
+  auto failed =
+      RunServerQuery(srv, pipe, session, "SELECT AVG(fare) FROM R", 0.1);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().ToString().find("injected fault"),
+            std::string::npos);
+  EXPECT_EQ(srv.num_sessions(), 1u);
+
+  // The next stream on the same session completes with finite estimates
+  // (the failed push may have grown the pool, so only finiteness — not a
+  // particular trajectory — is guaranteed here).
+  auto next = RunServerQuery(srv, pipe, session,
+                             "SELECT AVG(fare) FROM R WHERE trip_distance > 1",
+                             0.1);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  for (const auto& g : next->result.groups) {
+    EXPECT_TRUE(std::isfinite(g.value));
+    EXPECT_TRUE(std::isfinite(g.ci_half_width));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,515 @@
+// Deterministic protocol tests for the reliable precision-on-demand channel.
+//
+// The producer and consumer are pure state machines, so an adversarial
+// network (loss, duplication, reordering, delayed delivery) is just a seeded
+// schedule over explicit event queues — every run here is replayable
+// byte-for-byte from its util::Rng seed.
+
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/channel.h"
+#include "server/wire.h"
+#include "util/rng.h"
+
+namespace deepaqp::server {
+namespace {
+
+std::vector<uint8_t> Payload(uint64_t i) {
+  std::vector<uint8_t> bytes(8);
+  for (int b = 0; b < 8; ++b) bytes[b] = static_cast<uint8_t>(i >> (8 * b));
+  return bytes;
+}
+
+std::vector<std::vector<uint8_t>> ExpectedPayloads(uint64_t n) {
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) out.push_back(Payload(i));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Clean-link basics.
+
+TEST(ServerChannelTest, InOrderDeliveryOnCleanLink) {
+  ChannelProducer::Options opts;
+  opts.window = 4;
+  ChannelProducer producer(7, opts);
+  ChannelConsumer consumer(7);
+  std::vector<std::vector<uint8_t>> delivered;
+
+  constexpr uint64_t kFrames = 10;
+  uint64_t pushed = 0;
+  while (!producer.complete()) {
+    while (pushed < kFrames && producer.CanPush()) {
+      ASSERT_TRUE(producer.Push(Payload(pushed), pushed + 1 == kFrames).ok());
+      ++pushed;
+    }
+    for (const DataFrame& frame : producer.PollSend()) {
+      EXPECT_EQ(frame.channel, 7u);
+      consumer.OnData(frame);
+    }
+    for (auto& p : consumer.TakeDelivered()) delivered.push_back(std::move(p));
+    producer.OnAck(consumer.MakeAck());
+    producer.Tick();
+  }
+  EXPECT_TRUE(consumer.finished());
+  EXPECT_EQ(delivered, ExpectedPayloads(kFrames));
+  EXPECT_EQ(producer.stats().pushed, kFrames);
+  EXPECT_EQ(producer.stats().transmissions, kFrames);  // no retransmits
+  EXPECT_EQ(producer.stats().timeout_retransmits, 0u);
+  EXPECT_EQ(producer.stats().nack_retransmits, 0u);
+  EXPECT_EQ(consumer.stats().duplicates, 0u);
+}
+
+TEST(ServerChannelTest, WindowFullIsBackpressureNotFailure) {
+  ChannelProducer::Options opts;
+  opts.window = 3;
+  ChannelProducer producer(1, opts);
+
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(producer.CanPush());
+    ASSERT_TRUE(producer.Push(Payload(i), false).ok());
+  }
+  EXPECT_FALSE(producer.CanPush());
+  util::Status refused = producer.Push(Payload(3), false);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.message().find("window full"), std::string::npos);
+  // Refusal must not consume a sequence number or poison the channel.
+  EXPECT_EQ(producer.next_seq(), 3u);
+  EXPECT_FALSE(producer.failed());
+
+  // Acking frame 0 reopens exactly one slot.
+  ChannelConsumer consumer(1);
+  std::vector<DataFrame> frames = producer.PollSend();
+  ASSERT_EQ(frames.size(), 3u);
+  consumer.OnData(frames[0]);
+  producer.OnAck(consumer.MakeAck());
+  EXPECT_TRUE(producer.CanPush());
+  EXPECT_TRUE(producer.Push(Payload(3), false).ok());
+  EXPECT_FALSE(producer.CanPush());
+}
+
+TEST(ServerChannelTest, PushAfterFinalRefused) {
+  ChannelProducer producer(2, ChannelProducer::Options{});
+  ASSERT_TRUE(producer.Push(Payload(0), true).ok());
+  util::Status refused = producer.Push(Payload(1), false);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.message().find("after final"), std::string::npos);
+  EXPECT_FALSE(producer.failed());
+}
+
+TEST(ServerChannelTest, DuplicateDeliveryIsIdempotent) {
+  ChannelProducer producer(3, ChannelProducer::Options{});
+  ChannelConsumer consumer(3);
+  ASSERT_TRUE(producer.Push(Payload(0), false).ok());
+  ASSERT_TRUE(producer.Push(Payload(1), true).ok());
+  std::vector<DataFrame> frames = producer.PollSend();
+  ASSERT_EQ(frames.size(), 2u);
+
+  // Each frame delivered five times, second one first.
+  for (int round = 0; round < 5; ++round) {
+    consumer.OnData(frames[1]);
+    consumer.OnData(frames[0]);
+  }
+  EXPECT_EQ(consumer.TakeDelivered(), ExpectedPayloads(2));
+  EXPECT_TRUE(consumer.finished());
+  EXPECT_EQ(consumer.stats().delivered, 2u);
+  EXPECT_EQ(consumer.stats().duplicates, 8u);
+  // A later duplicate after delivery is also dropped.
+  consumer.OnData(frames[0]);
+  EXPECT_TRUE(consumer.TakeDelivered().empty());
+  EXPECT_EQ(consumer.stats().duplicates, 9u);
+}
+
+TEST(ServerChannelTest, RetransmitBudgetExhaustionFailsChannel) {
+  ChannelProducer::Options opts;
+  opts.window = 2;
+  opts.retransmit_ticks = 1;
+  opts.max_retransmits_per_frame = 5;
+  ChannelProducer producer(4, opts);
+  ASSERT_TRUE(producer.Push(Payload(0), false).ok());
+
+  // The peer never acks: every tick re-offers the frame until the budget
+  // runs out and the channel reports a descriptive failure.
+  int rounds = 0;
+  while (!producer.failed() && rounds < 100) {
+    producer.PollSend();
+    producer.Tick();
+    ++rounds;
+  }
+  ASSERT_TRUE(producer.failed());
+  EXPECT_NE(producer.error().message().find("unacknowledged"),
+            std::string::npos);
+  EXPECT_NE(producer.error().message().find("seq 0"), std::string::npos);
+  // A failed channel refuses further work without crashing.
+  EXPECT_FALSE(producer.CanPush());
+  EXPECT_FALSE(producer.Push(Payload(1), false).ok());
+  EXPECT_TRUE(producer.PollSend().empty());
+}
+
+TEST(ServerChannelTest, StaleAcksAreCountedNotHarmful) {
+  ChannelProducer producer(5, ChannelProducer::Options{});
+  ChannelConsumer consumer(5);
+  ASSERT_TRUE(producer.Push(Payload(0), true).ok());
+  for (const DataFrame& f : producer.PollSend()) consumer.OnData(f);
+  AckFrame ack = consumer.MakeAck();
+  producer.OnAck(ack);
+  EXPECT_TRUE(producer.complete());
+  producer.OnAck(ack);
+  producer.OnAck(ack);
+  EXPECT_TRUE(producer.complete());
+  EXPECT_EQ(producer.stats().stale_acks, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded adversarial schedules.
+//
+// The link holds frames and acks in queues; each pump step the schedule
+// decides per message: drop it, duplicate it, or deliver it — and delivery
+// order is a random permutation of the queue. Acks are lossy too.
+
+struct AdversarialLink {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  util::Rng rng;
+
+  std::deque<DataFrame> data;
+  std::deque<AckFrame> acks;
+
+  explicit AdversarialLink(uint64_t seed) : rng(seed) {}
+
+  void Offer(std::vector<DataFrame> frames) {
+    for (DataFrame& f : frames) {
+      if (rng.Bernoulli(drop)) continue;
+      if (rng.Bernoulli(duplicate)) data.push_back(f);
+      data.push_back(std::move(f));
+    }
+  }
+
+  void Offer(const AckFrame& ack) {
+    if (rng.Bernoulli(drop)) return;
+    if (rng.Bernoulli(duplicate)) acks.push_back(ack);
+    acks.push_back(ack);
+  }
+
+  std::vector<DataFrame> DrainDataShuffled() {
+    std::vector<DataFrame> out(std::make_move_iterator(data.begin()),
+                               std::make_move_iterator(data.end()));
+    data.clear();
+    std::vector<size_t> perm = rng.Permutation(out.size());
+    std::vector<DataFrame> shuffled;
+    shuffled.reserve(out.size());
+    for (size_t i : perm) shuffled.push_back(std::move(out[i]));
+    return shuffled;
+  }
+
+  std::vector<AckFrame> DrainAcks() {
+    std::vector<AckFrame> out(acks.begin(), acks.end());
+    acks.clear();
+    return out;
+  }
+};
+
+struct ScheduleResult {
+  bool finished = false;
+  std::vector<std::vector<uint8_t>> delivered;
+  ChannelProducer::Stats producer_stats;
+  ChannelConsumer::Stats consumer_stats;
+};
+
+ScheduleResult RunSchedule(uint64_t seed, uint64_t frames, double drop,
+                           double duplicate, bool selective_acks) {
+  ChannelProducer::Options opts;
+  opts.window = 4;
+  opts.retransmit_ticks = 2;
+  opts.max_retransmits_per_frame = 10000;  // the schedule must converge
+  ChannelProducer producer(seed, opts);
+  ChannelConsumer consumer(seed);
+  AdversarialLink link(seed * 2654435761u + 1);
+  link.drop = drop;
+  link.duplicate = duplicate;
+
+  ScheduleResult result;
+  uint64_t pushed = 0;
+  // Loss probability < 1 means every frame eventually gets through; the
+  // iteration bound only guards against a protocol livelock bug.
+  for (int step = 0; step < 200000 && !producer.complete(); ++step) {
+    while (pushed < frames && producer.CanPush()) {
+      EXPECT_TRUE(producer.Push(Payload(pushed), pushed + 1 == frames).ok());
+      ++pushed;
+    }
+    link.Offer(producer.PollSend());
+    for (const DataFrame& f : link.DrainDataShuffled()) consumer.OnData(f);
+    for (auto& p : consumer.TakeDelivered()) {
+      result.delivered.push_back(std::move(p));
+    }
+    link.Offer(consumer.MakeAck(selective_acks));
+    for (const AckFrame& a : link.DrainAcks()) producer.OnAck(a);
+    producer.Tick();
+  }
+  EXPECT_TRUE(producer.complete()) << "seed " << seed << " did not converge";
+  EXPECT_FALSE(producer.failed()) << producer.error().message();
+  result.finished = consumer.finished();
+  result.producer_stats = producer.stats();
+  result.consumer_stats = consumer.stats();
+  return result;
+}
+
+TEST(ServerChannelTest, HundredTwentySeededLossDupReorderSchedules) {
+  constexpr uint64_t kFrames = 32;
+  uint64_t total_retransmits = 0;
+  for (uint64_t seed = 1; seed <= 120; ++seed) {
+    ScheduleResult r = RunSchedule(seed, kFrames, /*drop=*/0.25,
+                                   /*duplicate=*/0.15, /*selective=*/true);
+    ASSERT_TRUE(r.finished) << "seed " << seed;
+    ASSERT_EQ(r.delivered, ExpectedPayloads(kFrames)) << "seed " << seed;
+    ASSERT_EQ(r.consumer_stats.delivered, kFrames) << "seed " << seed;
+    total_retransmits += r.producer_stats.timeout_retransmits +
+                         r.producer_stats.nack_retransmits;
+  }
+  // A 25% lossy link must actually have exercised the recovery machinery.
+  EXPECT_GT(total_retransmits, 0u);
+}
+
+TEST(ServerChannelTest, ScheduleReplayIsDeterministic) {
+  for (uint64_t seed : {3u, 57u, 99u}) {
+    ScheduleResult a = RunSchedule(seed, 24, 0.3, 0.2, true);
+    ScheduleResult b = RunSchedule(seed, 24, 0.3, 0.2, true);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.producer_stats.transmissions, b.producer_stats.transmissions);
+    EXPECT_EQ(a.producer_stats.timeout_retransmits,
+              b.producer_stats.timeout_retransmits);
+    EXPECT_EQ(a.producer_stats.nack_retransmits,
+              b.producer_stats.nack_retransmits);
+    EXPECT_EQ(a.consumer_stats.duplicates, b.consumer_stats.duplicates);
+  }
+}
+
+TEST(ServerChannelTest, CumulativeOnlyAcksDeliverTheSameStream) {
+  constexpr uint64_t kFrames = 24;
+  for (uint64_t seed = 200; seed < 230; ++seed) {
+    ScheduleResult sel = RunSchedule(seed, kFrames, 0.25, 0.1, true);
+    ScheduleResult cum = RunSchedule(seed, kFrames, 0.25, 0.1, false);
+    ASSERT_TRUE(sel.finished && cum.finished) << "seed " << seed;
+    // Identical delivered bytes either way — SACKs only change recovery
+    // latency, never the contract.
+    ASSERT_EQ(sel.delivered, cum.delivered) << "seed " << seed;
+    ASSERT_EQ(cum.producer_stats.nack_retransmits, 0u);
+  }
+}
+
+TEST(ServerChannelTest, SackGapTriggersFastRetransmit) {
+  ChannelProducer::Options opts;
+  opts.window = 4;
+  opts.retransmit_ticks = 100;  // timeouts effectively off
+  ChannelProducer producer(6, opts);
+  ChannelConsumer consumer(6);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(producer.Push(Payload(i), i == 2).ok());
+  }
+  std::vector<DataFrame> frames = producer.PollSend();
+  ASSERT_EQ(frames.size(), 3u);
+  // Frame 1 is lost; 0 and 2 arrive.
+  consumer.OnData(frames[0]);
+  consumer.OnData(frames[2]);
+  AckFrame ack = consumer.MakeAck();
+  EXPECT_EQ(ack.cumulative, 1u);
+  ASSERT_EQ(ack.selective, std::vector<uint64_t>{2});
+
+  producer.OnAck(ack);
+  EXPECT_EQ(producer.stats().nack_retransmits, 1u);
+  std::vector<DataFrame> resent = producer.PollSend();
+  ASSERT_EQ(resent.size(), 1u);
+  EXPECT_EQ(resent[0].seq, 1u);
+  consumer.OnData(resent[0]);
+  EXPECT_TRUE(consumer.finished());
+  producer.OnAck(consumer.MakeAck());
+  EXPECT_TRUE(producer.complete());
+  EXPECT_EQ(producer.stats().timeout_retransmits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec.
+
+TEST(ServerWireTest, ClientMessageRoundTrips) {
+  ClientMessage open;
+  open.kind = ClientMessageKind::kOpenSession;
+  open.model_name = "taxi";
+  open.initial_samples = 400;
+  open.max_samples = 6400;
+  open.population_rows = 4000;
+  open.seed = 2027;
+
+  ClientMessage query;
+  query.kind = ClientMessageKind::kQuery;
+  query.session = 12;
+  query.sql = "SELECT AVG(fare) FROM t WHERE passengers > 2";
+  query.max_relative_ci = 0.05;
+
+  ClientMessage ack;
+  ack.kind = ClientMessageKind::kAck;
+  ack.session = 12;
+  ack.ack.channel = 3;
+  ack.ack.cumulative = 7;
+  ack.ack.selective = {9, 11};
+
+  ClientMessage close;
+  close.kind = ClientMessageKind::kCloseSession;
+  close.session = 12;
+
+  for (const ClientMessage& msg : {open, query, ack, close}) {
+    auto decoded = DecodeClientMessage(EncodeClientMessage(msg));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->kind, msg.kind);
+    EXPECT_EQ(decoded->model_name, msg.model_name);
+    EXPECT_EQ(decoded->initial_samples, msg.initial_samples);
+    EXPECT_EQ(decoded->max_samples, msg.max_samples);
+    EXPECT_EQ(decoded->population_rows, msg.population_rows);
+    EXPECT_EQ(decoded->seed, msg.seed);
+    EXPECT_EQ(decoded->session, msg.session);
+    EXPECT_EQ(decoded->sql, msg.sql);
+    EXPECT_EQ(decoded->max_relative_ci, msg.max_relative_ci);
+    EXPECT_EQ(decoded->ack.channel, msg.ack.channel);
+    EXPECT_EQ(decoded->ack.cumulative, msg.ack.cumulative);
+    EXPECT_EQ(decoded->ack.selective, msg.ack.selective);
+  }
+}
+
+TEST(ServerWireTest, ServerMessageRoundTrips) {
+  ServerMessage data;
+  data.kind = ServerMessageKind::kData;
+  data.session = 4;
+  data.channel = 9;
+  data.data.channel = 9;
+  data.data.seq = 2;
+  data.data.final = true;
+  data.data.payload = {1, 2, 3, 250};
+
+  ServerMessage error;
+  error.kind = ServerMessageKind::kError;
+  error.session = 4;
+  error.channel = 9;
+  error.code = 3;
+  error.message = "bad query";
+
+  ServerMessage started;
+  started.kind = ServerMessageKind::kQueryStarted;
+  started.session = 4;
+  started.channel = 9;
+
+  for (const ServerMessage& msg : {data, error, started}) {
+    auto decoded = DecodeServerMessage(EncodeServerMessage(msg));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->kind, msg.kind);
+    EXPECT_EQ(decoded->session, msg.session);
+    EXPECT_EQ(decoded->channel, msg.channel);
+    EXPECT_EQ(decoded->data.seq, msg.data.seq);
+    EXPECT_EQ(decoded->data.final, msg.data.final);
+    EXPECT_EQ(decoded->data.payload, msg.data.payload);
+    EXPECT_EQ(decoded->code, msg.code);
+    EXPECT_EQ(decoded->message, msg.message);
+  }
+}
+
+TEST(ServerWireTest, TruncationAndTrailingBytesAreErrors) {
+  ClientMessage query;
+  query.kind = ClientMessageKind::kQuery;
+  query.session = 1;
+  query.sql = "SELECT COUNT(*) FROM t";
+  query.max_relative_ci = 0.1;
+  std::vector<uint8_t> bytes = EncodeClientMessage(query);
+
+  // Every strict prefix must fail cleanly (Status, not UB).
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + n);
+    EXPECT_FALSE(DecodeClientMessage(prefix).ok()) << "prefix len " << n;
+  }
+  // Trailing garbage is rejected too.
+  bytes.push_back(0xAB);
+  EXPECT_FALSE(DecodeClientMessage(bytes).ok());
+
+  EXPECT_FALSE(DecodeClientMessage({99}).ok());  // unknown kind
+  EXPECT_FALSE(DecodeServerMessage({}).ok());
+}
+
+TEST(ServerWireTest, EstimateEncodingIsBitExact) {
+  Estimate e;
+  e.pool_rows = 800;
+  e.result.groups = {{0, 10.5, 100, 0.5}, {1, -0.0, 5, 2.0}, {7, 3.25, 0, 0.0}};
+
+  std::vector<uint8_t> a = EncodeEstimate(e);
+  std::vector<uint8_t> b = EncodeEstimate(e);
+  EXPECT_EQ(a, b);
+
+  auto decoded = DecodeEstimate(a);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->pool_rows, e.pool_rows);
+  ASSERT_EQ(decoded->result.groups.size(), e.result.groups.size());
+  for (size_t i = 0; i < e.result.groups.size(); ++i) {
+    EXPECT_EQ(decoded->result.groups[i].group, e.result.groups[i].group);
+    EXPECT_EQ(decoded->result.groups[i].value, e.result.groups[i].value);
+    EXPECT_EQ(decoded->result.groups[i].support, e.result.groups[i].support);
+    EXPECT_EQ(decoded->result.groups[i].ci_half_width,
+              e.result.groups[i].ci_half_width);
+  }
+  // Re-encoding the decode reproduces the bytes (doubles travel as raw
+  // bits, so even -0.0 survives).
+  EXPECT_EQ(EncodeEstimate(*decoded), a);
+
+  for (size_t n = 0; n + 1 < a.size(); ++n) {
+    std::vector<uint8_t> prefix(a.begin(), a.begin() + n);
+    EXPECT_FALSE(DecodeEstimate(prefix).ok());
+  }
+}
+
+TEST(ServerWireTest, FramedStreamRoundTripsAndRejectsOversize) {
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  ServerMessage msg;
+  msg.kind = ServerMessageKind::kQueryStarted;
+  msg.session = 2;
+  msg.channel = 5;
+  ASSERT_TRUE(WriteFramed(f, EncodeServerMessage(msg)).ok());
+  ASSERT_TRUE(WriteFramed(f, EncodeServerMessage(msg)).ok());
+  std::rewind(f);
+  for (int i = 0; i < 2; ++i) {
+    auto body = ReadFramed(f);
+    ASSERT_TRUE(body.ok()) << body.status().message();
+    ASSERT_TRUE(body->has_value());
+    auto decoded = DecodeServerMessage(**body);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->channel, 5u);
+  }
+  auto eof = ReadFramed(f);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());  // clean EOF between messages
+  std::fclose(f);
+
+  // An oversized length prefix is rejected before allocation.
+  std::FILE* g = std::tmpfile();
+  ASSERT_NE(g, nullptr);
+  const uint32_t huge = kMaxFrameBytes + 1;
+  ASSERT_EQ(std::fwrite(&huge, sizeof(huge), 1, g), 1u);
+  std::rewind(g);
+  EXPECT_FALSE(ReadFramed(g).ok());
+  std::fclose(g);
+
+  // Truncation inside a message body is an error, not EOF.
+  std::FILE* h = std::tmpfile();
+  ASSERT_NE(h, nullptr);
+  const uint32_t n = 16;
+  ASSERT_EQ(std::fwrite(&n, sizeof(n), 1, h), 1u);
+  const uint8_t partial[4] = {1, 2, 3, 4};
+  ASSERT_EQ(std::fwrite(partial, 1, 4, h), 4u);
+  std::rewind(h);
+  EXPECT_FALSE(ReadFramed(h).ok());
+  std::fclose(h);
+}
+
+}  // namespace
+}  // namespace deepaqp::server

@@ -1,0 +1,395 @@
+// End-to-end server determinism: N concurrent sessions driven over the
+// in-process pipe transport must produce estimate streams byte-identical to
+// a direct vae::AqpClient refining the same query sequence — at every
+// thread-pool width — while the per-session suffix-incremental cache keeps
+// doing suffix-only work. Also locks down hot-swap cache invalidation and
+// the error-is-a-response (never-kills-the-session) contract.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aqp/engine.h"
+#include "aqp/sql_parser.h"
+#include "data/generators.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "util/thread_pool.h"
+#include "vae/client.h"
+#include "vae/vae_model.h"
+
+namespace deepaqp::server {
+namespace {
+
+struct EngineGuard {
+  aqp::EngineKind saved = aqp::ActiveEngine();
+  EngineGuard() { aqp::SetEngine(aqp::EngineKind::kVector); }
+  ~EngineGuard() { aqp::SetEngine(saved); }
+};
+
+/// Trains one small taxi model per distinct training seed, once for the
+/// whole suite, and serves it as bytes (every consumer re-opens or shares
+/// the identical generator).
+const std::vector<uint8_t>& ModelBytes(uint64_t train_seed = 77) {
+  static std::map<uint64_t, std::vector<uint8_t>>* cache =
+      new std::map<uint64_t, std::vector<uint8_t>>();
+  auto it = cache->find(train_seed);
+  if (it == cache->end()) {
+    auto table = data::GenerateTaxi({.rows = 4000, .seed = 21});
+    vae::VaeAqpOptions opts;
+    opts.epochs = 8;
+    opts.hidden_dim = 48;
+    opts.seed = train_seed;
+    opts.encoder.numeric_bins = 16;
+    auto model = vae::VaeAqpModel::Train(table, opts);
+    EXPECT_TRUE(model.ok());
+    it = cache->emplace(train_seed, (*model)->Serialize()).first;
+  }
+  return it->second;
+}
+
+vae::AqpClient::Options ClientOptions() {
+  vae::AqpClient::Options copts;
+  copts.initial_samples = 400;
+  copts.max_samples = 6400;
+  copts.population_rows = 4000;
+  copts.seed = 2027;
+  return copts;
+}
+
+AqpServer::Options ServerOptions() {
+  AqpServer::Options opts;
+  opts.client = ClientOptions();
+  return opts;
+}
+
+struct QuerySpec {
+  std::string sql;
+  double max_relative_ci = 0.0;
+};
+
+std::vector<QuerySpec> DefaultQueries() {
+  return {
+      {"SELECT AVG(fare) FROM R WHERE trip_distance > 1", 0.03},
+      {"SELECT COUNT(*) FROM R WHERE passengers >= 2", 0.05},
+  };
+}
+
+/// What a direct AqpClient produces for the same query sequence: the exact
+/// frame payloads a faithful server session must emit.
+std::vector<std::vector<uint8_t>> ReferenceStream(
+    const std::vector<uint8_t>& model_bytes,
+    const std::vector<QuerySpec>& queries) {
+  auto client = vae::AqpClient::Open(model_bytes, ClientOptions());
+  EXPECT_TRUE(client.ok());
+  std::vector<std::vector<uint8_t>> out;
+  for (const QuerySpec& spec : queries) {
+    auto query = aqp::ParseSql(spec.sql, (*client)->pool());
+    EXPECT_TRUE(query.ok()) << query.status().message();
+    bool final = false;
+    while (!final) {
+      auto result =
+          (*client)->QueryRefineStep(*query, spec.max_relative_ci, &final);
+      EXPECT_TRUE(result.ok()) << result.status().message();
+      Estimate estimate;
+      estimate.pool_rows = (*client)->pool_size();
+      estimate.result = std::move(*result);
+      out.push_back(EncodeEstimate(estimate));
+    }
+  }
+  return out;
+}
+
+uint64_t OpenSession(AqpServer& server, const std::shared_ptr<PipeTransport>& pipe,
+                     const std::string& model = "taxi") {
+  ClientMessage open;
+  open.kind = ClientMessageKind::kOpenSession;
+  open.model_name = model;
+  server.Handle(open, pipe);
+  ServerMessage reply = pipe->Pop();
+  EXPECT_EQ(reply.kind, ServerMessageKind::kSessionOpened);
+  return reply.session;
+}
+
+struct StreamOutcome {
+  std::vector<std::vector<uint8_t>> payloads;
+  util::Status error;  // OK unless the stream failed
+};
+
+/// Drives one query to completion over the pipe: submits it, acks every
+/// DATA frame, reassembles the in-order payload stream.
+StreamOutcome RunQuery(AqpServer& server, const std::shared_ptr<PipeTransport>& pipe,
+                       uint64_t session, const QuerySpec& spec) {
+  StreamOutcome outcome;
+  ClientMessage query;
+  query.kind = ClientMessageKind::kQuery;
+  query.session = session;
+  query.sql = spec.sql;
+  query.max_relative_ci = spec.max_relative_ci;
+  server.Handle(query, pipe);
+
+  // Late retransmissions of already-completed channels may trail in the
+  // pipe (the consumer-side dedup makes them harmless); skip them while
+  // waiting for this query's start notification.
+  ServerMessage first;
+  for (;;) {
+    first = pipe->Pop();
+    if (first.kind != ServerMessageKind::kData) break;
+  }
+  if (first.kind == ServerMessageKind::kError) {
+    outcome.error = util::Status::Internal(first.message);
+    return outcome;
+  }
+  EXPECT_EQ(first.kind, ServerMessageKind::kQueryStarted);
+  ChannelConsumer consumer(first.channel);
+  while (!consumer.finished()) {
+    ServerMessage msg = pipe->Pop();
+    if (msg.kind == ServerMessageKind::kData &&
+        msg.channel != first.channel) {
+      continue;  // stale frame of a finished stream
+    }
+    if (msg.kind == ServerMessageKind::kError) {
+      outcome.error = util::Status::Internal(msg.message);
+      return outcome;
+    }
+    EXPECT_EQ(msg.kind, ServerMessageKind::kData) << msg.message;
+    if (msg.kind != ServerMessageKind::kData) {
+      outcome.error = util::Status::Internal("unexpected message kind");
+      return outcome;
+    }
+    consumer.OnData(msg.data);
+    for (auto& p : consumer.TakeDelivered()) {
+      outcome.payloads.push_back(std::move(p));
+    }
+    ClientMessage ack;
+    ack.kind = ClientMessageKind::kAck;
+    ack.session = session;
+    ack.ack = consumer.MakeAck();
+    server.Handle(ack, pipe);
+  }
+  return outcome;
+}
+
+void DriveSession(AqpServer& server, const std::shared_ptr<PipeTransport>& pipe,
+                  uint64_t session, const std::vector<QuerySpec>& queries,
+                  std::vector<std::vector<uint8_t>>* stream) {
+  for (const QuerySpec& spec : queries) {
+    StreamOutcome outcome = RunQuery(server, pipe, session, spec);
+    ASSERT_TRUE(outcome.error.ok()) << outcome.error.message();
+    for (auto& p : outcome.payloads) stream->push_back(std::move(p));
+  }
+}
+
+TEST(ServerSessionTest, StreamMatchesDirectClientBitForBit) {
+  EngineGuard guard;
+  const std::vector<QuerySpec> queries = DefaultQueries();
+  const std::vector<std::vector<uint8_t>> reference =
+      ReferenceStream(ModelBytes(), queries);
+  ASSERT_GT(reference.size(), queries.size());  // streams actually refined
+
+  AqpServer server(ServerOptions());
+  auto model = vae::VaeAqpModel::Deserialize(ModelBytes());
+  ASSERT_TRUE(model.ok());
+  server.registry().Install("taxi", std::move(*model));
+
+  auto pipe = std::make_shared<PipeTransport>();
+  uint64_t session = OpenSession(server, pipe);
+  std::vector<std::vector<uint8_t>> stream;
+  DriveSession(server, pipe, session, queries, &stream);
+  EXPECT_EQ(stream, reference);
+
+  // Suffix-only evaluation happened inside the session: across the whole
+  // precision-on-demand trajectory of the first query, every pool row was
+  // filtered exactly once (a cache-less client would rescan each prefix).
+  auto stats = server.SessionCacheStats(session);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->filter_entries, 2u);  // one bitmap per distinct filter
+  EXPECT_EQ(stats->invalidations, 0u);
+
+  ClientMessage close;
+  close.kind = ClientMessageKind::kCloseSession;
+  close.session = session;
+  server.Handle(close, pipe);
+  ServerMessage closed;
+  do {
+    closed = pipe->Pop();
+  } while (closed.kind == ServerMessageKind::kData);  // late retransmits
+  EXPECT_EQ(closed.kind, ServerMessageKind::kSessionClosed);
+  EXPECT_EQ(server.num_sessions(), 0u);
+}
+
+TEST(ServerSessionTest, ConcurrentSessionsBitIdenticalAcrossThreadCounts) {
+  EngineGuard guard;
+  const std::vector<QuerySpec> queries = DefaultQueries();
+  const std::vector<std::vector<uint8_t>> reference =
+      ReferenceStream(ModelBytes(), queries);
+
+  constexpr int kSessions = 3;
+  for (int threads : {1, 4, 8}) {
+    util::SetGlobalThreads(threads);
+    AqpServer server(ServerOptions());
+    auto model = vae::VaeAqpModel::Deserialize(ModelBytes());
+    ASSERT_TRUE(model.ok());
+    server.registry().Install("taxi", std::move(*model));
+
+    std::vector<std::shared_ptr<PipeTransport>> pipes;
+    std::vector<uint64_t> ids;
+    for (int s = 0; s < kSessions; ++s) {
+      pipes.push_back(std::make_shared<PipeTransport>());
+      ids.push_back(OpenSession(server, pipes.back()));
+    }
+    std::vector<std::vector<std::vector<uint8_t>>> streams(kSessions);
+    {
+      std::vector<std::thread> drivers;
+      for (int s = 0; s < kSessions; ++s) {
+        drivers.emplace_back([&, s] {
+          DriveSession(server, pipes[s], ids[s], queries, &streams[s]);
+        });
+      }
+      for (std::thread& t : drivers) t.join();
+    }
+    for (int s = 0; s < kSessions; ++s) {
+      EXPECT_EQ(streams[s], reference)
+          << "session " << s << " at --threads " << threads;
+    }
+  }
+  util::SetGlobalThreads(0);  // restore hardware default
+}
+
+TEST(ServerSessionTest, HotSwapResetsSessionCacheAndMatchesFreshClient) {
+  EngineGuard guard;
+  const QuerySpec spec = DefaultQueries()[0];
+  AqpServer server(ServerOptions());
+  auto v1 = vae::VaeAqpModel::Deserialize(ModelBytes(77));
+  ASSERT_TRUE(v1.ok());
+  server.registry().Install("taxi", std::move(*v1));
+
+  auto pipe = std::make_shared<PipeTransport>();
+  uint64_t session = OpenSession(server, pipe);
+  StreamOutcome before = RunQuery(server, pipe, session, spec);
+  ASSERT_TRUE(before.error.ok()) << before.error.message();
+
+  // Hot swap: a differently-seeded training run of the same schema. The
+  // bytes genuinely differ, so any stale pool row or cached bitmap would
+  // show up as a stream mismatch below.
+  ASSERT_NE(ModelBytes(78), ModelBytes(77));
+  auto version = server.registry().Register("taxi", ModelBytes(78));
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 2u);
+
+  StreamOutcome after = RunQuery(server, pipe, session, spec);
+  ASSERT_TRUE(after.error.ok()) << after.error.message();
+  server.WaitIdle();
+
+  auto swaps = server.SessionModelSwaps(session);
+  ASSERT_TRUE(swaps.ok());
+  EXPECT_EQ(*swaps, 1u);
+  auto stats = server.SessionCacheStats(session);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->invalidations, 1u);
+
+  // The post-swap stream is exactly what a fresh client on the new model
+  // produces — pool, rng and caches were all reset.
+  const std::vector<std::vector<uint8_t>> fresh =
+      ReferenceStream(ModelBytes(78), {spec});
+  EXPECT_EQ(after.payloads, fresh);
+  EXPECT_NE(before.payloads, after.payloads);
+}
+
+TEST(ServerSessionTest, ErrorsAreResponsesNotSessionDeath) {
+  EngineGuard guard;
+  AqpServer server(ServerOptions());
+  auto model = vae::VaeAqpModel::Deserialize(ModelBytes());
+  ASSERT_TRUE(model.ok());
+  server.registry().Install("taxi", std::move(*model));
+  auto pipe = std::make_shared<PipeTransport>();
+
+  // Unknown model: the open fails, nothing leaks.
+  ClientMessage bad_open;
+  bad_open.kind = ClientMessageKind::kOpenSession;
+  bad_open.model_name = "nope";
+  server.Handle(bad_open, pipe);
+  ServerMessage err = pipe->Pop();
+  EXPECT_EQ(err.kind, ServerMessageKind::kError);
+  EXPECT_EQ(server.num_sessions(), 0u);
+
+  uint64_t session = OpenSession(server, pipe);
+
+  // Malformed SQL: an error response on the query's channel; the session
+  // lives on.
+  StreamOutcome bad =
+      RunQuery(server, pipe, session, {"SELECT FROM WHERE", 0.05});
+  EXPECT_FALSE(bad.error.ok());
+
+  // Nonsensical precision target: rejected up front.
+  StreamOutcome bad_ci =
+      RunQuery(server, pipe, session, {DefaultQueries()[0].sql, -1.0});
+  EXPECT_FALSE(bad_ci.error.ok());
+
+  // Unknown session id: an error response, not a crash.
+  ClientMessage stray;
+  stray.kind = ClientMessageKind::kQuery;
+  stray.session = 999;
+  stray.sql = DefaultQueries()[0].sql;
+  stray.max_relative_ci = 0.05;
+  server.Handle(stray, pipe);
+  EXPECT_EQ(pipe->Pop().kind, ServerMessageKind::kError);
+
+  // The same session still answers real queries, identically to a direct
+  // client (the failed requests consumed no pool growth).
+  StreamOutcome good = RunQuery(server, pipe, session, DefaultQueries()[0]);
+  ASSERT_TRUE(good.error.ok()) << good.error.message();
+  EXPECT_EQ(good.payloads, ReferenceStream(ModelBytes(), {DefaultQueries()[0]}));
+  EXPECT_EQ(server.num_sessions(), 1u);
+}
+
+TEST(ServerSessionTest, PerSessionOverridesApply) {
+  EngineGuard guard;
+  AqpServer server(ServerOptions());
+  auto model = vae::VaeAqpModel::Deserialize(ModelBytes());
+  ASSERT_TRUE(model.ok());
+  server.registry().Install("taxi", std::move(*model));
+  auto pipe = std::make_shared<PipeTransport>();
+
+  ClientMessage open;
+  open.kind = ClientMessageKind::kOpenSession;
+  open.model_name = "taxi";
+  open.initial_samples = 800;
+  open.seed = 4242;
+  server.Handle(open, pipe);
+  ServerMessage reply = pipe->Pop();
+  ASSERT_EQ(reply.kind, ServerMessageKind::kSessionOpened);
+  server.WaitIdle();
+
+  // A direct client with the same overrides produces the same stream.
+  vae::AqpClient::Options copts = ClientOptions();
+  copts.initial_samples = 800;
+  copts.seed = 4242;
+  auto direct = vae::AqpClient::Open(ModelBytes(), copts);
+  ASSERT_TRUE(direct.ok());
+  const QuerySpec spec = DefaultQueries()[0];
+  auto query = aqp::ParseSql(spec.sql, (*direct)->pool());
+  ASSERT_TRUE(query.ok());
+  std::vector<std::vector<uint8_t>> expect;
+  bool final = false;
+  while (!final) {
+    auto result =
+        (*direct)->QueryRefineStep(*query, spec.max_relative_ci, &final);
+    ASSERT_TRUE(result.ok());
+    Estimate estimate;
+    estimate.pool_rows = (*direct)->pool_size();
+    estimate.result = std::move(*result);
+    expect.push_back(EncodeEstimate(estimate));
+  }
+  StreamOutcome got = RunQuery(server, pipe, reply.session, spec);
+  ASSERT_TRUE(got.error.ok()) << got.error.message();
+  EXPECT_EQ(got.payloads, expect);
+}
+
+}  // namespace
+}  // namespace deepaqp::server

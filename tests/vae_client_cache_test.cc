@@ -57,6 +57,23 @@ const std::vector<uint8_t>& ModelBytes() {
   return *bytes;
 }
 
+/// A second model over the same schema (different training seed): swapping
+/// to it must discard every cached artifact of the first.
+const std::vector<uint8_t>& SwappedModelBytes() {
+  static const std::vector<uint8_t>* bytes = [] {
+    auto table = data::GenerateTaxi({.rows = 4000, .seed = 21});
+    vae::VaeAqpOptions opts;
+    opts.epochs = 8;
+    opts.hidden_dim = 48;
+    opts.seed = 78;
+    opts.encoder.numeric_bins = 16;
+    auto model = vae::VaeAqpModel::Train(table, opts);
+    EXPECT_TRUE(model.ok());
+    return new std::vector<uint8_t>((*model)->Serialize());
+  }();
+  return *bytes;
+}
+
 vae::AqpClient::Options ClientOptions() {
   vae::AqpClient::Options copts;
   copts.initial_samples = 400;
@@ -161,6 +178,40 @@ TEST(ClientCacheTest, QuantileLevelsShareAccumulation) {
   ASSERT_TRUE(median_ref.ok() && p90_ref.ok());
   ExpectBitIdentical(*median, *median_ref, "median");
   ExpectBitIdentical(*p90, *p90_ref, "p90");
+}
+
+TEST(ClientCacheTest, ModelSwapInvalidatesCacheAndMatchesFreshClient) {
+  EngineGuard guard;
+  ASSERT_NE(ModelBytes(), SwappedModelBytes());  // genuinely different model
+
+  auto client = vae::AqpClient::Open(ModelBytes(), ClientOptions());
+  ASSERT_TRUE(client.ok());
+  aqp::AggregateQuery q = FilteredAvg(**client);
+  ASSERT_TRUE((*client)->QueryWithMaxRelativeCi(q, 0.03).ok());
+  EXPECT_GT((*client)->cache_stats().agg_entries, 0u);
+  EXPECT_GT((*client)->pool_size(), 400u);
+
+  // Hot swap: pool, bitmaps, group moments and the rng stream all reset —
+  // nothing computed against the old generator may answer new queries.
+  auto model_b = vae::VaeAqpModel::Deserialize(SwappedModelBytes());
+  ASSERT_TRUE(model_b.ok());
+  (*client)->SwapModel(std::move(*model_b));
+  const auto& stats = (*client)->cache_stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.filter_entries, 0u);
+  EXPECT_EQ(stats.agg_entries, 0u);
+  EXPECT_EQ((*client)->pool_size(), 400u);  // back to initial_samples
+
+  // Post-swap behaviour is bit-identical to a client freshly opened on the
+  // new model: the swap left no trace of the old one.
+  auto swapped = (*client)->QueryWithMaxRelativeCi(q, 0.03);
+  ASSERT_TRUE(swapped.ok());
+  auto fresh = vae::AqpClient::Open(SwappedModelBytes(), ClientOptions());
+  ASSERT_TRUE(fresh.ok());
+  auto fresh_result = (*fresh)->QueryWithMaxRelativeCi(q, 0.03);
+  ASSERT_TRUE(fresh_result.ok());
+  EXPECT_EQ((*client)->pool_size(), (*fresh)->pool_size());
+  ExpectBitIdentical(*swapped, *fresh_result, "post-swap growth");
 }
 
 TEST(ClientCacheTest, GroupByGrowthHandlesNewGroupCodes) {

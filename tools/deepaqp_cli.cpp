@@ -10,6 +10,8 @@
 //                         [--samples N] [--t X]
 //   deepaqp_cli load-model --model m.bin [--degraded]
 //   deepaqp_cli save-model --model m.bin --out m2.bin
+//   deepaqp_cli serve      --model m.bin [--name default] [--text]
+//                          [--samples N] [--max-samples N] [--population N]
 //
 // The `query` flow is the paper's client story: everything after `train`
 // needs only the model file — never the data. `load-model` verifies a
@@ -27,6 +29,8 @@
 #include "encoding/tuple_encoder.h"
 #include "ensemble/ensemble_model.h"
 #include "relation/csv.h"
+#include "server/server.h"
+#include "server/transport.h"
 #include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/serialize.h"
@@ -47,7 +51,7 @@ int Fail(const util::Status& status) {
 int Usage() {
   std::fputs(
       "usage: deepaqp_cli "
-      "<make-data|train|info|generate|query|load-model|save-model> "
+      "<make-data|train|info|generate|query|load-model|save-model|serve> "
       "[--flags]\n"
       "run with a command and no flags for that command's requirements\n",
       stderr);
@@ -338,6 +342,153 @@ int CmdSaveModel(const util::Flags& flags) {
   return 0;
 }
 
+/// Interactive line protocol for humans and shell scripts: the daemon acks
+/// every DATA frame itself and prints decoded estimates as text.
+///
+///   open
+///   query <session> <max_relative_ci> <sql...>
+///   close <session>
+///   quit
+int ServeText(server::AqpServer& srv) {
+  auto pipe = std::make_shared<server::PipeTransport>();
+  std::printf("deepaqp server ready (text mode); commands: "
+              "open | query <sid> <ci> <sql> | close <sid> | quit\n");
+  char line[1 << 14];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    const std::string input = util::Trim(line);
+    if (input.empty()) continue;
+    if (input == "quit") break;
+
+    if (input == "open") {
+      server::ClientMessage open;
+      open.kind = server::ClientMessageKind::kOpenSession;
+      open.model_name = "default";
+      srv.Handle(open, pipe);
+      server::ServerMessage reply = pipe->Pop();
+      if (reply.kind == server::ServerMessageKind::kSessionOpened) {
+        std::printf("session %llu\n",
+                    static_cast<unsigned long long>(reply.session));
+      } else {
+        std::printf("error: %s\n", reply.message.c_str());
+      }
+      continue;
+    }
+
+    if (input.rfind("close ", 0) == 0) {
+      server::ClientMessage close;
+      close.kind = server::ClientMessageKind::kCloseSession;
+      close.session = std::strtoull(input.c_str() + 6, nullptr, 10);
+      srv.Handle(close, pipe);
+      server::ServerMessage reply = pipe->Pop();
+      std::printf("%s\n",
+                  reply.kind == server::ServerMessageKind::kSessionClosed
+                      ? "closed"
+                      : ("error: " + reply.message).c_str());
+      continue;
+    }
+
+    if (input.rfind("query ", 0) == 0) {
+      char* cursor = nullptr;
+      const uint64_t session =
+          std::strtoull(input.c_str() + 6, &cursor, 10);
+      const double ci = std::strtod(cursor, &cursor);
+      const std::string sql = util::Trim(cursor);
+      if (sql.empty()) {
+        std::printf("error: query needs <session> <max_relative_ci> <sql>\n");
+        continue;
+      }
+      server::ClientMessage query;
+      query.kind = server::ClientMessageKind::kQuery;
+      query.session = session;
+      query.sql = sql;
+      query.max_relative_ci = ci;
+      srv.Handle(query, pipe);
+
+      server::ServerMessage first = pipe->Pop();
+      if (first.kind != server::ServerMessageKind::kQueryStarted) {
+        std::printf("error: %s\n", first.message.c_str());
+        continue;
+      }
+      server::ChannelConsumer consumer(first.channel);
+      bool stream_failed = false;
+      while (!consumer.finished() && !stream_failed) {
+        server::ServerMessage msg = pipe->Pop();
+        if (msg.kind == server::ServerMessageKind::kError) {
+          std::printf("error: %s\n", msg.message.c_str());
+          stream_failed = true;
+          break;
+        }
+        if (msg.kind != server::ServerMessageKind::kData ||
+            msg.channel != first.channel) {
+          continue;  // stale frame of an earlier stream
+        }
+        consumer.OnData(msg.data);
+        for (const auto& payload : consumer.TakeDelivered()) {
+          auto estimate = server::DecodeEstimate(payload);
+          if (!estimate.ok()) {
+            std::printf("error: %s\n",
+                        estimate.status().ToString().c_str());
+            stream_failed = true;
+            break;
+          }
+          for (const auto& g : estimate->result.groups) {
+            std::printf("estimate pool=%llu group=%d value=%.6f ci=%.6f\n",
+                        static_cast<unsigned long long>(estimate->pool_rows),
+                        g.group, g.value, g.ci_half_width);
+          }
+        }
+        server::ClientMessage ack;
+        ack.kind = server::ClientMessageKind::kAck;
+        ack.session = session;
+        ack.ack = consumer.MakeAck();
+        srv.Handle(ack, pipe);
+      }
+      if (consumer.finished()) std::printf("final\n");
+      std::fflush(stdout);
+      continue;
+    }
+    std::printf("error: unknown command\n");
+  }
+  srv.WaitIdle();
+  return 0;
+}
+
+/// Runs the AQP daemon on stdio. Default is the binary transport — u32
+/// length-prefixed ClientMessage frames in, ServerMessage frames out —
+/// which is what a programmatic client speaks. --text switches to the
+/// line protocol above. The model is registered under --name ("default"),
+/// and sessions inherit --samples/--max-samples/--population/--seed.
+int CmdServe(const util::Flags& flags) {
+  auto bytes = ReadModelBytes(flags);
+  if (!bytes.ok()) return Fail(bytes.status());
+
+  server::AqpServer::Options opts;
+  opts.client.initial_samples =
+      static_cast<size_t>(flags.GetInt("samples", 2000));
+  opts.client.max_samples =
+      static_cast<size_t>(flags.GetInt("max-samples", 200000));
+  opts.client.population_rows =
+      static_cast<size_t>(flags.GetInt("population", 1000000));
+  opts.client.seed = static_cast<uint64_t>(flags.GetInt("seed", 2027));
+  server::AqpServer srv(opts);
+  auto version =
+      srv.registry().Register(flags.GetString("name", "default"), *bytes);
+  if (!version.ok()) return Fail(version.status());
+
+  if (flags.GetBool("text", false)) return ServeText(srv);
+
+  auto sink = std::make_shared<server::StdioTransport>(stdout);
+  for (;;) {
+    auto request = server::StdioTransport::ReadRequest(stdin);
+    if (!request.ok()) return Fail(request.status());
+    if (!request->has_value()) break;  // client hung up cleanly
+    srv.Handle(**request, sink);
+  }
+  srv.WaitIdle();
+  if (!sink->last_error().ok()) return Fail(sink->last_error());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -355,6 +506,7 @@ int main(int argc, char** argv) {
   else if (cmd == "query") rc = CmdQuery(flags);
   else if (cmd == "load-model") rc = CmdLoadModel(flags);
   else if (cmd == "save-model") rc = CmdSaveModel(flags);
+  else if (cmd == "serve") rc = CmdServe(flags);
   else return Usage();
   // Chaos observability: with fail points active, persist (or print) the
   // per-site fault counters so a chaos run leaves a structured record.
