@@ -92,6 +92,17 @@ void ChannelProducer::OnAck(const AckFrame& ack) {
     for (auto& [seq, p] : in_flight_) {
       if (seq >= highest_sack) break;
       if (p.sent && !p.resend_due) {
+        // Fast retransmits spend the same per-frame budget as timeouts:
+        // Tick() skips resend_due frames, so without this check a
+        // persistent SACK gap could retransmit one frame unboundedly.
+        if (p.retransmits >= options_.max_retransmits_per_frame) {
+          error_ = util::Status::Internal(
+              "channel " + std::to_string(channel_) + ": seq " +
+              std::to_string(seq) + " unacknowledged after " +
+              std::to_string(p.retransmits) +
+              " retransmits (peer dead or schedule hostile)");
+          return;
+        }
         p.resend_due = true;
         ++p.retransmits;
         ++stats_.nack_retransmits;

@@ -96,7 +96,9 @@ class ChannelProducer {
   std::vector<DataFrame> PollSend();
 
   /// Applies an acknowledgment: drops every acked frame from the retransmit
-  /// buffer and schedules fast retransmits for SACK gaps.
+  /// buffer and schedules fast retransmits for SACK gaps. Fast retransmits
+  /// draw on the same max_retransmits_per_frame budget as timeout
+  /// retransmits and fail the channel when it is exhausted.
   void OnAck(const AckFrame& ack);
 
   /// Advances the logical clock one step; in-flight frames whose last

@@ -88,9 +88,26 @@ std::shared_ptr<AqpServer::SessionState> AqpServer::FindSession(
   return it == sessions_.end() ? nullptr : it->second;
 }
 
+namespace {
+
+util::Status SessionMissing(uint64_t session_id) {
+  return util::Status::FailedPrecondition(
+      "session " + std::to_string(session_id) + " failed to initialize");
+}
+
+}  // namespace
+
 void AqpServer::ScheduleStep(uint64_t session_id,
                              const std::shared_ptr<SessionState>& state) {
-  util::Status posted = scheduler_.Post(session_id, [this, state] {
+  util::Status posted = scheduler_.Post(session_id, [this, state,
+                                                     session_id] {
+    // The state is published before the creation task is posted; if that
+    // Post failed (server/enqueue fault) a concurrently enqueued task can
+    // run against a never-built session.
+    if (state->session == nullptr) {
+      state->sink->Deliver(MakeError(session_id, 0, SessionMissing(session_id)));
+      return;
+    }
     std::vector<ServerMessage> errors;
     std::vector<DataFrame> frames = state->session->Step(registry_, &errors);
     for (const ServerMessage& e : errors) state->sink->Deliver(e);
@@ -130,9 +147,15 @@ void AqpServer::HandleQuery(const ClientMessage& message,
   }
   const std::string sql = message.sql;
   const double max_relative_ci = message.max_relative_ci;
+  const uint64_t session_id = message.session;
   util::Status posted =
-      scheduler_.Post(message.session, [state, channel, sql,
+      scheduler_.Post(message.session, [state, session_id, channel, sql,
                                         max_relative_ci] {
+        if (state->session == nullptr) {
+          state->sink->Deliver(
+              MakeError(session_id, channel, SessionMissing(session_id)));
+          return;
+        }
         util::Status status =
             state->session->StartQuery(channel, sql, max_relative_ci);
         if (!status.ok()) {
@@ -164,8 +187,16 @@ void AqpServer::HandleAck(const ClientMessage& message,
     return;
   }
   const AckFrame ack = message.ack;
-  util::Status posted = scheduler_.Post(
-      message.session, [state, ack] { state->session->HandleAck(ack); });
+  const uint64_t session_id = message.session;
+  util::Status posted =
+      scheduler_.Post(message.session, [state, session_id, ack] {
+        if (state->session == nullptr) {
+          state->sink->Deliver(
+              MakeError(session_id, ack.channel, SessionMissing(session_id)));
+          return;
+        }
+        state->session->HandleAck(ack);
+      });
   if (!posted.ok()) {
     sink->Deliver(MakeError(message.session, ack.channel, posted));
     return;
@@ -215,11 +246,16 @@ util::Result<vae::AqpClient::CacheStats> AqpServer::SessionCacheStats(
     return util::Status::NotFound("unknown session " +
                                   std::to_string(session_id));
   }
-  std::promise<vae::AqpClient::CacheStats> promise;
-  std::future<vae::AqpClient::CacheStats> future = promise.get_future();
-  DEEPAQP_RETURN_IF_ERROR(scheduler_.Post(session_id, [&state, &promise] {
-    promise.set_value(state->session->client().cache_stats());
-  }));
+  std::promise<util::Result<vae::AqpClient::CacheStats>> promise;
+  auto future = promise.get_future();
+  DEEPAQP_RETURN_IF_ERROR(
+      scheduler_.Post(session_id, [&state, &promise, session_id] {
+        if (state->session == nullptr) {
+          promise.set_value(SessionMissing(session_id));
+          return;
+        }
+        promise.set_value(state->session->client().cache_stats());
+      }));
   return future.get();
 }
 
@@ -229,11 +265,16 @@ util::Result<uint64_t> AqpServer::SessionModelSwaps(uint64_t session_id) {
     return util::Status::NotFound("unknown session " +
                                   std::to_string(session_id));
   }
-  std::promise<uint64_t> promise;
-  std::future<uint64_t> future = promise.get_future();
-  DEEPAQP_RETURN_IF_ERROR(scheduler_.Post(session_id, [&state, &promise] {
-    promise.set_value(state->session->model_swaps());
-  }));
+  std::promise<util::Result<uint64_t>> promise;
+  auto future = promise.get_future();
+  DEEPAQP_RETURN_IF_ERROR(
+      scheduler_.Post(session_id, [&state, &promise, session_id] {
+        if (state->session == nullptr) {
+          promise.set_value(SessionMissing(session_id));
+          return;
+        }
+        promise.set_value(state->session->model_swaps());
+      }));
   return future.get();
 }
 

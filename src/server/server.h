@@ -87,7 +87,10 @@ class AqpServer {
   std::shared_ptr<SessionState> FindSession(uint64_t session_id) const;
 
   /// Posts a strand task that steps `state`'s session and delivers whatever
-  /// it produced; reposts itself while the session still has runnable work.
+  /// it produced. No self-repost: Step() pumps until every stream is
+  /// window-full, waiting for acks, or finished — states only an incoming
+  /// event (ack, next query) can change, and each event schedules the next
+  /// step.
   void ScheduleStep(uint64_t session_id,
                     const std::shared_ptr<SessionState>& state);
 

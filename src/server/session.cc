@@ -42,74 +42,92 @@ bool Session::HasWork() const {
 
 std::vector<DataFrame> Session::Step(const ModelRegistry& registry,
                                      std::vector<ServerMessage>* errors) {
-  // Hot-swap probe: the registry may have installed a newer version of our
-  // model. Refresh before computing anything so no estimate mixes pool rows
-  // or cached moments from two generators.
-  if (registry.VersionOf(model_name_) != snapshot_->version) {
-    auto snap = registry.Get(model_name_);
-    if (snap.ok()) {
-      snapshot_ = std::move(*snap);
-      client_->SwapModel(snapshot_->model);
-      ++model_swaps_;
-    }
-    // A NotFound (model deleted mid-flight) keeps the old refcounted
-    // snapshot serving — that is the point of refcounting.
-  }
-
   std::vector<DataFrame> out;
-  // Only the front stream refines (per-session query serialization); it
-  // pushes estimates until its window is full, the stream completes, or the
-  // channel fails.
-  while (!streams_.empty()) {
-    QueryStream& front = streams_.front();
-    bool dropped = false;
-    while (!front.exhausted && front.producer.CanPush()) {
-      bool final = false;
-      auto result =
-          client_->QueryRefineStep(front.query, front.max_relative_ci, &final);
-      util::Status push_status;
-      if (result.ok()) {
-        Estimate estimate;
-        estimate.pool_rows = client_->pool_size();
-        estimate.result = std::move(*result);
-        push_status = front.producer.Push(EncodeEstimate(estimate), final);
-        front.exhausted = final && push_status.ok();
-      } else {
-        push_status = result.status();
+  for (;;) {
+    // Hot-swap probe: the registry may have installed a newer version of
+    // our model. Only act on it at a stream boundary — no open stream has
+    // emitted an estimate yet — because the swap resets the pool and caches
+    // and would otherwise break the monotonic pool_rows/precision
+    // trajectory of an in-flight stream. Mid-stream, the old refcounted
+    // snapshot keeps serving until the front stream retires.
+    const bool at_stream_boundary =
+        streams_.empty() || streams_.front().producer.next_seq() == 0;
+    if (at_stream_boundary &&
+        registry.VersionOf(model_name_) != snapshot_->version) {
+      auto snap = registry.Get(model_name_);
+      if (snap.ok()) {
+        snapshot_ = std::move(*snap);
+        client_->SwapModel(snapshot_->model);
+        ++model_swaps_;
       }
-      if (!push_status.ok()) {
-        if (errors != nullptr) {
-          errors->push_back(MakeError(id_, front.channel, push_status));
-        }
-        streams_.pop_front();
-        dropped = true;
-        break;
-      }
+      // A NotFound (model deleted mid-flight) keeps the old refcounted
+      // snapshot serving — that is the point of refcounting.
     }
-    // A live front stream (window-full, or exhausted and waiting for acks)
-    // blocks later streams — per-session queries refine strictly in order.
-    // Only a dropped front lets the next stream take over within this step.
-    if (!dropped) break;
-  }
 
-  // Collect due transmissions (new frames and retransmits) from every open
-  // stream, and retire streams whose final frame is fully acknowledged.
-  for (auto it = streams_.begin(); it != streams_.end();) {
-    if (it->producer.failed()) {
-      if (errors != nullptr) {
-        errors->push_back(MakeError(id_, it->channel, it->producer.error()));
+    // Only the front stream refines (per-session query serialization); it
+    // pushes estimates until its window is full, the stream completes, or
+    // the channel fails.
+    while (!streams_.empty()) {
+      QueryStream& front = streams_.front();
+      bool dropped = false;
+      while (!front.exhausted && front.producer.CanPush()) {
+        bool final = false;
+        auto result = client_->QueryRefineStep(front.query,
+                                               front.max_relative_ci, &final);
+        util::Status push_status;
+        if (result.ok()) {
+          Estimate estimate;
+          estimate.pool_rows = client_->pool_size();
+          estimate.result = std::move(*result);
+          push_status = front.producer.Push(EncodeEstimate(estimate), final);
+          front.exhausted = final && push_status.ok();
+        } else {
+          push_status = result.status();
+        }
+        if (!push_status.ok()) {
+          if (errors != nullptr) {
+            errors->push_back(MakeError(id_, front.channel, push_status));
+          }
+          streams_.pop_front();
+          dropped = true;
+          break;
+        }
       }
-      it = streams_.erase(it);
-      continue;
+      // A live front stream (window-full, or exhausted and waiting for acks)
+      // blocks later streams — per-session queries refine strictly in order.
+      // Only a dropped front lets the next stream take over within this step.
+      if (!dropped) break;
     }
-    std::vector<DataFrame> frames = it->producer.PollSend();
-    out.insert(out.end(), std::make_move_iterator(frames.begin()),
-               std::make_move_iterator(frames.end()));
-    if (it->producer.complete()) {
-      it = streams_.erase(it);
-    } else {
-      ++it;
+
+    // Collect due transmissions (new frames and retransmits) from every open
+    // stream, and retire streams whose final frame is fully acknowledged.
+    for (auto it = streams_.begin(); it != streams_.end();) {
+      if (it->producer.failed()) {
+        if (errors != nullptr) {
+          errors->push_back(MakeError(id_, it->channel, it->producer.error()));
+        }
+        it = streams_.erase(it);
+        continue;
+      }
+      std::vector<DataFrame> frames = it->producer.PollSend();
+      out.insert(out.end(), std::make_move_iterator(frames.begin()),
+                 std::make_move_iterator(frames.end()));
+      if (it->producer.complete()) {
+        it = streams_.erase(it);
+      } else {
+        ++it;
+      }
     }
+
+    // Retiring the front may have promoted a queued stream that has not
+    // refined yet. Pump again now: the client is waiting for that stream's
+    // first frames and will send no further event to trigger another step,
+    // so breaking here would stall pipelined queries forever. Terminates:
+    // a promoted front just pushed frames that cannot already be acked, so
+    // each extra pass needs a retirement and streams_ is finite.
+    if (streams_.empty()) break;
+    const QueryStream& front = streams_.front();
+    if (front.exhausted || !front.producer.CanPush()) break;
   }
   return out;
 }

@@ -51,11 +51,18 @@ class Session {
   bool HasWork() const;
 
   /// One cooperative scheduling step:
-  ///  1. Registry staleness probe: a version bump hot-swaps the session's
-  ///     model and resets the client (pool + caches) before any further
-  ///     estimate is computed — the stale-cache invalidation hook.
+  ///  1. Registry staleness probe: at a stream boundary (no open stream has
+  ///     emitted an estimate yet) a version bump hot-swaps the session's
+  ///     model and resets the client (pool + caches) — the stale-cache
+  ///     invalidation hook. Mid-stream the swap is deferred so the
+  ///     in-flight stream keeps its generator and its monotonic
+  ///     pool_rows/precision trajectory; the old refcounted snapshot serves
+  ///     until the stream retires.
   ///  2. The front stream computes refinements while its window has room.
   ///  3. Due frames of every open stream are collected for transmission.
+  /// Steps repeat while retirement promotes a fresh front stream, so a
+  /// pipelined query starts refining in the same step that completed its
+  /// predecessor (no client event would arrive to trigger another step).
   /// Returns the frames to send; failed streams are reported through
   /// `errors` (one ServerMessage::kError each) and dropped.
   std::vector<DataFrame> Step(const ModelRegistry& registry,

@@ -246,12 +246,36 @@ util::Result<ServerMessage> DecodeServerMessage(
   return msg;
 }
 
-void AppendFramed(const std::vector<uint8_t>& body,
-                  std::vector<uint8_t>* out) {
-  const auto n = static_cast<uint32_t>(body.size());
-  const auto* p = reinterpret_cast<const uint8_t*>(&n);
-  out->insert(out->end(), p, p + sizeof(n));
+namespace {
+
+// The length prefix is serialized explicitly little-endian (the documented
+// wire order) instead of through raw native memory, so the framing is
+// byte-identical across host endianness.
+void EncodePrefix(uint32_t n, uint8_t out[4]) {
+  out[0] = static_cast<uint8_t>(n);
+  out[1] = static_cast<uint8_t>(n >> 8);
+  out[2] = static_cast<uint8_t>(n >> 16);
+  out[3] = static_cast<uint8_t>(n >> 24);
+}
+
+uint32_t DecodePrefix(const uint8_t in[4]) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+}  // namespace
+
+util::Status AppendFramed(const std::vector<uint8_t>& body,
+                          std::vector<uint8_t>* out) {
+  if (body.size() > kMaxFrameBytes) {
+    return util::Status::InvalidArgument("frame exceeds kMaxFrameBytes");
+  }
+  uint8_t prefix[4];
+  EncodePrefix(static_cast<uint32_t>(body.size()), prefix);
+  out->insert(out->end(), prefix, prefix + sizeof(prefix));
   out->insert(out->end(), body.begin(), body.end());
+  return util::Status::OK();
 }
 
 util::Status WriteFramed(std::FILE* f, const std::vector<uint8_t>& body) {
@@ -259,7 +283,9 @@ util::Status WriteFramed(std::FILE* f, const std::vector<uint8_t>& body) {
     return util::Status::InvalidArgument("frame exceeds kMaxFrameBytes");
   }
   const auto n = static_cast<uint32_t>(body.size());
-  if (std::fwrite(&n, sizeof(n), 1, f) != 1 ||
+  uint8_t prefix[4];
+  EncodePrefix(n, prefix);
+  if (std::fwrite(prefix, sizeof(prefix), 1, f) != 1 ||
       (n > 0 && std::fwrite(body.data(), 1, n, f) != n)) {
     return util::Status::IOError("short write on framed stream");
   }
@@ -270,12 +296,13 @@ util::Status WriteFramed(std::FILE* f, const std::vector<uint8_t>& body) {
 }
 
 util::Result<std::optional<std::vector<uint8_t>>> ReadFramed(std::FILE* f) {
-  uint32_t n = 0;
-  const size_t got = std::fread(&n, 1, sizeof(n), f);
+  uint8_t prefix[4];
+  const size_t got = std::fread(prefix, 1, sizeof(prefix), f);
   if (got == 0) return std::optional<std::vector<uint8_t>>();  // clean EOF
-  if (got != sizeof(n)) {
+  if (got != sizeof(prefix)) {
     return util::Status::IOError("truncated frame length prefix");
   }
+  const uint32_t n = DecodePrefix(prefix);
   if (n > kMaxFrameBytes) {
     return util::Status::InvalidArgument(
         "frame length " + std::to_string(n) + " exceeds limit");

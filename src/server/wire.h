@@ -118,8 +118,10 @@ util::Result<ServerMessage> DecodeServerMessage(
 /// hostile stream and is rejected before any allocation.
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
-/// Appends the length-prefixed encoding of `body` to `out`.
-void AppendFramed(const std::vector<uint8_t>& body, std::vector<uint8_t>* out);
+/// Appends the length-prefixed encoding of `body` to `out`. Rejects bodies
+/// over kMaxFrameBytes (out is untouched).
+util::Status AppendFramed(const std::vector<uint8_t>& body,
+                          std::vector<uint8_t>* out);
 
 /// Writes one length-prefixed message to `f` and flushes.
 util::Status WriteFramed(std::FILE* f, const std::vector<uint8_t>& body);

@@ -152,6 +152,34 @@ TEST(ServerChannelTest, RetransmitBudgetExhaustionFailsChannel) {
   EXPECT_TRUE(producer.PollSend().empty());
 }
 
+TEST(ServerChannelTest, NackRetransmitsSpendTheSameBudget) {
+  ChannelProducer::Options opts;
+  opts.window = 4;
+  opts.retransmit_ticks = 1000;  // timeouts never fire: only fast retransmits
+  opts.max_retransmits_per_frame = 5;
+  ChannelProducer producer(9, opts);
+  ChannelConsumer consumer(9);
+  ASSERT_TRUE(producer.Push(Payload(0), false).ok());
+  ASSERT_TRUE(producer.Push(Payload(1), false).ok());
+  std::vector<DataFrame> frames = producer.PollSend();
+  ASSERT_EQ(frames.size(), 2u);
+  // Seq 0 is persistently lost; seq 1 arrives and keeps reporting the gap.
+  consumer.OnData(frames[1]);
+
+  // Each ack schedules one fast retransmit of seq 0, which is "lost" again.
+  // The per-frame budget must end this instead of retransmitting forever.
+  int rounds = 0;
+  while (!producer.failed() && rounds < 100) {
+    producer.OnAck(consumer.MakeAck());
+    producer.PollSend();
+    ++rounds;
+  }
+  ASSERT_TRUE(producer.failed());
+  EXPECT_NE(producer.error().message().find("seq 0"), std::string::npos);
+  EXPECT_EQ(producer.stats().nack_retransmits, 5u);
+  EXPECT_EQ(producer.stats().timeout_retransmits, 0u);
+}
+
 TEST(ServerChannelTest, StaleAcksAreCountedNotHarmful) {
   ChannelProducer producer(5, ChannelProducer::Options{});
   ChannelConsumer consumer(5);

@@ -261,6 +261,113 @@ TEST(ServerSessionTest, ConcurrentSessionsBitIdenticalAcrossThreadCounts) {
   util::SetGlobalThreads(0);  // restore hardware default
 }
 
+TEST(ServerSessionTest, PipelinedQueriesDrainOnAcksAlone) {
+  EngineGuard guard;
+  const std::vector<QuerySpec> queries = DefaultQueries();
+  const std::vector<std::vector<uint8_t>> reference =
+      ReferenceStream(ModelBytes(), queries);
+
+  AqpServer server(ServerOptions());
+  auto model = vae::VaeAqpModel::Deserialize(ModelBytes());
+  ASSERT_TRUE(model.ok());
+  server.registry().Install("taxi", std::move(*model));
+  auto pipe = std::make_shared<PipeTransport>();
+  uint64_t session = OpenSession(server, pipe);
+
+  // Submit every query up front. The second stream starts refining the
+  // moment the first fully retires — the only client events after this
+  // point are acks for received frames, so a session step that retires a
+  // stream without pumping its successor would stall the pipeline forever.
+  for (const QuerySpec& spec : queries) {
+    ClientMessage query;
+    query.kind = ClientMessageKind::kQuery;
+    query.session = session;
+    query.sql = spec.sql;
+    query.max_relative_ci = spec.max_relative_ci;
+    server.Handle(query, pipe);
+  }
+
+  std::map<uint64_t, ChannelConsumer> consumers;
+  std::vector<std::vector<uint8_t>> stream;
+  size_t finished = 0;
+  while (finished < queries.size()) {
+    ServerMessage msg = pipe->Pop();
+    if (msg.kind == ServerMessageKind::kQueryStarted) {
+      consumers.emplace(msg.channel, ChannelConsumer(msg.channel));
+      continue;
+    }
+    ASSERT_EQ(msg.kind, ServerMessageKind::kData) << msg.message;
+    auto it = consumers.find(msg.channel);
+    ASSERT_NE(it, consumers.end());
+    if (it->second.finished()) continue;  // late retransmit
+    it->second.OnData(msg.data);
+    for (auto& p : it->second.TakeDelivered()) stream.push_back(std::move(p));
+    if (it->second.finished()) ++finished;
+    ClientMessage ack;
+    ack.kind = ClientMessageKind::kAck;
+    ack.session = session;
+    ack.ack = it->second.MakeAck();
+    server.Handle(ack, pipe);
+  }
+  // Per-session serialization means the concatenated streams match a direct
+  // client running the queries back to back.
+  EXPECT_EQ(stream, reference);
+}
+
+TEST(ServerSessionTest, MidStreamSwapIsDeferredToStreamBoundary) {
+  EngineGuard guard;
+  ModelRegistry registry;
+  auto v1 = vae::VaeAqpModel::Deserialize(ModelBytes(77));
+  ASSERT_TRUE(v1.ok());
+  registry.Install("taxi", std::move(*v1));
+  auto snap = registry.Get("taxi");
+  ASSERT_TRUE(snap.ok());
+  Session session(1, "taxi", *snap, ClientOptions(),
+                  ChannelProducer::Options{});
+  const QuerySpec spec = DefaultQueries()[0];
+  ASSERT_TRUE(session.StartQuery(7, spec.sql, spec.max_relative_ci).ok());
+
+  std::vector<ServerMessage> errors;
+  std::vector<DataFrame> frames = session.Step(registry, &errors);
+  ASSERT_TRUE(errors.empty());
+  ASSERT_FALSE(frames.empty());
+
+  // Hot swap while the stream has frames in flight: the session must keep
+  // serving the old generator until the stream retires, so the stream stays
+  // bit-identical to a fresh v1 client and pool_rows stays monotonic.
+  ASSERT_TRUE(registry.Register("taxi", ModelBytes(78)).ok());
+
+  ChannelConsumer consumer(7);
+  std::vector<std::vector<uint8_t>> payloads;
+  int rounds = 0;
+  while (!consumer.finished() && rounds++ < 1000) {
+    for (const DataFrame& f : frames) consumer.OnData(f);
+    for (auto& p : consumer.TakeDelivered()) payloads.push_back(std::move(p));
+    if (!consumer.finished()) {
+      EXPECT_EQ(session.model_swaps(), 0u);  // deferred while mid-stream
+    }
+    session.HandleAck(consumer.MakeAck());
+    frames = session.Step(registry, &errors);
+    ASSERT_TRUE(errors.empty());
+  }
+  ASSERT_TRUE(consumer.finished());
+  EXPECT_EQ(session.open_streams(), 0u);
+  EXPECT_EQ(payloads, ReferenceStream(ModelBytes(77), {spec}));
+  uint64_t prev_rows = 0;
+  for (const auto& p : payloads) {
+    auto est = DecodeEstimate(p);
+    ASSERT_TRUE(est.ok());
+    EXPECT_GE(est->pool_rows, prev_rows);
+    prev_rows = est->pool_rows;
+  }
+  // With the stream retired, the next step is a boundary: the deferred swap
+  // lands and resets the client.
+  session.Step(registry, &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(session.model_swaps(), 1u);
+  EXPECT_EQ(session.model_version(), 2u);
+}
+
 TEST(ServerSessionTest, HotSwapResetsSessionCacheAndMatchesFreshClient) {
   EngineGuard guard;
   const QuerySpec spec = DefaultQueries()[0];
