@@ -6,14 +6,20 @@
 //
 //   ./bench_fig13_sampling_time [--rows 15000] [--epochs 10]
 //                               [--max_samples 100000] [--json]
+//                               [--kernel naive|blocked|simd|auto]
 //
 // --json additionally writes BENCH_fig13.json with one uniform record per
-// (n, T) point: ns_per_op is sampling nanoseconds per generated tuple.
+// (kernel backend, n, T) point: ns_per_op is sampling nanoseconds per
+// generated tuple. Without --kernel the sweep runs once per fast GEMM
+// backend available on this machine (blocked, plus simd when the CPU has
+// the ISA), so the JSON records the per-backend sampling-throughput
+// trajectory; --kernel pins a single backend.
 
 #include <cmath>
 
 #include "bench_common.h"
 
+#include "nn/kernels.h"
 #include "util/timer.h"
 
 using namespace deepaqp;  // NOLINT: bench brevity
@@ -21,6 +27,19 @@ using namespace deepaqp;  // NOLINT: bench brevity
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   util::ApplyThreadsFlag(flags);
+  std::vector<nn::GemmKernelKind> backends;
+  if (flags.Has("kernel")) {
+    if (const util::Status st = nn::ApplyKernelFlag(flags); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+    backends = {nn::ActiveGemmKernel()};
+  } else {
+    backends = {nn::GemmKernelKind::kBlocked};
+    if (nn::SimdKernelAvailable()) {
+      backends.push_back(nn::GemmKernelKind::kSimd);
+    }
+  }
   const auto rows = static_cast<size_t>(flags.GetInt("rows", 15000));
   const int epochs = static_cast<int>(flags.GetInt("epochs", 10));
   const auto max_samples =
@@ -41,22 +60,27 @@ int main(int argc, char** argv) {
       {"T=t0+10", t0 + 10.0},
       {"T=+inf", vae::kTPlusInf},
   };
-  for (size_t samples = 1000; samples <= max_samples; samples *= 10) {
-    for (const auto& [name, t] : sweeps) {
-      // T=-inf yields one accepted tuple per candidate window; cap the
-      // count so the bench finishes (paper makes the same cost point).
-      const size_t n =
-          t == vae::kTMinusInf ? std::min<size_t>(samples, 2000) : samples;
-      util::Rng rng(71);
-      util::Stopwatch watch;
-      relation::Table sample = (*model)->Generate(n, t, rng);
-      const double seconds = watch.ElapsedSeconds();
-      char series[64];
-      std::snprintf(series, sizeof(series), "n=%zu %s", n, name);
-      bench::PrintValueRow("Fig13", dataset, series, "sampling_seconds",
-                           seconds);
-      reporter.Add({"sampling_time", series,
-                    seconds * 1e9 / static_cast<double>(n), 0.0, 0});
+  for (nn::GemmKernelKind kind : backends) {
+    nn::SetGemmKernel(kind);
+    const char* backend = nn::GemmKernelKindName(kind);
+    for (size_t samples = 1000; samples <= max_samples; samples *= 10) {
+      for (const auto& [name, t] : sweeps) {
+        // T=-inf yields one accepted tuple per candidate window; cap the
+        // count so the bench finishes (paper makes the same cost point).
+        const size_t n =
+            t == vae::kTMinusInf ? std::min<size_t>(samples, 2000) : samples;
+        util::Rng rng(71);
+        util::Stopwatch watch;
+        relation::Table sample = (*model)->Generate(n, t, rng);
+        const double seconds = watch.ElapsedSeconds();
+        char series[80];
+        std::snprintf(series, sizeof(series), "n=%zu %s %s", n, name,
+                      backend);
+        bench::PrintValueRow("Fig13", dataset, series, "sampling_seconds",
+                             seconds);
+        reporter.Add({"sampling_time", series,
+                      seconds * 1e9 / static_cast<double>(n), 0.0, 0});
+      }
     }
   }
   reporter.Finish();

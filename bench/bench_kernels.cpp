@@ -1,14 +1,19 @@
-// Kernel-layer throughput tracking: blocked vs reference GEMM on the VAE's
-// real shapes (batch 256 x hidden 64-512), the fused bias+activation
-// forward vs the unfused pipeline, and the vectorized sigmoid. Doubles as
-// the CI correctness gate: every measured GEMM shape is first checked
-// against nn::ReferenceGemm and the binary exits nonzero if the relative
-// error (normalized by the accumulation magnitude |A| @ |B|) exceeds 1e-5.
+// Kernel-layer throughput tracking: the simd (AVX2/FMA or NEON), blocked,
+// and reference GEMM backends on the VAE's real shapes (batch 256 x hidden
+// 64-512), the fused bias+activation forward vs the unfused pipeline, and
+// the vectorized sigmoid. Emits one row per backend per shape so
+// BENCH_kernels.json records the per-backend perf trajectory. Doubles as
+// the CI correctness gate: every measured GEMM shape is first checked —
+// for every non-naive backend available on this machine — against
+// nn::ReferenceGemm and the binary exits nonzero if the relative error
+// (normalized by the accumulation magnitude |A| @ |B|) exceeds 1e-5.
 //
 //   ./bench_kernels [--json] [--quick] [--threads N]
 //
 // --json writes BENCH_kernels.json (see bench_common.h); --quick shrinks
-// the shape sweep and the per-measurement time budget for CI.
+// the shape sweep and the per-measurement time budget for CI. On hardware
+// without the simd ISA the simd rows are skipped (with a note) and the
+// remaining gates still run.
 
 #include <cmath>
 #include <cstdio>
@@ -19,6 +24,7 @@
 #include "nn/kernels.h"
 #include "nn/layers.h"
 #include "nn/matrix.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 
 using namespace deepaqp;  // NOLINT: bench brevity
@@ -42,8 +48,8 @@ nn::Matrix Abs(const nn::Matrix& m) {
 }
 
 /// Max elementwise |want - got| normalized by 1 + (|A| @ |B|)_ij — the
-/// forward-error scale a k-sum reordering perturbs (same metric as
-/// tests/nn_gemm_kernel_test.cc).
+/// forward-error scale a k-sum reordering (or FMA contraction) perturbs
+/// (same metric as tests/nn_gemm_kernel_test.cc).
 double GemmRelError(const nn::Matrix& a, bool ta, const nn::Matrix& b,
                     bool tb, const nn::Matrix& want, const nn::Matrix& got) {
   nn::Matrix mag;
@@ -60,21 +66,39 @@ double GemmRelError(const nn::Matrix& a, bool ta, const nn::Matrix& b,
 
 constexpr double kTolerance = 1e-5;
 
+/// Backends to measure and gate on this machine, naive first (it is the
+/// baseline every speedup is stated against).
+std::vector<nn::GemmKernelKind> MeasuredBackends() {
+  std::vector<nn::GemmKernelKind> kinds = {nn::GemmKernelKind::kNaive,
+                                           nn::GemmKernelKind::kBlocked};
+  if (nn::SimdKernelAvailable()) {
+    kinds.push_back(nn::GemmKernelKind::kSimd);
+  } else {
+    std::printf("simd backend unavailable (cpu: %s) — skipping simd rows\n",
+                util::CpuFeaturesToString(util::CpuInfo()).c_str());
+  }
+  return kinds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   util::ApplyThreadsFlag(flags);
-  nn::ApplyKernelFlag(flags);
+  if (const util::Status st = nn::ApplyKernelFlag(flags); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   const bool quick = flags.GetBool("quick", false);
   const double budget = quick ? 0.05 : 0.3;
   bench::BenchReporter reporter(flags, "kernels");
   util::Rng rng(424242);
 
+  const std::vector<nn::GemmKernelKind> backends = MeasuredBackends();
   double worst_err = 0.0;
 
-  // --- GEMM: blocked vs reference on batch 256 x hidden shapes, plus the
-  // four transpose combos on one odd shape for the correctness gate.
+  // --- GEMM: every backend vs reference on batch 256 x hidden shapes, plus
+  // the four transpose combos on one odd shape for the correctness gate.
   const std::vector<size_t> hiddens =
       quick ? std::vector<size_t>{64, 256}
             : std::vector<size_t>{64, 128, 256, 512};
@@ -90,33 +114,36 @@ int main(int argc, char** argv) {
     const nn::Matrix b = RandomMatrix(k, n, rng);
     nn::Matrix ref;
     nn::ReferenceGemm(a, false, b, false, 1.0f, 0.0f, &ref);
-    nn::Matrix blk;
-    nn::SetGemmKernel(nn::GemmKernelKind::kBlocked);
-    nn::Gemm(a, false, b, false, 1.0f, 0.0f, &blk);
-    worst_err = std::max(worst_err, GemmRelError(a, false, b, false, ref,
-                                                 blk));
 
     const double flops = 2.0 * static_cast<double>(m * k * n);
     char shape[64];
     std::snprintf(shape, sizeof(shape), "m=%zu k=%zu n=%zu", m, k, n);
 
-    nn::Matrix c;
-    nn::SetGemmKernel(nn::GemmKernelKind::kNaive);
-    const double ns_naive = bench::MeasureNsPerOp(
-        [&] { nn::Gemm(a, false, b, false, 1.0f, 0.0f, &c); }, budget);
-    reporter.Add({"gemm_naive", shape, ns_naive, flops / ns_naive, 1});
-
-    nn::SetGemmKernel(nn::GemmKernelKind::kBlocked);
-    const double ns_blocked = bench::MeasureNsPerOp(
-        [&] { nn::Gemm(a, false, b, false, 1.0f, 0.0f, &c); }, budget);
-    reporter.Add({"gemm_blocked", shape, ns_blocked, flops / ns_blocked, 1});
-
-    std::printf("  -> speedup %.2fx at hidden=%zu\n", ns_naive / ns_blocked,
-                hidden);
+    double ns_naive = 0.0;
+    for (nn::GemmKernelKind kind : backends) {
+      nn::SetGemmKernel(kind);
+      nn::Matrix c;
+      if (kind != nn::GemmKernelKind::kNaive) {
+        nn::Gemm(a, false, b, false, 1.0f, 0.0f, &c);
+        worst_err =
+            std::max(worst_err, GemmRelError(a, false, b, false, ref, c));
+      }
+      const double ns = bench::MeasureNsPerOp(
+          [&] { nn::Gemm(a, false, b, false, 1.0f, 0.0f, &c); }, budget);
+      if (kind == nn::GemmKernelKind::kNaive) ns_naive = ns;
+      const std::string name =
+          std::string("gemm_") + nn::GemmKernelKindName(kind);
+      reporter.Add({name, shape, ns, flops / ns, 1});
+      if (kind != nn::GemmKernelKind::kNaive) {
+        std::printf("  -> %s speedup %.2fx at hidden=%zu (%.2f GFLOP/s)\n",
+                    nn::GemmKernelKindName(kind), ns_naive / ns, hidden,
+                    flops / ns);
+      }
+    }
   }
 
   // Correctness gate over all four transpose combinations (odd shape that
-  // straddles every panel boundary).
+  // straddles every panel boundary), for every non-naive backend.
   {
     const size_t m = 129, k = 67, n = 33;
     for (bool ta : {false, true}) {
@@ -127,26 +154,30 @@ int main(int argc, char** argv) {
             tb ? RandomMatrix(n, k, rng) : RandomMatrix(k, n, rng);
         nn::Matrix ref;
         nn::ReferenceGemm(a, ta, b, tb, 1.0f, 0.0f, &ref);
-        nn::Matrix blk;
-        nn::SetGemmKernel(nn::GemmKernelKind::kBlocked);
-        nn::Gemm(a, ta, b, tb, 1.0f, 0.0f, &blk);
-        worst_err = std::max(worst_err,
-                             GemmRelError(a, ta, b, tb, ref, blk));
+        for (nn::GemmKernelKind kind : backends) {
+          if (kind == nn::GemmKernelKind::kNaive) continue;
+          nn::SetGemmKernel(kind);
+          nn::Matrix got;
+          nn::Gemm(a, ta, b, tb, 1.0f, 0.0f, &got);
+          worst_err =
+              std::max(worst_err, GemmRelError(a, ta, b, tb, ref, got));
+        }
       }
     }
   }
 
-  // --- Fused bias+activation forward vs the unfused pipeline.
-  {
+  // --- Fused bias+activation forward vs the unfused pipeline, per backend.
+  for (nn::GemmKernelKind kind : backends) {
+    if (kind == nn::GemmKernelKind::kNaive) continue;
     const size_t batch = 256;
     const size_t hidden = quick ? 64 : 256;
     const nn::Matrix x = RandomMatrix(batch, hidden, rng);
     const nn::Matrix w = RandomMatrix(hidden, hidden, rng);
     const nn::Matrix bias = RandomMatrix(1, hidden, rng);
-    char shape[64];
-    std::snprintf(shape, sizeof(shape), "m=%zu k=%zu n=%zu relu", batch,
-                  hidden, hidden);
-    nn::SetGemmKernel(nn::GemmKernelKind::kBlocked);
+    char shape[80];
+    std::snprintf(shape, sizeof(shape), "m=%zu k=%zu n=%zu relu %s", batch,
+                  hidden, hidden, nn::GemmKernelKindName(kind));
+    nn::SetGemmKernel(kind);
     const double flops = 2.0 * static_cast<double>(batch * hidden * hidden);
     nn::Matrix out;
     const double ns_unfused = bench::MeasureNsPerOp(
@@ -169,7 +200,7 @@ int main(int argc, char** argv) {
                   1});
   }
 
-  // --- Vectorized sigmoid vs the scalar std::exp loop.
+  // --- Vectorized sigmoid: scalar std::exp loop vs each fast backend.
   {
     const size_t count = 1 << 16;
     std::vector<float> in(count);
@@ -179,19 +210,19 @@ int main(int argc, char** argv) {
     }
     char shape[32];
     std::snprintf(shape, sizeof(shape), "n=%zu", count);
-    nn::SetGemmKernel(nn::GemmKernelKind::kNaive);
-    const double ns_scalar = bench::MeasureNsPerOp(
-        [&] { nn::SigmoidVec(in.data(), outv.data(), count); }, budget);
-    reporter.Add({"sigmoid_scalar", shape,
-                  ns_scalar / static_cast<double>(count), 0.0, 1});
-    nn::SetGemmKernel(nn::GemmKernelKind::kBlocked);
-    const double ns_vec = bench::MeasureNsPerOp(
-        [&] { nn::SigmoidVec(in.data(), outv.data(), count); }, budget);
-    reporter.Add({"sigmoid_vectorized", shape,
-                  ns_vec / static_cast<double>(count), 0.0, 1});
+    for (nn::GemmKernelKind kind : backends) {
+      nn::SetGemmKernel(kind);
+      const double ns = bench::MeasureNsPerOp(
+          [&] { nn::SigmoidVec(in.data(), outv.data(), count); }, budget);
+      const std::string name =
+          kind == nn::GemmKernelKind::kNaive
+              ? std::string("sigmoid_scalar")
+              : std::string("sigmoid_") + nn::GemmKernelKindName(kind);
+      reporter.Add({name, shape, ns / static_cast<double>(count), 0.0, 1});
+    }
   }
 
-  // --- ShardedGemmTN (the weight-gradient product) blocked vs naive.
+  // --- ShardedGemmTN (the weight-gradient product) per backend.
   {
     const size_t batch = quick ? 1024 : 4096;
     const size_t in_dim = 128;
@@ -203,33 +234,28 @@ int main(int argc, char** argv) {
     std::snprintf(shape, sizeof(shape), "batch=%zu in=%zu out=%zu", batch,
                   in_dim, out_dim);
     nn::Matrix c(in_dim, out_dim);
-    nn::SetGemmKernel(nn::GemmKernelKind::kNaive);
-    const double ns_naive = bench::MeasureNsPerOp(
-        [&] {
-          c.Zero();
-          nn::ShardedGemmTN(a, b, &c);
-        },
-        budget);
-    reporter.Add({"sharded_tn_naive", shape, ns_naive, flops / ns_naive, 1});
-    nn::SetGemmKernel(nn::GemmKernelKind::kBlocked);
-    const double ns_blocked = bench::MeasureNsPerOp(
-        [&] {
-          c.Zero();
-          nn::ShardedGemmTN(a, b, &c);
-        },
-        budget);
-    reporter.Add(
-        {"sharded_tn_blocked", shape, ns_blocked, flops / ns_blocked, 1});
+    for (nn::GemmKernelKind kind : backends) {
+      nn::SetGemmKernel(kind);
+      const double ns = bench::MeasureNsPerOp(
+          [&] {
+            c.Zero();
+            nn::ShardedGemmTN(a, b, &c);
+          },
+          budget);
+      const std::string name =
+          std::string("sharded_tn_") + nn::GemmKernelKindName(kind);
+      reporter.Add({name, shape, ns, flops / ns, 1});
+    }
   }
   util::SetGlobalThreads(prev_threads);
 
   reporter.Finish();
 
-  std::printf("blocked-vs-reference worst relative error: %.3g (tol %g)\n",
+  std::printf("fast-kernel-vs-reference worst relative error: %.3g (tol %g)\n",
               worst_err, kTolerance);
   if (worst_err > kTolerance) {
     std::fprintf(stderr,
-                 "FAIL: blocked kernel deviates from reference beyond "
+                 "FAIL: a fast kernel deviates from the reference beyond "
                  "tolerance\n");
     return 1;
   }

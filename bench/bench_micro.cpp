@@ -3,7 +3,8 @@
 // matching kernel behind the cross-match test. Emits the uniform bench
 // records (name, shape, ns/op, GFLOP/s, threads) of bench_common.h:
 //
-//   ./bench_micro [--json] [--quick] [--threads N] [--kernel naive|blocked]
+//   ./bench_micro [--json] [--quick] [--threads N]
+//                 [--kernel naive|blocked|simd|auto]
 //
 // --json writes BENCH_micro.json for the CI perf archive.
 
@@ -24,7 +25,10 @@ using namespace deepaqp;  // NOLINT: bench brevity
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   util::ApplyThreadsFlag(flags);
-  nn::ApplyKernelFlag(flags);
+  if (const util::Status st = nn::ApplyKernelFlag(flags); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   const bool quick = flags.GetBool("quick", false);
   const double budget = quick ? 0.05 : 0.3;
   bench::BenchReporter reporter(flags, "micro");
@@ -43,7 +47,7 @@ int main(int argc, char** argv) {
     char shape[32];
     std::snprintf(shape, sizeof(shape), "n=%zu", n);
     std::string name = std::string("gemm_") +
-                       nn::GemmKernelName(nn::ActiveGemmKernel());
+                       nn::GemmKernelKindName(nn::ActiveGemmKernel());
     reporter.Add({name, shape, ns, flops / ns, 0});
   }
 

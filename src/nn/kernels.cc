@@ -1,24 +1,29 @@
 // The compute-kernel layer behind nn::Gemm, nn::ShardedGemmTN, and the
-// fused forward paths. Two implementations sit behind one dispatch:
+// fused forward paths. Three implementations sit behind one dispatch:
 //
 //  * ReferenceGemm (kernels_reference.cc) — the seed repository's
 //    triple-loop kernels, kept verbatim as the correctness oracle and the
 //    `DEEPAQP_KERNEL=naive` escape hatch.
-//  * The blocked kernel — op(A)/op(B) are expressed as stride views (which
-//    folds all four transpose combinations into one code path), packed into
-//    contiguous panels, and consumed by a register-tiled kMr x kNr
-//    micro-kernel whose inner loops are fixed-length and restrict-qualified
-//    so the compiler vectorizes them. C row blocks are distributed over the
-//    thread pool; the block layout depends only on the shape and every C
-//    element accumulates in one fixed k-order, so results are bit-identical
-//    at every --threads setting.
+//  * The blocked kernel (this file) — op(A)/op(B) are expressed as stride
+//    views (which folds all four transpose combinations into one code
+//    path), packed into contiguous panels, and consumed by a register-tiled
+//    kMr x kNr micro-kernel whose inner loops are fixed-length and
+//    restrict-qualified so the compiler vectorizes them. C row blocks are
+//    distributed over the thread pool; the block layout depends only on the
+//    shape and every C element accumulates in one fixed k-order, so results
+//    are bit-identical at every --threads setting.
+//  * The simd kernel (kernels_simd.cc) — the same packed-panel layout fed
+//    to a hand-written AVX2/FMA (or NEON) micro-kernel. Selected at runtime
+//    only when util::CpuInfo() reports the ISA, so one binary runs — and
+//    picks its fastest safe backend — on every machine.
 //
-// This file is compiled with -O3 and, when the compiler supports it, the
-// host ISA (see src/nn/CMakeLists.txt): the rest of the library — including
-// the reference kernel — keeps the project-default flags, so only this
-// layer's numerics depend on the available SIMD width (FMA contraction).
-// That is within the kernel contract: bit-identical across thread counts
-// for a fixed build, within 1e-5 forward-relative error of the reference.
+// This file is compiled with -O3 -funroll-loops but the project-baseline
+// ISA (see src/nn/CMakeLists.txt): only kernels_simd.cc carries explicit
+// vector flags, and it is guarded by runtime CPU detection. That makes the
+// blocked kernel's numerics identical on every host — the old -march=native
+// build made them a function of the build machine and could SIGILL on a
+// lesser one. kernels_reference.cc keeps the project-default flags so it
+// reproduces the seed's numerics and throughput exactly.
 
 #include "nn/kernels.h"
 
@@ -30,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "nn/kernels_internal.h"
+#include "util/cpu_features.h"
 #include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -37,82 +44,8 @@
 
 namespace deepaqp::nn {
 
-namespace {
+namespace internal {
 
-// Chaos site shared by both fused and plain GEMM dispatch: poisons one output
-// element with a quiet NaN, modeling a transient compute fault (bad SIMD
-// lane, corrupted scratch). Downstream sentinels must catch and contain it.
-inline void MaybePoisonGemmOutput(Matrix* out) {
-  if (out->size() > 0 && util::FailpointTriggered("nn/gemm")) {
-    out->data()[0] = std::numeric_limits<float>::quiet_NaN();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Kernel selection
-// ---------------------------------------------------------------------------
-
-GemmKernelKind KindFromEnv() {
-  const char* env = std::getenv("DEEPAQP_KERNEL");
-  if (env == nullptr || env[0] == '\0') return GemmKernelKind::kBlocked;
-  const std::string value(env);
-  if (value == "naive") return GemmKernelKind::kNaive;
-  if (value == "blocked") return GemmKernelKind::kBlocked;
-  std::fprintf(stderr,
-               "DEEPAQP_KERNEL='%s' not recognized (naive|blocked); "
-               "keeping 'blocked'\n",
-               env);
-  return GemmKernelKind::kBlocked;
-}
-
-GemmKernelKind& KernelSlot() {
-  static GemmKernelKind kind = KindFromEnv();
-  return kind;
-}
-
-// ---------------------------------------------------------------------------
-// Blocked kernel: views, blocking parameters, packing, micro-kernel
-// ---------------------------------------------------------------------------
-
-/// Stride view of a logical (possibly transposed) operand: element (r, c)
-/// lives at base[r * rs + c * cs]. A transpose is just a stride swap, so
-/// packing and the micro-kernel never branch on transpose flags.
-struct View {
-  const float* base;
-  size_t rs;
-  size_t cs;
-};
-
-View OpView(const Matrix& m, bool transposed) {
-  if (transposed) return {m.data(), 1, m.cols()};
-  return {m.data(), m.cols(), 1};
-}
-
-/// Micro-tile: kMr C rows x kNr C columns accumulate in registers. 4 x 8 is
-/// the shape GCC reliably promotes to an all-register accumulator block
-/// (one 8-float vector per row plus an A broadcast); measured on AVX2 it
-/// runs ~10x the -O2 reference loop, while every larger tile we tried made
-/// the compiler spill the block and fall off a performance cliff.
-constexpr size_t kMr = 4;
-constexpr size_t kNr = 8;
-/// K-dimension cache block: one packed A panel (kMr x kKc) is 4 KB and one
-/// packed B panel (kKc x kNr) is 8 KB, so a micro-kernel's working set sits
-/// comfortably in L1.
-constexpr size_t kKc = 256;
-/// Rows of C per parallel task. Shape-derived only (never thread-derived):
-/// batch 256 yields 8 tasks regardless of pool size, which keeps the block
-/// layout — and therefore the floats — identical at every thread count.
-constexpr size_t kMc = 32;
-
-/// Same parallelism cutoff the row-parallel reference kernel uses: below
-/// this flop count the task handoff costs more than the loop.
-constexpr size_t kParallelFlopCutoff = 32768;
-
-size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
-
-/// Packs op(B)[k0:k0+kc, 0:n] into kNr-wide column panels:
-/// out[p * (kc * kNr) + kk * kNr + jr] = op(B)(k0 + kk, p * kNr + jr),
-/// zero-padded in jr for the ragged last panel.
 void PackB(const View& b, size_t k0, size_t kc, size_t n, float* out) {
   const size_t n_panels = CeilDiv(n, kNr);
   for (size_t p = 0; p < n_panels; ++p) {
@@ -137,9 +70,6 @@ void PackB(const View& b, size_t k0, size_t kc, size_t n, float* out) {
   }
 }
 
-/// Packs op(A)[i0:i0+mc, k0:k0+kc] into kMr-tall row panels with alpha
-/// folded in: out[(mp * kc + kk) * kMr + ir] = alpha * op(A)(i0 + mp*kMr +
-/// ir, k0 + kk), zero-padded in ir for the ragged last panel.
 void PackA(const View& a, size_t i0, size_t mc, size_t k0, size_t kc,
            float alpha, float* out) {
   const size_t m_panels = CeilDiv(mc, kMr);
@@ -156,6 +86,115 @@ void PackA(const View& a, size_t i0, size_t mc, size_t k0, size_t kc,
     }
   }
 }
+
+void ApplyEpilogueRow(const Epilogue& e, float* row, size_t n) {
+  if (e.bias != nullptr) {
+    const float* __restrict__ bias = e.bias;
+    float* __restrict__ r = row;
+#pragma GCC ivdep
+    for (size_t j = 0; j < n; ++j) r[j] += bias[j];
+  }
+  ApplyActivation(e.act, e.leaky_slope, row, n);
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::CeilDiv;
+using internal::Epilogue;
+using internal::kKc;
+using internal::kMc;
+using internal::kMr;
+using internal::kNr;
+using internal::kParallelFlopCutoff;
+using internal::View;
+
+// Chaos site shared by both fused and plain GEMM dispatch: poisons one output
+// element with a quiet NaN, modeling a transient compute fault (bad SIMD
+// lane, corrupted scratch). Downstream sentinels must catch and contain it.
+inline void MaybePoisonGemmOutput(Matrix* out) {
+  if (out->size() > 0 && util::FailpointTriggered("nn/gemm")) {
+    out->data()[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel selection
+// ---------------------------------------------------------------------------
+
+/// Best backend the running CPU supports: simd when the intrinsics TU is
+/// compiled in and the CPU reports the ISA, else blocked.
+GemmKernelKind BestAvailableKernel() {
+  return SimdKernelAvailable() ? GemmKernelKind::kSimd
+                               : GemmKernelKind::kBlocked;
+}
+
+GemmKernelKind KindFromEnv() {
+  const char* env = std::getenv("DEEPAQP_KERNEL");
+  if (env == nullptr || env[0] == '\0') return BestAvailableKernel();
+  GemmKernelKind kind;
+  const util::Status parsed = ParseGemmKernelKind(env, &kind);
+  if (!parsed.ok()) {
+    std::fprintf(stderr,
+                 "DEEPAQP_KERNEL='%s' not recognized "
+                 "(naive|blocked|simd|auto); keeping '%s'\n",
+                 env, GemmKernelKindName(BestAvailableKernel()));
+    return BestAvailableKernel();
+  }
+  if (kind == GemmKernelKind::kSimd && !SimdKernelAvailable()) {
+    // A faster-kernel request must never become SIGILL: degrade to the
+    // portable blocked kernel, loudly. (The --kernel flag path is strict
+    // instead — see ApplyKernelFlag.)
+    std::fprintf(stderr,
+                 "DEEPAQP_KERNEL=simd but this CPU/toolchain lacks the ISA "
+                 "(%s built in); falling back to 'blocked'\n",
+                 internal::SimdBackendIsa());
+    return GemmKernelKind::kBlocked;
+  }
+  return kind;
+}
+
+GemmKernelKind& KernelSlot() {
+  static GemmKernelKind kind = KindFromEnv();
+  return kind;
+}
+
+}  // namespace
+
+namespace internal {
+
+/// expf via 2^(x * log2 e): round-to-nearest split into integer and
+/// fractional exponent (the 1.5 * 2^23 trick keeps it branch-free and
+/// vectorizable), degree-6 polynomial for the fractional part, exponent
+/// reassembled through the float bit layout. Pure float arithmetic — the
+/// result is a deterministic function of the input on every machine that
+/// rounds to nearest. Max relative error ~1e-7 over the clamped range.
+/// (kernels_simd.cc evaluates the same polynomial with vector intrinsics.)
+inline float FastExp(float x) {
+  float z = x * 1.44269504088896341f;  // log2(e)
+  z = z < -126.0f ? -126.0f : z;
+  z = z > 126.0f ? 126.0f : z;
+  const float shifted = z + 12582912.0f;  // 1.5 * 2^23
+  int32_t ibits;
+  std::memcpy(&ibits, &shifted, sizeof(ibits));
+  const int32_t n = ibits - 0x4B400000;
+  const float f = z - (shifted - 12582912.0f);  // f in [-0.5, 0.5]
+  const float u = f * 0.693147180559945286f;    // ln 2
+  float p = 1.0f / 720.0f;
+  p = p * u + 1.0f / 120.0f;
+  p = p * u + 1.0f / 24.0f;
+  p = p * u + 1.0f / 6.0f;
+  p = p * u + 0.5f;
+  p = p * u + 1.0f;
+  p = p * u + 1.0f;
+  const int32_t sbits = (n + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &sbits, sizeof(scale));
+  return p * scale;
+}
+
+namespace {
 
 /// acc[ir][jr] += sum_kk a_panel(kk, ir) * b_panel(kk, jr). Fixed-trip
 /// inner loops over a kMr x kNr register block; the jr loop is the
@@ -175,33 +214,13 @@ inline void MicroKernel(const float* __restrict__ a_panel,
   }
 }
 
-/// Optional fused tail applied to finished C rows while they are cache-hot.
-struct Epilogue {
-  const float* bias = nullptr;  // 1 x n, nullable
-  Activation act = Activation::kIdentity;
-  float leaky_slope = 0.0f;
-};
-
-void ApplyEpilogueRow(const Epilogue& e, float* row, size_t n) {
-  if (e.bias != nullptr) {
-    const float* __restrict__ bias = e.bias;
-    float* __restrict__ r = row;
-#pragma GCC ivdep
-    for (size_t j = 0; j < n; ++j) r[j] += bias[j];
-  }
-  ApplyActivation(e.act, e.leaky_slope, row, n);
-}
-
 std::vector<float>& TlsBPack() {
   thread_local std::vector<float> buf;
   return buf;
 }
 
-/// C[0:m, 0:n] (+)= alpha * op(A) @ op(B), with op absorbed into the
-/// views. `overwrite` makes the first K block store instead of accumulate
-/// (the beta == 0 path needs no pre-zeroed C). `epi`, if non-null, is
-/// applied to each row block after its accumulation completes.
-///
+}  // namespace
+
 /// Determinism: the kb / task / panel decomposition is a pure function of
 /// (m, k, n); each C element is written by exactly one task and accumulates
 /// its k-products in ascending order (within and across K blocks), so the
@@ -288,37 +307,27 @@ void BlockedGemmDriver(const View& a, const View& b, size_t m, size_t k,
   }
 }
 
-// ---------------------------------------------------------------------------
-// Vectorized transcendental helpers
-// ---------------------------------------------------------------------------
+}  // namespace internal
 
-/// expf via 2^(x * log2 e): round-to-nearest split into integer and
-/// fractional exponent (the 1.5 * 2^23 trick keeps it branch-free and
-/// vectorizable), degree-6 polynomial for the fractional part, exponent
-/// reassembled through the float bit layout. Pure float arithmetic — the
-/// result is a deterministic function of the input on every machine that
-/// rounds to nearest. Max relative error ~1e-7 over the clamped range.
-inline float FastExp(float x) {
-  float z = x * 1.44269504088896341f;  // log2(e)
-  z = z < -126.0f ? -126.0f : z;
-  z = z > 126.0f ? 126.0f : z;
-  const float shifted = z + 12582912.0f;  // 1.5 * 2^23
-  int32_t ibits;
-  std::memcpy(&ibits, &shifted, sizeof(ibits));
-  const int32_t n = ibits - 0x4B400000;
-  const float f = z - (shifted - 12582912.0f);  // f in [-0.5, 0.5]
-  const float u = f * 0.693147180559945286f;    // ln 2
-  float p = 1.0f / 720.0f;
-  p = p * u + 1.0f / 120.0f;
-  p = p * u + 1.0f / 24.0f;
-  p = p * u + 1.0f / 6.0f;
-  p = p * u + 0.5f;
-  p = p * u + 1.0f;
-  p = p * u + 1.0f;
-  const int32_t sbits = (n + 127) << 23;
-  float scale;
-  std::memcpy(&scale, &sbits, sizeof(scale));
-  return p * scale;
+namespace {
+
+/// Routes a packed-panel GEMM to the blocked or simd driver. Callers have
+/// already resolved kNaive separately.
+inline void PackedGemmDriver(GemmKernelKind kind, const View& a,
+                             const View& b, size_t m, size_t k, size_t n,
+                             float alpha, bool overwrite, const Epilogue* epi,
+                             float* c, size_t ldc) {
+  if (kind == GemmKernelKind::kSimd) {
+    internal::SimdGemmDriver(a, b, m, k, n, alpha, overwrite, epi, c, ldc);
+  } else {
+    internal::BlockedGemmDriver(a, b, m, k, n, alpha, overwrite, epi, c,
+                                ldc);
+  }
+}
+
+View OpView(const Matrix& m, bool transposed) {
+  if (transposed) return {m.data(), 1, m.cols()};
+  return {m.data(), m.cols(), 1};
 }
 
 }  // namespace
@@ -329,29 +338,74 @@ inline float FastExp(float x) {
 
 GemmKernelKind ActiveGemmKernel() { return KernelSlot(); }
 
-void SetGemmKernel(GemmKernelKind kind) { KernelSlot() = kind; }
-
-const char* GemmKernelName(GemmKernelKind kind) {
-  return kind == GemmKernelKind::kNaive ? "naive" : "blocked";
+bool SimdKernelAvailable() {
+  if (!internal::SimdBackendCompiled()) return false;
+  const util::CpuFeatures& cpu = util::CpuInfo();
+#if defined(__aarch64__)
+  return cpu.neon;
+#else
+  return cpu.avx2 && cpu.fma;
+#endif
 }
 
-void ApplyKernelFlag(const util::Flags& flags) {
-  const std::string value = flags.GetString("kernel", "");
-  if (value.empty()) return;
-  if (value == "naive") {
-    SetGemmKernel(GemmKernelKind::kNaive);
-  } else if (value == "blocked") {
-    SetGemmKernel(GemmKernelKind::kBlocked);
-  } else {
-    std::fprintf(stderr, "--kernel=%s not recognized (naive|blocked)\n",
-                 value.c_str());
-    std::exit(2);
+util::Status SetGemmKernelKind(GemmKernelKind kind) {
+  if (kind == GemmKernelKind::kSimd && !SimdKernelAvailable()) {
+    return util::Status::FailedPrecondition(
+        std::string("simd kernel unavailable: binary ISA '") +
+        internal::SimdBackendIsa() + "', cpu features '" +
+        util::CpuFeaturesToString(util::CpuInfo()) + "'");
   }
+  KernelSlot() = kind;
+  return util::Status::OK();
+}
+
+void SetGemmKernel(GemmKernelKind kind) {
+  const util::Status status = SetGemmKernelKind(kind);
+  DEEPAQP_CHECK(status.ok());
+}
+
+const char* GemmKernelKindName(GemmKernelKind kind) {
+  switch (kind) {
+    case GemmKernelKind::kNaive:
+      return "naive";
+    case GemmKernelKind::kBlocked:
+      return "blocked";
+    case GemmKernelKind::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+util::Status ParseGemmKernelKind(std::string_view name,
+                                 GemmKernelKind* kind) {
+  if (name == "naive") {
+    *kind = GemmKernelKind::kNaive;
+  } else if (name == "blocked") {
+    *kind = GemmKernelKind::kBlocked;
+  } else if (name == "simd") {
+    *kind = GemmKernelKind::kSimd;
+  } else if (name == "auto") {
+    *kind = BestAvailableKernel();
+  } else {
+    return util::Status::InvalidArgument(
+        "kernel '" + std::string(name) +
+        "' not recognized (naive|blocked|simd|auto)");
+  }
+  return util::Status::OK();
+}
+
+util::Status ApplyKernelFlag(const util::Flags& flags) {
+  const std::string value = flags.GetString("kernel", "");
+  if (value.empty()) return util::Status::OK();
+  GemmKernelKind kind;
+  DEEPAQP_RETURN_IF_ERROR(ParseGemmKernelKind(value, &kind));
+  return SetGemmKernelKind(kind);
 }
 
 void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
           float alpha, float beta, Matrix* c) {
-  if (ActiveGemmKernel() == GemmKernelKind::kNaive) {
+  const GemmKernelKind kind = ActiveGemmKernel();
+  if (kind == GemmKernelKind::kNaive) {
     ReferenceGemm(a, trans_a, b, trans_b, alpha, beta, c);
     MaybePoisonGemmOutput(c);
     return;
@@ -372,8 +426,8 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
       for (size_t i = 0; i < c->size(); ++i) c->data()[i] *= beta;
     }
   }
-  BlockedGemmDriver(OpView(a, trans_a), OpView(b, trans_b), m, k, n, alpha,
-                    overwrite, nullptr, c->data(), c->cols());
+  PackedGemmDriver(kind, OpView(a, trans_a), OpView(b, trans_b), m, k, n,
+                   alpha, overwrite, nullptr, c->data(), c->cols());
   MaybePoisonGemmOutput(c);
 }
 
@@ -389,7 +443,7 @@ void ShardedGemmTN(const Matrix& a, const Matrix& b, Matrix* c,
     Gemm(a, true, b, false, 1.0f, 1.0f, c);
     return;
   }
-  const bool blocked = ActiveGemmKernel() == GemmKernelKind::kBlocked;
+  const GemmKernelKind kind = ActiveGemmKernel();
   // One partial per shard, filled in parallel. The shard layout is a pure
   // function of the batch size, so the ascending-order reduction below
   // yields the same bits at every thread count.
@@ -399,13 +453,13 @@ void ShardedGemmTN(const Matrix& a, const Matrix& b, Matrix* c,
     const size_t hi = std::min(batch, lo + shard_rows);
     Matrix& p = partials[s];
     p = Matrix(a.cols(), b.cols());
-    if (blocked) {
+    if (kind != GemmKernelKind::kNaive) {
       // Shard of the TN product as stride views: op(A) = A^T over rows
       // [lo, hi), i.e. (i, kk) -> A(lo + kk, i); op(B) = B rows [lo, hi).
       const View av{a.data() + lo * a.cols(), 1, a.cols()};
       const View bv{b.data() + lo * b.cols(), b.cols(), 1};
-      BlockedGemmDriver(av, bv, a.cols(), hi - lo, b.cols(), 1.0f,
-                        /*overwrite=*/true, nullptr, p.data(), p.cols());
+      PackedGemmDriver(kind, av, bv, a.cols(), hi - lo, b.cols(), 1.0f,
+                       /*overwrite=*/true, nullptr, p.data(), p.cols());
     } else {
       for (size_t kk = lo; kk < hi; ++kk) {
         const float* arow = a.Row(kk);
@@ -456,7 +510,8 @@ void FusedLinearForward(const Matrix& x, const Matrix& w, const Matrix& bias,
     DEEPAQP_CHECK_EQ(bias.rows(), 1u);
     DEEPAQP_CHECK_EQ(bias.cols(), w.cols());
   }
-  if (ActiveGemmKernel() == GemmKernelKind::kNaive) {
+  const GemmKernelKind kind = ActiveGemmKernel();
+  if (kind == GemmKernelKind::kNaive) {
     ReferenceGemm(x, false, w, false, 1.0f, 0.0f, out);
     if (has_bias) AddRowBroadcast(bias, out);
     ApplyActivation(act, leaky_slope, out->data(), out->size());
@@ -465,23 +520,30 @@ void FusedLinearForward(const Matrix& x, const Matrix& w, const Matrix& bias,
   }
   out->Resize(x.rows(), w.cols());
   Epilogue epi{has_bias ? bias.data() : nullptr, act, leaky_slope};
-  BlockedGemmDriver(OpView(x, false), OpView(w, false), x.rows(), x.cols(),
-                    w.cols(), 1.0f, /*overwrite=*/true, &epi, out->data(),
-                    out->cols());
+  PackedGemmDriver(kind, OpView(x, false), OpView(w, false), x.rows(),
+                   x.cols(), w.cols(), 1.0f, /*overwrite=*/true, &epi,
+                   out->data(), out->cols());
   MaybePoisonGemmOutput(out);
 }
 
 void SigmoidVec(const float* x, float* out, size_t n) {
-  if (ActiveGemmKernel() == GemmKernelKind::kNaive) {
+  const GemmKernelKind kind = ActiveGemmKernel();
+  if (kind == GemmKernelKind::kNaive) {
     for (size_t i = 0; i < n; ++i) {
       out[i] = 1.0f / (1.0f + std::exp(-x[i]));
     }
     return;
   }
+  if (kind == GemmKernelKind::kSimd) {
+    internal::SimdSigmoid(x, out, n);
+    return;
+  }
   const float* __restrict__ in = x;
   float* __restrict__ o = out;
 #pragma GCC ivdep
-  for (size_t i = 0; i < n; ++i) o[i] = 1.0f / (1.0f + FastExp(-in[i]));
+  for (size_t i = 0; i < n; ++i) {
+    o[i] = 1.0f / (1.0f + internal::FastExp(-in[i]));
+  }
 }
 
 void SigmoidBernoulliVec(const float* logits, size_t n, util::Rng& rng,

@@ -1,6 +1,8 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -49,8 +51,15 @@ std::string FormatDouble(double v, int digits) {
 bool ParseDouble(std::string_view s, double* out) {
   const std::string tmp(s);
   char* end = nullptr;
+  // strtod saturates (to +/-HUGE_VAL or 0) and sets ERANGE instead of
+  // failing; reset errno before the call and reject overflow so "1e999" is
+  // a parse error rather than silently becoming infinity. ERANGE with a
+  // finite result is gradual underflow (e.g. "1e-320" -> denormal) — those
+  // stay accepted.
+  errno = 0;
   const double v = std::strtod(tmp.c_str(), &end);
   if (end == tmp.c_str() || *end != '\0') return false;
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) return false;
   *out = v;
   return true;
 }
@@ -58,8 +67,12 @@ bool ParseDouble(std::string_view s, double* out) {
 bool ParseInt64(std::string_view s, int64_t* out) {
   const std::string tmp(s);
   char* end = nullptr;
+  // strtoll saturates to LLONG_MIN/LLONG_MAX and sets ERANGE on overflow;
+  // reject that instead of returning the clamped value as a success.
+  errno = 0;
   const long long v = std::strtoll(tmp.c_str(), &end, 10);
   if (end == tmp.c_str() || *end != '\0') return false;
+  if (errno == ERANGE) return false;
   *out = v;
   return true;
 }

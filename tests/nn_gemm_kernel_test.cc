@@ -85,14 +85,25 @@ bool BitIdentical(const Matrix& a, const Matrix& b) {
 
 constexpr double kTol = 1e-5;
 
+/// The fast kernels under test: always the blocked kernel, plus the simd
+/// backend when this machine can run it (the dedicated simd suite lives in
+/// nn_simd_backend_test.cc; sweeping it here too keeps the exhaustive
+/// transpose/shape harness authoritative for every dispatchable backend).
+std::vector<GemmKernelKind> FastKernels() {
+  std::vector<GemmKernelKind> kinds = {GemmKernelKind::kBlocked};
+  if (SimdKernelAvailable()) kinds.push_back(GemmKernelKind::kSimd);
+  return kinds;
+}
+
 // Shapes straddling every blocking boundary: micro-tile edges (kMr=4,
 // kNr=8), sub-tile ragged cases, and a size past the k cache block would
 // be slow to sweep cubically, so 129 covers "multiple panels + remainder".
 const size_t kDims[] = {1, 2, 3, 5, 7, 13, 17, 33, 129};
 
-TEST(GemmKernelTest, BlockedMatchesReferenceAllTransposesAllShapes) {
+TEST(GemmKernelTest, FastKernelsMatchReferenceAllTransposesAllShapes) {
   util::Rng rng(20240811);
   const float kBetas[] = {0.0f, 0.5f, 1.0f};
+  const std::vector<GemmKernelKind> fast = FastKernels();
   for (size_t m : kDims) {
     for (size_t k : kDims) {
       for (size_t n : kDims) {
@@ -108,20 +119,21 @@ TEST(GemmKernelTest, BlockedMatchesReferenceAllTransposesAllShapes) {
             for (float beta : kBetas) {
               const Matrix c0 = RandomMatrix(m, n, rng);
               Matrix want = c0;
-              Matrix got = c0;
               {
                 ScopedKernel naive(GemmKernelKind::kNaive);
                 Gemm(a, ta, b, tb, 1.25f, beta, &want);
               }
-              {
-                ScopedKernel blocked(GemmKernelKind::kBlocked);
+              for (GemmKernelKind kind : fast) {
+                Matrix got = c0;
+                ScopedKernel active(kind);
                 Gemm(a, ta, b, tb, 1.25f, beta, &got);
+                EXPECT_LE(GemmRelError(a, ta, b, tb, 1.25f, beta, &c0, want,
+                                       got),
+                          kTol)
+                    << GemmKernelKindName(kind) << " m=" << m << " k=" << k
+                    << " n=" << n << " ta=" << ta << " tb=" << tb
+                    << " beta=" << beta;
               }
-              EXPECT_LE(GemmRelError(a, ta, b, tb, 1.25f, beta, &c0, want,
-                                     got),
-                        kTol)
-                  << "m=" << m << " k=" << k << " n=" << n << " ta=" << ta
-                  << " tb=" << tb << " beta=" << beta;
             }
           }
         }
@@ -130,7 +142,7 @@ TEST(GemmKernelTest, BlockedMatchesReferenceAllTransposesAllShapes) {
   }
 }
 
-TEST(GemmKernelTest, BlockedMatchesReferenceOnVaeShapes) {
+TEST(GemmKernelTest, FastKernelsMatchReferenceOnVaeShapes) {
   // The shapes the throughput target is stated on: batch 256 x hidden
   // 64..512 (multiple K cache blocks at 512).
   util::Rng rng(7);
@@ -138,19 +150,19 @@ TEST(GemmKernelTest, BlockedMatchesReferenceOnVaeShapes) {
     const Matrix a = RandomMatrix(256, hidden, rng);
     const Matrix b = RandomMatrix(hidden, hidden, rng);
     Matrix want;
-    Matrix got;
     {
       ScopedKernel naive(GemmKernelKind::kNaive);
       Gemm(a, false, b, false, 1.0f, 0.0f, &want);
     }
-    {
-      ScopedKernel blocked(GemmKernelKind::kBlocked);
+    for (GemmKernelKind kind : FastKernels()) {
+      Matrix got;
+      ScopedKernel active(kind);
       Gemm(a, false, b, false, 1.0f, 0.0f, &got);
+      EXPECT_LE(GemmRelError(a, false, b, false, 1.0f, 0.0f, nullptr, want,
+                             got),
+                kTol)
+          << GemmKernelKindName(kind) << " hidden=" << hidden;
     }
-    EXPECT_LE(GemmRelError(a, false, b, false, 1.0f, 0.0f, nullptr, want,
-                           got),
-              kTol)
-        << "hidden=" << hidden;
   }
 }
 
@@ -314,6 +326,29 @@ TEST(KernelDispatchTest, EscapeHatchSwitchesImplementations) {
   EXPECT_LE(GemmRelError(a, false, b, false, 1.0f, 0.0f, nullptr, ref,
                          via_blocked),
             kTol);
+  if (SimdKernelAvailable()) {
+    Matrix via_simd;
+    ScopedKernel simd(GemmKernelKind::kSimd);
+    Gemm(a, false, b, false, 1.0f, 0.0f, &via_simd);
+    EXPECT_LE(GemmRelError(a, false, b, false, 1.0f, 0.0f, nullptr, ref,
+                           via_simd),
+              kTol);
+  }
+}
+
+TEST(KernelDispatchTest, KindNamesRoundTripThroughParse) {
+  for (GemmKernelKind kind :
+       {GemmKernelKind::kNaive, GemmKernelKind::kBlocked,
+        GemmKernelKind::kSimd}) {
+    GemmKernelKind parsed;
+    ASSERT_TRUE(ParseGemmKernelKind(GemmKernelKindName(kind), &parsed).ok());
+    EXPECT_EQ(parsed, kind);
+  }
+  GemmKernelKind parsed;
+  EXPECT_TRUE(ParseGemmKernelKind("auto", &parsed).ok());
+  const util::Status bad = ParseGemmKernelKind("warp-drive", &parsed);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
 }
 
 TEST(ScratchArenaTest, AcquireReleaseRoundTrip) {

@@ -56,12 +56,36 @@ TEST(StringUtilTest, ParseDouble) {
   EXPECT_FALSE(ParseDouble("1.5x", &v));
 }
 
+TEST(StringUtilTest, ParseDoubleRejectsOutOfRange) {
+  // strtod reports ERANGE for values outside the double range; accepting
+  // them would silently turn "1e999" into +inf downstream (flag parsing,
+  // CSV ingest). Underflow-to-zero of tiny denormals stays accepted —
+  // ERANGE only rejects when no finite representation exists at all.
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("1e999", &v));
+  EXPECT_FALSE(ParseDouble("-1e999", &v));
+  EXPECT_TRUE(ParseDouble("1e308", &v));
+  EXPECT_EQ(v, 1e308);
+}
+
 TEST(StringUtilTest, ParseInt64) {
   int64_t v = 0;
   EXPECT_TRUE(ParseInt64("-42", &v));
   EXPECT_EQ(v, -42);
   EXPECT_FALSE(ParseInt64("4.2", &v));
   EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringUtilTest, ParseInt64RejectsOutOfRange) {
+  // strtoll clamps to LLONG_MIN/MAX and sets ERANGE; before the errno
+  // check, "9223372036854775808" parsed "successfully" as LLONG_MAX.
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &v));
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+  EXPECT_FALSE(ParseInt64("-9223372036854775809", &v));
 }
 
 TEST(FlagsTest, ParsesEqualsAndSpaceForms) {

@@ -28,6 +28,7 @@
 #include "data/generators.h"
 #include "encoding/tuple_encoder.h"
 #include "ensemble/ensemble_model.h"
+#include "nn/kernels.h"
 #include "relation/csv.h"
 #include "server/server.h"
 #include "server/transport.h"
@@ -498,6 +499,13 @@ int main(int argc, char** argv) {
   util::ApplyThreadsFlag(flags);
   aqp::ApplyEngineFlag(flags);
   util::ApplyFailpointsFlag(flags);
+  // --kernel naive|blocked|simd|auto switches the GEMM backend in-process;
+  // unlike the DEEPAQP_KERNEL env (which warns and falls back), an explicit
+  // flag naming an unavailable or unknown backend is a hard error.
+  if (const util::Status st = nn::ApplyKernelFlag(flags); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   int rc;
   if (cmd == "make-data") rc = CmdMakeData(flags);
   else if (cmd == "train") rc = CmdTrain(flags);
