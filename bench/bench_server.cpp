@@ -4,10 +4,14 @@
 // queries/sec and tail latency per session count.
 //
 //   bench_server [--sessions 8] [--queries 16] [--rows N] [--epochs N]
-//                [--quick] [--json]
+//                [--quick] [--json] [--quant off|fp16|int8|all]
 //
-// --json writes BENCH_server.json with one record per session count,
-// carrying queries_per_sec and p50/p99 latency in milliseconds.
+// --json writes BENCH_server.json with one record per (quant mode, session
+// count), carrying queries_per_sec and p50/p99 latency in milliseconds.
+// --quant selects the decoder quantization the server generates under;
+// "all" sweeps off/fp16/int8 in one run for a direct fp32-vs-quantized
+// serving comparison (modes whose kernel self-check fails on this CPU are
+// skipped with a note).
 
 #include <algorithm>
 #include <memory>
@@ -17,6 +21,7 @@
 
 #include "bench_common.h"
 
+#include "nn/kernels_quant.h"
 #include "server/server.h"
 #include "server/transport.h"
 #include "util/flags.h"
@@ -111,6 +116,7 @@ struct ServerRecord {
   double queries_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  std::string quant;  ///< decoder quantization mode of this pass
 };
 
 }  // namespace
@@ -140,7 +146,27 @@ int main(int argc, char** argv) {
                  model.status().ToString().c_str());
     return 1;
   }
-  std::shared_ptr<const vae::VaeAqpModel> shared = std::move(*model);
+  // Non-const handle: the quant sweep re-prepares the decoder plan between
+  // passes; sessions still see it through a const shared_ptr.
+  std::shared_ptr<vae::VaeAqpModel> owned = std::move(*model);
+  std::shared_ptr<const vae::VaeAqpModel> shared = owned;
+
+  std::vector<nn::QuantMode> quant_modes;
+  const std::string quant_flag = flags.GetString("quant", "");
+  if (quant_flag == "all") {
+    quant_modes = {nn::QuantMode::kOff, nn::QuantMode::kFp16,
+                   nn::QuantMode::kInt8};
+  } else if (!quant_flag.empty()) {
+    nn::QuantMode mode;
+    if (const util::Status st = nn::ParseQuantMode(quant_flag, &mode);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+    quant_modes = {mode};
+  } else {
+    quant_modes = {nn::ActiveQuantMode()};
+  }
 
   // Cycle the workload out to the requested per-session query count.
   std::vector<QuerySpec> base = Workload();
@@ -157,49 +183,63 @@ int main(int argc, char** argv) {
   }
 
   std::vector<ServerRecord> records;
-  for (int sessions : sweep) {
-    server::AqpServer::Options sopts;
-    sopts.client.initial_samples = 400;
-    sopts.client.max_samples = 6400;
-    sopts.client.population_rows = rows;
-    sopts.client.seed = 2027;
-    server::AqpServer srv(sopts);
-    srv.registry().Install("bench", shared);
+  for (nn::QuantMode quant : quant_modes) {
+    if (const util::Status st = nn::SetQuantMode(quant); !st.ok()) {
+      std::fprintf(stderr, "skipping quant=%s: %s\n",
+                   nn::QuantModeName(quant), st.ToString().c_str());
+      continue;
+    }
+    if (const util::Status st = owned->PrepareQuantized(quant); !st.ok()) {
+      std::fprintf(stderr, "skipping quant=%s: %s\n",
+                   nn::QuantModeName(quant), st.ToString().c_str());
+      continue;
+    }
+    for (int sessions : sweep) {
+      server::AqpServer::Options sopts;
+      sopts.client.initial_samples = 400;
+      sopts.client.max_samples = 6400;
+      sopts.client.population_rows = rows;
+      sopts.client.seed = 2027;
+      server::AqpServer srv(sopts);
+      srv.registry().Install("bench", shared);
 
-    std::vector<std::vector<double>> latencies(sessions);
-    util::Stopwatch wall;
-    {
-      std::vector<std::thread> clients;
-      clients.reserve(sessions);
-      for (int s = 0; s < sessions; ++s) {
-        clients.emplace_back(
-            [&srv, &queries, &latencies, s] {
-              DriveSession(srv, queries, &latencies[s]);
-            });
+      std::vector<std::vector<double>> latencies(sessions);
+      util::Stopwatch wall;
+      {
+        std::vector<std::thread> clients;
+        clients.reserve(sessions);
+        for (int s = 0; s < sessions; ++s) {
+          clients.emplace_back(
+              [&srv, &queries, &latencies, s] {
+                DriveSession(srv, queries, &latencies[s]);
+              });
+        }
+        for (std::thread& t : clients) t.join();
       }
-      for (std::thread& t : clients) t.join();
-    }
-    const double elapsed = wall.ElapsedSeconds();
+      const double elapsed = wall.ElapsedSeconds();
 
-    std::vector<double> all;
-    for (const auto& per : latencies) {
-      all.insert(all.end(), per.begin(), per.end());
+      std::vector<double> all;
+      for (const auto& per : latencies) {
+        all.insert(all.end(), per.begin(), per.end());
+      }
+      ServerRecord r;
+      r.sessions = sessions;
+      r.threads = util::GlobalThreads();
+      r.queries = all.size();
+      r.queries_per_sec = elapsed > 0 ? all.size() / elapsed : 0.0;
+      r.p50_ms = Percentile(all, 0.50) * 1e3;
+      r.p99_ms = Percentile(all, 0.99) * 1e3;
+      r.quant = nn::QuantModeName(quant);
+      records.push_back(r);
+      std::printf(
+          "sessions=%-2d threads=%-2d quant=%-4s queries=%-3zu qps=%8.2f "
+          "p50=%7.2f ms p99=%7.2f ms\n",
+          r.sessions, r.threads, r.quant.c_str(), r.queries, r.queries_per_sec,
+          r.p50_ms, r.p99_ms);
+      std::fflush(stdout);
     }
-    ServerRecord r;
-    r.sessions = sessions;
-    r.threads = util::GlobalThreads();
-    r.queries = all.size();
-    r.queries_per_sec = elapsed > 0 ? all.size() / elapsed : 0.0;
-    r.p50_ms = Percentile(all, 0.50) * 1e3;
-    r.p99_ms = Percentile(all, 0.99) * 1e3;
-    records.push_back(r);
-    std::printf(
-        "sessions=%-2d threads=%-2d queries=%-3zu qps=%8.2f p50=%7.2f ms "
-        "p99=%7.2f ms\n",
-        r.sessions, r.threads, r.queries, r.queries_per_sec, r.p50_ms,
-        r.p99_ms);
-    std::fflush(stdout);
   }
+  (void)nn::SetQuantMode(nn::QuantMode::kOff);
 
   if (json) {
     const char* path = "BENCH_server.json";
@@ -213,11 +253,13 @@ int main(int argc, char** argv) {
       const ServerRecord& r = records[i];
       std::fprintf(f,
                    "    {\"name\": \"serve_stream\", \"sessions\": %d, "
-                   "\"threads\": %d, \"queries\": %zu, "
+                   "\"threads\": %d, \"quant\": \"%s\", "
+                   "\"queries\": %zu, "
                    "\"queries_per_sec\": %.3f, \"p50_ms\": %.3f, "
                    "\"p99_ms\": %.3f}%s\n",
-                   r.sessions, r.threads, r.queries, r.queries_per_sec,
-                   r.p50_ms, r.p99_ms, i + 1 < records.size() ? "," : "");
+                   r.sessions, r.threads, r.quant.c_str(), r.queries,
+                   r.queries_per_sec, r.p50_ms, r.p99_ms,
+                   i + 1 < records.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

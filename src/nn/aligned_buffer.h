@@ -1,0 +1,73 @@
+#ifndef DEEPAQP_NN_ALIGNED_BUFFER_H_
+#define DEEPAQP_NN_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace deepaqp::nn {
+
+/// Cache-line / SIMD-friendly allocation boundary. 64 bytes covers a full
+/// AVX-512 register and the cache-line size of every CPU we target, so any
+/// buffer allocated on this boundary is safe for aligned vector loads of
+/// every width the kernel layer uses.
+inline constexpr std::size_t kBufferAlign = 64;
+
+/// Minimal std::allocator replacement that hands out kBufferAlign-aligned
+/// storage via C++17 aligned operator new. Stateless, so vectors with this
+/// allocator swap/move exactly like plain ones.
+template <typename T, std::size_t Alignment = kBufferAlign>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two no smaller than alignof(T)");
+
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+  using propagate_on_container_move_assignment = std::true_type;
+  using is_always_equal = std::true_type;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(size_type n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, size_type n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// The buffer type used by Matrix storage and the kernel pack scratch:
+/// a std::vector whose data() is always kBufferAlign-aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// True when `p` sits on a kBufferAlign boundary (nullptr counts: an empty
+/// buffer has nothing to misalign). Used by the debug-build asserts.
+inline bool IsBufferAligned(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) % kBufferAlign) == 0;
+}
+
+}  // namespace deepaqp::nn
+
+#endif  // DEEPAQP_NN_ALIGNED_BUFFER_H_

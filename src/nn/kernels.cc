@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/aligned_buffer.h"
 #include "nn/kernels_internal.h"
 #include "util/cpu_features.h"
 #include "util/failpoint.h"
@@ -214,8 +215,8 @@ inline void MicroKernel(const float* __restrict__ a_panel,
   }
 }
 
-std::vector<float>& TlsBPack() {
-  thread_local std::vector<float> buf;
+AlignedVector<float>& TlsBPack() {
+  thread_local AlignedVector<float> buf;
   return buf;
 }
 
@@ -245,7 +246,7 @@ void BlockedGemmDriver(const View& a, const View& b, size_t m, size_t k,
   // One packed copy of op(B), shared read-only by every task. The buffer is
   // thread-local to the caller; helper lanes read it through the captured
   // pointer while the caller blocks in ParallelFor, so no lifetime hazard.
-  std::vector<float>& b_pack = TlsBPack();
+  AlignedVector<float>& b_pack = TlsBPack();
   if (b_pack.size() < kblocks * b_block_stride) {
     b_pack.resize(kblocks * b_block_stride);
   }
@@ -258,7 +259,7 @@ void BlockedGemmDriver(const View& a, const View& b, size_t m, size_t k,
 
   const size_t tasks = CeilDiv(m, kMc);
   const auto body = [&, b_packed](size_t t) {
-    thread_local std::vector<float> a_pack;
+    thread_local AlignedVector<float> a_pack;
     const size_t i0 = t * kMc;
     const size_t mc = std::min(kMc, m - i0);
     const size_t m_panels = CeilDiv(mc, kMr);

@@ -1,0 +1,109 @@
+#ifndef DEEPAQP_NN_KERNELS_QUANT_INTERNAL_H_
+#define DEEPAQP_NN_KERNELS_QUANT_INTERNAL_H_
+
+// Shared contract between the portable quantized kernels (kernels_quant.cc)
+// and the explicitly vectorized quant backend (kernels_quant_simd.cc). Same
+// rule as kernels_internal.h: everything the generic path executes is
+// defined out-of-line in kernels_quant.cc with the project-baseline ISA, so
+// no AVX2/F16C instruction can be COMDAT-merged into the fallback path.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/kernels.h"
+#include "nn/kernels_internal.h"
+#include "nn/kernels_quant.h"
+
+namespace deepaqp::nn::internal {
+
+/// int8 panel geometry: kQNr output columns per panel, kQKg k-bytes per
+/// group. One (panel, group) cell is kQNr * kQKg = 32 bytes — one ymm load
+/// — holding 4 consecutive k values for each of 8 consecutive columns in
+/// column-major-by-4 order (see QuantizedLinear::weight_i8).
+inline constexpr size_t kQNr = 8;
+inline constexpr size_t kQKg = 4;
+
+/// Rows each int8 activation value may reach: +/-127 (symmetric; -128 is
+/// never produced, which is what makes the abs/sign maddubs trick exact —
+/// |a| * sign(w, a) stays within +/-127*127 and two-term i16 sums within
+/// 2 * 127 * 127 = 32258 < 32767, so no saturation ever occurs).
+inline constexpr int kQMaxAbs = 127;
+
+/// True when kernels_quant_simd.cc was built with AVX2+FMA+F16C flags.
+bool QuantSimdCompiled();
+
+/// "avx2+f16c" or "none" — which ISA the quant SIMD TU was built for.
+const char* QuantSimdIsa();
+
+/// acc[j] = sum_k qa[k] * W_q[k, j] for one quantized activation row
+/// against all packed columns: `wq` is the full weight_i8 panel buffer,
+/// `qa` holds kgroups * kQKg bytes (zero-padded), `acc` holds
+/// n_panels * kQNr int32 lanes. Exact integer arithmetic — the two
+/// implementations are bit-identical. The SIMD variant must only be called
+/// when QuantSimdAvailable(kInt8) is true.
+void Int8DotRowScalar(const int8_t* qa, const int8_t* wq, size_t kgroups,
+                      size_t n_panels, int32_t* acc);
+void Int8DotRowSimd(const int8_t* qa, const int8_t* wq, size_t kgroups,
+                    size_t n_panels, int32_t* acc);
+
+/// Fused dequantize + bias + activation over one finished int8 output row:
+/// out[j] = act(acc[j] * (a_scale * w_scale[j]) + bias[j]). One definition
+/// (kernels_quant.cc), called by both drivers — combined with the exact
+/// integer accumulators this makes the whole int8 forward bit-identical
+/// across the scalar and SIMD paths. `bias` may be null.
+void DequantEpilogueRow(const int32_t* acc, float a_scale,
+                        const float* w_scale, const float* bias,
+                        Activation act, float leaky_slope, float* out,
+                        size_t n);
+
+/// Vectorized counterparts of the int8 row pre/post passes. Both are exact
+/// mirrors of the scalar driver code (same float expressions, no FMA
+/// contraction), so using them does not break the int8 scalar==SIMD
+/// bit-identity contract. Only callable when QuantSimdAvailable(kInt8).
+///
+/// QuantizeActRowSimd: amax-scan + symmetric int8 quantization of one
+/// activation row into `qa` (kgroups * kQKg bytes, zero-padded); returns
+/// a_scale (0 for an all-zero row, in which case `qa` is untouched).
+float QuantizeActRowSimd(const float* x, size_t k, size_t kgroups,
+                         int8_t* qa);
+
+/// DequantEpilogueRowSimd: vectorized DequantEpilogueRow for the
+/// activations whose scalar form is pure mul/add/compare (identity, relu,
+/// leaky-relu) — bitwise equal to the scalar definition. Returns false
+/// without touching `out` for any other activation; the caller must then
+/// use DequantEpilogueRow.
+bool DequantEpilogueRowSimd(const int32_t* acc, float a_scale,
+                            const float* w_scale, const float* bias,
+                            Activation act, float leaky_slope, float* out,
+                            size_t n);
+
+/// fp16 micro-kernel: C_tile(kMr x kNr) = A_panel @ half_widen(B_panel)
+/// over `kc` k steps. `a_panel` is a PackA panel (kMr-tall, kernels.cc
+/// layout); `b_panel` is a QuantizedLinear::weight_f16 panel (kk * kNr +
+/// jr). Both variants accumulate in fp32 with the same ascending-k order;
+/// they differ only by FMA contraction (the usual 1e-5 contract). The SIMD
+/// variant requires QuantSimdAvailable(kFp16).
+void Fp16MicroKernelScalar(const float* a_panel, const uint16_t* b_panel,
+                           size_t kc, float* acc);
+void Fp16MicroKernelSimd(const float* a_panel, const uint16_t* b_panel,
+                         size_t kc, float* acc);
+
+/// Paired-panel fp16 micro-kernel: walks two adjacent B panels at once with
+/// eight independent FMA chains (the same trick as the fp32 backend's 4x16
+/// tile — a lone 4x8 tile cannot cover FMA latency x throughput). Each
+/// column's accumulation order is identical to Fp16MicroKernelSimd, so the
+/// result is bit-identical to two single-panel calls.
+void Fp16MicroKernelSimdPaired(const float* a_panel, const uint16_t* b0,
+                               const uint16_t* b1, size_t kc, float* acc0,
+                               float* acc1);
+
+/// Driver with an explicit vectorization switch — the public
+/// QuantizedLinearForward resolves `use_simd` from the CPU once; the
+/// SetQuantMode self-check calls both settings and cross-checks them.
+void QuantizedLinearForwardImpl(const Matrix& x, const QuantizedLinear& q,
+                                Activation act, float leaky_slope,
+                                Matrix* out, bool use_simd);
+
+}  // namespace deepaqp::nn::internal
+
+#endif  // DEEPAQP_NN_KERNELS_QUANT_INTERNAL_H_

@@ -24,6 +24,7 @@
 #include <cstring>
 #include <vector>
 
+#include "nn/aligned_buffer.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -211,8 +212,8 @@ inline void StoreTile(const float* __restrict__ acc, size_t m_eff,
   }
 }
 
-std::vector<float>& TlsBPack() {
-  thread_local std::vector<float> buf;
+AlignedVector<float>& TlsBPack() {
+  thread_local AlignedVector<float> buf;
   return buf;
 }
 
@@ -238,7 +239,7 @@ void SimdGemmDriver(const View& a, const View& b, size_t m, size_t k,
   // Identical packing and sharing discipline as the blocked driver: one
   // packed copy of op(B) in the caller's thread-local buffer, read-only to
   // the helper lanes while the caller blocks in ParallelFor.
-  std::vector<float>& b_pack = TlsBPack();
+  AlignedVector<float>& b_pack = TlsBPack();
   if (b_pack.size() < kblocks * b_block_stride) {
     b_pack.resize(kblocks * b_block_stride);
   }
@@ -251,7 +252,7 @@ void SimdGemmDriver(const View& a, const View& b, size_t m, size_t k,
 
   const size_t tasks = CeilDiv(m, kMc);
   const auto body = [&, b_packed](size_t t) {
-    thread_local std::vector<float> a_pack;
+    thread_local AlignedVector<float> a_pack;
     const size_t i0 = t * kMc;
     const size_t mc = std::min(kMc, m - i0);
     const size_t m_panels = CeilDiv(mc, kMr);

@@ -31,7 +31,7 @@ void Matrix::GatherRowsInto(const std::vector<size_t>& indices,
 void Matrix::Serialize(util::ByteWriter& w) const {
   w.WriteU64(rows_);
   w.WriteU64(cols_);
-  w.WriteF32Vector(data_);
+  w.WriteF32Array(data_.data(), data_.size());
 }
 
 util::Result<Matrix> Matrix::Deserialize(util::ByteReader& r) {

@@ -1,9 +1,11 @@
 #ifndef DEEPAQP_NN_MATRIX_H_
 #define DEEPAQP_NN_MATRIX_H_
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
+#include "nn/aligned_buffer.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 
@@ -17,7 +19,9 @@ class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
   Matrix(size_t rows, size_t cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    assert(IsBufferAligned(data_.data()));
+  }
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -44,6 +48,7 @@ class Matrix {
     rows_ = rows;
     cols_ = cols;
     data_.resize(rows * cols);
+    assert(IsBufferAligned(data_.data()));
   }
 
   /// Fills with N(0, stddev) entries.
@@ -62,7 +67,10 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<float> data_;
+  /// 64-byte-aligned storage (see nn/aligned_buffer.h): row 0 always sits
+  /// on a cache-line boundary, so SIMD and int8 kernels may use aligned
+  /// loads on the first row and never split a cache line on packed panels.
+  AlignedVector<float> data_;
 };
 
 /// C = alpha * op(A) @ op(B) + beta * C, where op is optional transpose.

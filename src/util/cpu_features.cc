@@ -22,6 +22,7 @@ CpuFeatures Detect() {
   __builtin_cpu_init();
   f.avx2 = __builtin_cpu_supports("avx2") != 0;
   f.fma = __builtin_cpu_supports("fma") != 0;
+  f.f16c = __builtin_cpu_supports("f16c") != 0;
   f.avx512f = __builtin_cpu_supports("avx512f") != 0;
 #elif defined(__aarch64__)
 #if defined(__linux__)
@@ -37,6 +38,7 @@ CpuFeatures Detect() {
       const std::string token = Trim(name);
       if (token == "avx2") f.avx2 = false;
       if (token == "fma") f.fma = false;
+      if (token == "f16c") f.f16c = false;
       if (token == "avx512f") f.avx512f = false;
       if (token == "neon") f.neon = false;
     }
@@ -65,6 +67,7 @@ std::string CpuFeaturesToString(const CpuFeatures& features) {
   };
   if (features.avx2) add("avx2");
   if (features.fma) add("fma");
+  if (features.f16c) add("f16c");
   if (features.avx512f) add("avx512f");
   if (features.neon) add("neon");
   return out;

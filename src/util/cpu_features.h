@@ -12,14 +12,15 @@ namespace deepaqp::util {
 struct CpuFeatures {
   bool avx2 = false;     ///< x86: 256-bit integer/float vectors
   bool fma = false;      ///< x86: fused multiply-add (FMA3)
+  bool f16c = false;     ///< x86: half<->float conversion (VCVTPH2PS)
   bool avx512f = false;  ///< x86: 512-bit foundation (detected, unused)
   bool neon = false;     ///< aarch64: Advanced SIMD (baseline on AArch64)
 };
 
 /// The detected features of the running CPU, cached after the first call.
 /// The environment variable `DEEPAQP_CPU_DISABLE` (comma-separated subset
-/// of "avx2,fma,avx512f,neon", read once) masks features off — the knob CI
-/// uses to exercise the no-SIMD fallback path on SIMD hardware.
+/// of "avx2,fma,f16c,avx512f,neon", read once) masks features off — the
+/// knob CI uses to exercise the no-SIMD fallback path on SIMD hardware.
 const CpuFeatures& CpuInfo();
 
 /// Overrides CpuInfo() for tests (pass nullptr to restore real detection).

@@ -16,6 +16,11 @@ void ByteWriter::WriteF32Vector(const std::vector<float>& v) {
   AppendRaw(v.data(), v.size() * sizeof(float));
 }
 
+void ByteWriter::WriteF32Array(const float* p, size_t n) {
+  WriteU64(n);
+  AppendRaw(p, n * sizeof(float));
+}
+
 void ByteWriter::WriteF64Vector(const std::vector<double>& v) {
   WriteU64(v.size());
   AppendRaw(v.data(), v.size() * sizeof(double));

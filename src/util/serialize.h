@@ -25,6 +25,10 @@ class ByteWriter {
 
   void WriteString(const std::string& s);
   void WriteF32Vector(const std::vector<float>& v);
+  /// Same wire format as WriteF32Vector (u64 count + raw floats) for
+  /// buffers that are not a plain std::vector<float> (e.g. the aligned
+  /// Matrix storage) — byte-identical output for identical contents.
+  void WriteF32Array(const float* p, size_t n);
   void WriteF64Vector(const std::vector<double>& v);
   void WriteI32Vector(const std::vector<int32_t>& v);
 

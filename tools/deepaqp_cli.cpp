@@ -29,6 +29,7 @@
 #include "encoding/tuple_encoder.h"
 #include "ensemble/ensemble_model.h"
 #include "nn/kernels.h"
+#include "nn/kernels_quant.h"
 #include "relation/csv.h"
 #include "server/server.h"
 #include "server/transport.h"
@@ -54,7 +55,9 @@ int Usage() {
       "usage: deepaqp_cli "
       "<make-data|train|info|generate|query|load-model|save-model|serve> "
       "[--flags]\n"
-      "run with a command and no flags for that command's requirements\n",
+      "run with a command and no flags for that command's requirements\n"
+      "global flags: --threads N, --kernel naive|blocked|simd|auto, "
+      "--quant off|fp16|int8\n",
       stderr);
   return 2;
 }
@@ -503,6 +506,14 @@ int main(int argc, char** argv) {
   // unlike the DEEPAQP_KERNEL env (which warns and falls back), an explicit
   // flag naming an unavailable or unknown backend is a hard error.
   if (const util::Status st = nn::ApplyKernelFlag(flags); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  // --quant off|fp16|int8 selects the quantized decoder inference mode,
+  // with the same contract as --kernel: the DEEPAQP_QUANT env warns and
+  // falls back to fp32, an explicit flag is a hard error (including when
+  // the mode's kernel self-check fails on this CPU).
+  if (const util::Status st = nn::ApplyQuantFlag(flags); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 2;
   }
