@@ -25,6 +25,7 @@
 #include "util/flags.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/topology.h"
 #include "vae/vae_model.h"
 
 namespace deepaqp::bench {

@@ -32,6 +32,10 @@ using namespace deepaqp;  // NOLINT: bench brevity
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  if (const util::Status st = util::ApplyPinFlag(flags); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   util::ApplyThreadsFlag(flags);
   std::vector<nn::GemmKernelKind> backends;
   if (flags.Has("kernel")) {

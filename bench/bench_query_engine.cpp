@@ -71,6 +71,10 @@ auto WithEngine(aqp::EngineKind kind, Fn&& fn) {
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  if (const util::Status st = util::ApplyPinFlag(flags); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   util::ApplyThreadsFlag(flags);
   const bool quick = flags.GetBool("quick", false);
   const size_t rows = static_cast<size_t>(

@@ -125,6 +125,10 @@ struct ServerRecord {
 int main(int argc, char** argv) {
   using namespace deepaqp;
   util::Flags flags(argc, argv);
+  if (const util::Status st = util::ApplyPinFlag(flags); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   util::ApplyThreadsFlag(flags);
   const bool quick = flags.GetBool("quick", false);
   const bool json = flags.GetBool("json", false);

@@ -12,8 +12,12 @@
 // Determinism contract: the vector path visits matching rows in ascending
 // row order and each group's moments see exactly the same sequence of
 // additions as the scalar path, so results are bit-identical between the
-// engines and across `--threads` settings (the engine itself never
-// threads; a query over a client pool is already sub-millisecond).
+// engines and across `--threads` settings. The only threaded piece is the
+// selection scan on large tables (EvalPredicate fans out over fixed
+// word-aligned row blocks, node-sharded for NUMA locality): the bitmap it
+// builds is exact boolean state, so parallelizing it cannot change any
+// result. All floating-point accumulation (AccumulateSelected) stays
+// strictly serial in ascending row order.
 
 #include "aqp/engine.h"
 
@@ -26,6 +30,7 @@
 
 #include "aqp/metrics.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace deepaqp::aqp {
 
@@ -170,17 +175,20 @@ void FillCondition(const Condition& c, const relation::Table& table,
 
 }  // namespace
 
-void EvalPredicate(const Predicate& pred, const relation::Table& table,
-                   size_t begin, size_t end, SelectionVector* sel) {
-  sel->Resize(std::max(sel->size(), end));
-  if (begin >= end) return;
+namespace {
+
+/// The serial predicate pass over rows [begin, end): byte masks per
+/// condition, AND/OR combine, pack into the bitmap. Exactly the semantics
+/// of Condition::Matches; bits outside the range are untouched provided
+/// the range does not share a bitmap word with concurrent writers (the
+/// parallel dispatcher below aligns its block boundaries to whole words).
+void EvalPredicateRange(const Predicate& pred, const relation::Table& table,
+                        size_t begin, size_t end, SelectionVector* sel) {
   const size_t n = end - begin;
   if (pred.conditions.empty()) {
     for (size_t r = begin; r < end; ++r) sel->Set(r);
     return;
   }
-  // Condition masks as bytes (vectorizable compares and combines), packed
-  // into the bitmap once at the end.
   std::vector<uint8_t> mask(n);
   FillCondition(pred.conditions[0], table, begin, end, mask.data());
   std::vector<uint8_t> scratch;
@@ -196,6 +204,41 @@ void EvalPredicate(const Predicate& pred, const relation::Table& table,
   for (size_t i = 0; i < n; ++i) {
     if (mask[i]) sel->Set(begin + i);
   }
+}
+
+/// Rows per parallel scan block. A multiple of SelectionVector::kWordBits
+/// (so concurrent blocks never share a bitmap word) and fixed — never
+/// derived from the thread count — so the block layout depends only on the
+/// row range.
+constexpr size_t kScanBlockRows = size_t{1} << 14;
+
+/// Minimum range worth fanning out; below this the fork/join overhead
+/// exceeds the scan itself.
+constexpr size_t kParallelScanMinRows = size_t{1} << 16;
+
+}  // namespace
+
+void EvalPredicate(const Predicate& pred, const relation::Table& table,
+                   size_t begin, size_t end, SelectionVector* sel) {
+  sel->Resize(std::max(sel->size(), end));
+  if (begin >= end) return;
+  // Big scans fan out over fixed word-aligned row blocks, node-sharded so
+  // pinned lanes scan the rows their node holds (the generation merge
+  // first-touched them under the same sharding). The bitmap is an exact
+  // boolean artifact — no floating-point accumulation — so the parallel
+  // scan is bit-identical to the serial one at every thread count and
+  // placement policy.
+  if (end - begin >= kParallelScanMinRows && util::GlobalThreads() > 1) {
+    const size_t first_block = begin / kScanBlockRows;
+    const size_t last_block = (end - 1) / kScanBlockRows;
+    util::ParallelForSharded(first_block, last_block + 1, [&](size_t b) {
+      const size_t block_begin = std::max(begin, b * kScanBlockRows);
+      const size_t block_end = std::min(end, (b + 1) * kScanBlockRows);
+      EvalPredicateRange(pred, table, block_begin, block_end, sel);
+    });
+    return;
+  }
+  EvalPredicateRange(pred, table, begin, end, sel);
 }
 
 size_t CountMatches(const Predicate& pred, const relation::Table& table) {

@@ -56,7 +56,8 @@ util::Result<Discretizer> Discretizer::Fit(const relation::Table& table,
       continue;
     }
     info.is_numeric = true;
-    std::vector<double> values = table.NumColumn(c);
+    const auto& col = table.NumColumn(c);
+    std::vector<double> values(col.begin(), col.end());
     std::sort(values.begin(), values.end());
     std::vector<double> interior;
     EntropySplit(values, 0, values.size(), max_bins, &interior);

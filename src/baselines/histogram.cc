@@ -30,7 +30,8 @@ util::Result<HistogramModel> HistogramModel::Build(const Table& table,
       }
     } else {
       h.is_numeric = true;
-      std::vector<double> values = table.NumColumn(c);
+      const auto& col = table.NumColumn(c);
+      std::vector<double> values(col.begin(), col.end());
       std::sort(values.begin(), values.end());
       h.edges.push_back(values.front());
       for (int b = 1; b < options.numeric_bins; ++b) {

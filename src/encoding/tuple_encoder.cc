@@ -65,7 +65,8 @@ util::Result<TupleEncoder> TupleEncoder::Fit(const Table& table,
     } else {
       layout.is_numeric = true;
       // Equi-depth bin edges from the empirical distribution.
-      std::vector<double> values = table.NumColumn(c);
+      const auto& col = table.NumColumn(c);
+      std::vector<double> values(col.begin(), col.end());
       std::sort(values.begin(), values.end());
       const size_t n = values.size();
       std::vector<double> edges;

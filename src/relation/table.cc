@@ -112,6 +112,34 @@ Table Table::SampleRows(size_t k, util::Rng& rng) const {
   return Gather(rng.SampleWithoutReplacement(num_rows_, k));
 }
 
+void Table::AppendUninitializedRows(size_t n) {
+  const size_t new_rows = num_rows_ + n;
+  for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+    // FirstTouchVector resize default-initializes: the new cells are
+    // allocated but not written, deferring page placement to the writer.
+    if (schema_.IsCategorical(c)) {
+      cat_columns_[c].resize(new_rows);
+    } else {
+      num_columns_[c].resize(new_rows);
+    }
+  }
+  num_rows_ = new_rows;
+}
+
+void Table::AssignRows(size_t dst_begin, const Table& src) {
+  DEEPAQP_CHECK(schema_ == src.schema_);
+  DEEPAQP_CHECK_LE(dst_begin + src.num_rows_, num_rows_);
+  for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+    if (schema_.IsCategorical(c)) {
+      std::copy(src.cat_columns_[c].begin(), src.cat_columns_[c].end(),
+                cat_columns_[c].begin() + static_cast<ptrdiff_t>(dst_begin));
+    } else {
+      std::copy(src.num_columns_[c].begin(), src.num_columns_[c].end(),
+                num_columns_[c].begin() + static_cast<ptrdiff_t>(dst_begin));
+    }
+  }
+}
+
 util::Status Table::Append(const Table& other) {
   if (!(schema_ == other.schema_)) {
     return util::Status::InvalidArgument("Table::Append: schema mismatch");
@@ -167,12 +195,12 @@ Table Table::Project(const std::vector<size_t>& attrs) const {
   return out;
 }
 
-const std::vector<int32_t>& Table::CatColumn(size_t col) const {
+const CatVector& Table::CatColumn(size_t col) const {
   DEEPAQP_CHECK(schema_.IsCategorical(col));
   return cat_columns_[col];
 }
 
-const std::vector<double>& Table::NumColumn(size_t col) const {
+const NumVector& Table::NumColumn(size_t col) const {
   DEEPAQP_CHECK(schema_.IsNumeric(col));
   return num_columns_[col];
 }

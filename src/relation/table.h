@@ -5,12 +5,20 @@
 #include <string>
 #include <vector>
 
+#include "nn/aligned_buffer.h"
 #include "relation/dictionary.h"
 #include "relation/schema.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace deepaqp::relation {
+
+/// Column storage: aligned, huge-page-hinted, and — crucially for NUMA
+/// placement — first-touch-deferred, so appending uninitialized rows and
+/// filling them from pinned workers (AssignRows under ParallelForSharded)
+/// leaves each shard of a big table on the node that scans it.
+using CatVector = nn::FirstTouchVector<int32_t>;
+using NumVector = nn::FirstTouchVector<double>;
 
 /// One cell value: a categorical code or a numeric value, tagged by the
 /// column's schema type (the struct itself is passive; readers consult the
@@ -76,22 +84,38 @@ class Table {
   /// Appends all rows of `other`; schemas must match.
   util::Status Append(const Table& other);
 
+  /// Appends `n` rows whose cells are *uninitialized* (indeterminate until
+  /// overwritten). The new slots are allocated but not written, so the
+  /// first touch — and with it the NUMA page placement — happens on
+  /// whichever thread later fills each slice via AssignRows. Callers must
+  /// fully overwrite the new rows before any read.
+  void AppendUninitializedRows(size_t n);
+
+  /// Overwrites rows [dst_begin, dst_begin + src.num_rows()) with the rows
+  /// of `src`. Schemas must match and both tables must index categorical
+  /// codes in the same domain (e.g. copies of one empty prototype table, as
+  /// the chunked sample generator produces) — codes are copied verbatim,
+  /// without the dictionary remap Append performs. Destination rows must
+  /// already exist. Safe to call concurrently for disjoint destination
+  /// ranges: only column cells in the range are written.
+  void AssignRows(size_t dst_begin, const Table& src);
+
   /// Returns a new table containing only the given attributes (in the given
   /// order), with all rows. Dictionaries and declared cardinalities are
   /// carried over.
   Table Project(const std::vector<size_t>& attrs) const;
 
   /// Direct column access for hot paths (encoders, executors).
-  const std::vector<int32_t>& CatColumn(size_t col) const;
-  const std::vector<double>& NumColumn(size_t col) const;
+  const CatVector& CatColumn(size_t col) const;
+  const NumVector& NumColumn(size_t col) const;
 
  private:
   Schema schema_;
   size_t num_rows_ = 0;
   // Parallel arrays, one entry per attribute; only the one matching the
   // schema type is populated.
-  std::vector<std::vector<int32_t>> cat_columns_;
-  std::vector<std::vector<double>> num_columns_;
+  std::vector<CatVector> cat_columns_;
+  std::vector<NumVector> num_columns_;
   std::vector<Dictionary> dicts_;
   std::vector<int32_t> declared_cardinality_;
 };

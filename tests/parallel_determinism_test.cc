@@ -17,6 +17,7 @@
 #include "stats/cross_match.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/topology.h"
 #include "vae/vae_model.h"
 
 namespace deepaqp {
@@ -104,6 +105,47 @@ TEST(ParallelDeterminismTest, GeneratedSamplePool) {
   ASSERT_EQ(pools[0].num_rows(), 1500u);
   ExpectTablesIdentical(pools[0], pools[1]);
   ExpectTablesIdentical(pools[0], pools[2]);
+}
+
+// Placement policies decide *where* a loop index runs, never what it
+// computes: under a synthetic 2-node topology (the build machines have one
+// node), every policy must reproduce the pin=off pool bit-for-bit at every
+// thread count — including counts that straddle the fake node boundary.
+TEST(ParallelDeterminismTest, PinnedPoliciesMatchUnpinnedExactly) {
+  const relation::Table table = TrainingTable();
+  util::SetGlobalThreads(1);
+  auto trained = vae::VaeAqpModel::Train(table, SmallVaeOptions());
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  vae::VaeAqpModel& model = **trained;
+
+  util::CpuTopology two_node;
+  two_node.nodes.push_back({.id = 0, .cpus = {0, 1}});
+  two_node.nodes.push_back({.id = 1, .cpus = {2, 3}});
+  util::SetTopologyForTest(&two_node);
+  const util::PinPolicy saved = util::ActivePinPolicy();
+
+  const int pin_threads[] = {1, 4, 8};
+  std::vector<relation::Table> pools;
+  for (util::PinPolicy policy :
+       {util::PinPolicy::kOff, util::PinPolicy::kCompact,
+        util::PinPolicy::kScatter}) {
+    for (int t : pin_threads) {
+      util::SetPinPolicy(policy);
+      util::SetGlobalThreads(t);  // rebuild the pool under (policy, t)
+      util::Rng rng(777);
+      pools.push_back(model.Generate(1500, model.default_t(), rng));
+    }
+  }
+
+  util::SetTopologyForTest(nullptr);
+  util::SetPinPolicy(saved);
+  util::SetGlobalThreads(0);
+
+  ASSERT_EQ(pools[0].num_rows(), 1500u);
+  for (size_t i = 1; i < pools.size(); ++i) {
+    SCOPED_TRACE("policy/thread combination " + std::to_string(i));
+    ExpectTablesIdentical(pools[0], pools[i]);
+  }
 }
 
 TEST(ParallelDeterminismTest, CrossMatchPValue) {

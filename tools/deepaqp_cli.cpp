@@ -39,6 +39,7 @@
 #include "util/snapshot.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "util/topology.h"
 #include "vae/vae_model.h"
 
 using namespace deepaqp;  // NOLINT: tool brevity
@@ -56,8 +57,8 @@ int Usage() {
       "<make-data|train|info|generate|query|load-model|save-model|serve> "
       "[--flags]\n"
       "run with a command and no flags for that command's requirements\n"
-      "global flags: --threads N, --kernel naive|blocked|simd|auto, "
-      "--quant off|fp16|int8\n",
+      "global flags: --threads N, --pin off|compact|scatter, "
+      "--kernel naive|blocked|simd|auto, --quant off|fp16|int8\n",
       stderr);
   return 2;
 }
@@ -499,6 +500,14 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   util::Flags flags(argc - 1, argv + 1);
+  // --pin off|compact|scatter selects the worker-placement policy; it must
+  // precede ApplyThreadsFlag so the rebuilt pool plans placement under it.
+  // Like --kernel, the explicit flag is a hard error on unknown values
+  // (the DEEPAQP_PIN env var only warns).
+  if (const util::Status st = util::ApplyPinFlag(flags); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   util::ApplyThreadsFlag(flags);
   aqp::ApplyEngineFlag(flags);
   util::ApplyFailpointsFlag(flags);

@@ -34,6 +34,7 @@
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "util/topology.h"
 #include "vae/vae_model.h"
 
 using namespace deepaqp;  // NOLINT: tool brevity
@@ -99,6 +100,10 @@ util::Result<std::map<aqp::AggFunc, double>> PerOpErrors(
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  if (const util::Status st = util::ApplyPinFlag(flags); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   util::ApplyThreadsFlag(flags);
   const auto rows = static_cast<size_t>(flags.GetInt("rows", 4000));
   const int epochs = static_cast<int>(flags.GetInt("epochs", 3));
