@@ -1,13 +1,17 @@
-// Server daemon throughput/latency: N concurrent sessions over the
-// in-process pipe transport, each streaming precision-on-demand queries to
-// completion (every DATA frame acked by the client thread). Reports
-// queries/sec and tail latency per session count.
+// Server daemon throughput/latency: N concurrent sessions, each streaming
+// precision-on-demand queries to completion (every DATA frame acked by the
+// client thread). Reports queries/sec and tail latency per session count,
+// for the in-process pipe transport and for real loopback TCP (full wire
+// encode/decode + socket supervision), so the transport overhead is a
+// measured number rather than folklore.
 //
 //   bench_server [--sessions 8] [--queries 16] [--rows N] [--epochs N]
 //                [--quick] [--json] [--quant off|fp16|int8|all]
+//                [--transport pipe|tcp|all]
 //
-// --json writes BENCH_server.json with one record per (quant mode, session
-// count), carrying queries_per_sec and p50/p99 latency in milliseconds.
+// --json writes BENCH_server.json with one record per (quant mode,
+// transport, session count), carrying queries_per_sec and p50/p99 latency
+// in milliseconds.
 // --quant selects the decoder quantization the server generates under;
 // "all" sweeps off/fp16/int8 in one run for a direct fp32-vs-quantized
 // serving comparison (modes whose kernel self-check fails on this CPU are
@@ -23,6 +27,8 @@
 
 #include "nn/kernels_quant.h"
 #include "server/server.h"
+#include "server/socket_client.h"
+#include "server/socket_transport.h"
 #include "server/transport.h"
 #include "util/flags.h"
 #include "util/timer.h"
@@ -101,6 +107,35 @@ void DriveSession(server::AqpServer& srv, const std::vector<QuerySpec>& queries,
   }
 }
 
+/// TCP counterpart of DriveSession: the same workload through a
+/// RetryingConnection against the loopback SocketServer — real framing,
+/// real acks, real sockets.
+void DriveSessionTcp(uint16_t port, const std::vector<QuerySpec>& queries,
+                     std::vector<double>* latencies) {
+  server::RetryingConnection::Options copts;
+  copts.port = port;
+  server::RetryingConnection client(copts);
+  if (const util::Status st = client.Connect(); !st.ok()) {
+    std::fprintf(stderr, "tcp connect failed: %s\n", st.ToString().c_str());
+    return;
+  }
+  if (const util::Status st = client.OpenSession("bench"); !st.ok()) {
+    std::fprintf(stderr, "tcp open failed: %s\n", st.ToString().c_str());
+    return;
+  }
+  for (const QuerySpec& spec : queries) {
+    util::Stopwatch watch;
+    auto stream = client.RunQuery(spec.sql, spec.max_relative_ci);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "tcp stream failed: %s\n",
+                   stream.status().ToString().c_str());
+      return;
+    }
+    latencies->push_back(watch.ElapsedSeconds());
+  }
+  client.CloseSession();
+}
+
 double Percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0.0;
   std::sort(v.begin(), v.end());
@@ -116,7 +151,8 @@ struct ServerRecord {
   double queries_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
-  std::string quant;  ///< decoder quantization mode of this pass
+  std::string quant;      ///< decoder quantization mode of this pass
+  std::string transport;  ///< "pipe" (in-process) or "tcp" (loopback)
 };
 
 }  // namespace
@@ -186,6 +222,18 @@ int main(int argc, char** argv) {
     for (int s = 1; s <= max_sessions; s *= 2) sweep.push_back(s);
   }
 
+  std::vector<std::string> transports;
+  const std::string transport_flag = flags.GetString("transport", "all");
+  if (transport_flag == "all") {
+    transports = {"pipe", "tcp"};
+  } else if (transport_flag == "pipe" || transport_flag == "tcp") {
+    transports = {transport_flag};
+  } else {
+    std::fprintf(stderr, "bad --transport '%s' (pipe|tcp|all)\n",
+                 transport_flag.c_str());
+    return 2;
+  }
+
   std::vector<ServerRecord> records;
   for (nn::QuantMode quant : quant_modes) {
     if (const util::Status st = nn::SetQuantMode(quant); !st.ok()) {
@@ -198,49 +246,76 @@ int main(int argc, char** argv) {
                    nn::QuantModeName(quant), st.ToString().c_str());
       continue;
     }
-    for (int sessions : sweep) {
-      server::AqpServer::Options sopts;
-      sopts.client.initial_samples = 400;
-      sopts.client.max_samples = 6400;
-      sopts.client.population_rows = rows;
-      sopts.client.seed = 2027;
-      server::AqpServer srv(sopts);
-      srv.registry().Install("bench", shared);
+    for (const std::string& transport : transports) {
+      for (int sessions : sweep) {
+        server::AqpServer::Options sopts;
+        sopts.client.initial_samples = 400;
+        sopts.client.max_samples = 6400;
+        sopts.client.population_rows = rows;
+        sopts.client.seed = 2027;
+        server::AqpServer srv(sopts);
+        srv.registry().Install("bench", shared);
 
-      std::vector<std::vector<double>> latencies(sessions);
-      util::Stopwatch wall;
-      {
-        std::vector<std::thread> clients;
-        clients.reserve(sessions);
-        for (int s = 0; s < sessions; ++s) {
-          clients.emplace_back(
-              [&srv, &queries, &latencies, s] {
+        std::unique_ptr<server::SocketServer> sock;
+        if (transport == "tcp") {
+          server::SocketServer::Options tcp_opts;
+          tcp_opts.port = 0;  // ephemeral
+          sock = std::make_unique<server::SocketServer>(&srv, tcp_opts);
+          if (const util::Status st = sock->Listen(); !st.ok()) {
+            std::fprintf(stderr, "tcp listen failed: %s\n",
+                         st.ToString().c_str());
+            continue;
+          }
+          if (const util::Status st = sock->Start(); !st.ok()) {
+            std::fprintf(stderr, "tcp start failed: %s\n",
+                         st.ToString().c_str());
+            continue;
+          }
+        }
+
+        std::vector<std::vector<double>> latencies(sessions);
+        util::Stopwatch wall;
+        {
+          std::vector<std::thread> clients;
+          clients.reserve(sessions);
+          for (int s = 0; s < sessions; ++s) {
+            if (transport == "tcp") {
+              const uint16_t port = sock->port();
+              clients.emplace_back([port, &queries, &latencies, s] {
+                DriveSessionTcp(port, queries, &latencies[s]);
+              });
+            } else {
+              clients.emplace_back([&srv, &queries, &latencies, s] {
                 DriveSession(srv, queries, &latencies[s]);
               });
+            }
+          }
+          for (std::thread& t : clients) t.join();
         }
-        for (std::thread& t : clients) t.join();
-      }
-      const double elapsed = wall.ElapsedSeconds();
+        const double elapsed = wall.ElapsedSeconds();
+        if (sock != nullptr) sock->Shutdown();
 
-      std::vector<double> all;
-      for (const auto& per : latencies) {
-        all.insert(all.end(), per.begin(), per.end());
+        std::vector<double> all;
+        for (const auto& per : latencies) {
+          all.insert(all.end(), per.begin(), per.end());
+        }
+        ServerRecord r;
+        r.sessions = sessions;
+        r.threads = util::GlobalThreads();
+        r.queries = all.size();
+        r.queries_per_sec = elapsed > 0 ? all.size() / elapsed : 0.0;
+        r.p50_ms = Percentile(all, 0.50) * 1e3;
+        r.p99_ms = Percentile(all, 0.99) * 1e3;
+        r.quant = nn::QuantModeName(quant);
+        r.transport = transport;
+        records.push_back(r);
+        std::printf(
+            "sessions=%-2d threads=%-2d quant=%-4s transport=%-4s "
+            "queries=%-3zu qps=%8.2f p50=%7.2f ms p99=%7.2f ms\n",
+            r.sessions, r.threads, r.quant.c_str(), r.transport.c_str(),
+            r.queries, r.queries_per_sec, r.p50_ms, r.p99_ms);
+        std::fflush(stdout);
       }
-      ServerRecord r;
-      r.sessions = sessions;
-      r.threads = util::GlobalThreads();
-      r.queries = all.size();
-      r.queries_per_sec = elapsed > 0 ? all.size() / elapsed : 0.0;
-      r.p50_ms = Percentile(all, 0.50) * 1e3;
-      r.p99_ms = Percentile(all, 0.99) * 1e3;
-      r.quant = nn::QuantModeName(quant);
-      records.push_back(r);
-      std::printf(
-          "sessions=%-2d threads=%-2d quant=%-4s queries=%-3zu qps=%8.2f "
-          "p50=%7.2f ms p99=%7.2f ms\n",
-          r.sessions, r.threads, r.quant.c_str(), r.queries, r.queries_per_sec,
-          r.p50_ms, r.p99_ms);
-      std::fflush(stdout);
     }
   }
   (void)nn::SetQuantMode(nn::QuantMode::kOff);
@@ -258,10 +333,12 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"name\": \"serve_stream\", \"sessions\": %d, "
                    "\"threads\": %d, \"quant\": \"%s\", "
+                   "\"transport\": \"%s\", "
                    "\"queries\": %zu, "
                    "\"queries_per_sec\": %.3f, \"p50_ms\": %.3f, "
                    "\"p99_ms\": %.3f}%s\n",
-                   r.sessions, r.threads, r.quant.c_str(), r.queries,
+                   r.sessions, r.threads, r.quant.c_str(),
+                   r.transport.c_str(), r.queries,
                    r.queries_per_sec, r.p50_ms, r.p99_ms,
                    i + 1 < records.size() ? "," : "");
     }

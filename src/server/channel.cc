@@ -14,7 +14,9 @@ ChannelProducer::ChannelProducer(uint64_t channel_id, const Options& options)
 
 bool ChannelProducer::CanPush() const {
   return error_.ok() && !final_pushed_ &&
-         in_flight_.size() < options_.window;
+         in_flight_.size() < options_.window &&
+         (options_.max_buffered_bytes == 0 ||
+          stats_.buffered_bytes < options_.max_buffered_bytes);
 }
 
 util::Status ChannelProducer::Push(std::vector<uint8_t> payload, bool final) {
@@ -29,11 +31,20 @@ util::Status ChannelProducer::Push(std::vector<uint8_t> payload, bool final) {
         "channel " + std::to_string(channel_) + ": window full (" +
         std::to_string(options_.window) + " unacked frames)");
   }
+  if (options_.max_buffered_bytes != 0 &&
+      stats_.buffered_bytes >= options_.max_buffered_bytes) {
+    return util::Status::FailedPrecondition(
+        "channel " + std::to_string(channel_) + ": retransmit buffer full (" +
+        std::to_string(stats_.buffered_bytes) + " unacked bytes)");
+  }
   if (util::FailpointTriggered("server/channel_send", next_seq_)) {
     error_ = util::FailpointError("server/channel_send");
     return error_;
   }
   Pending& p = in_flight_[next_seq_];
+  stats_.buffered_bytes += payload.size();
+  stats_.peak_buffered_bytes =
+      std::max(stats_.peak_buffered_bytes, stats_.buffered_bytes);
   p.payload = std::move(payload);
   p.final = final;
   ++next_seq_;
@@ -73,6 +84,7 @@ void ChannelProducer::OnAck(const AckFrame& ack) {
   // Drop everything below the (monotonic) cumulative mark.
   while (!in_flight_.empty() &&
          in_flight_.begin()->first < cumulative_acked_) {
+    stats_.buffered_bytes -= in_flight_.begin()->second.payload.size();
     in_flight_.erase(in_flight_.begin());
   }
   // Drop selectively acknowledged frames and infer NACKs: any sent frame
@@ -84,6 +96,7 @@ void ChannelProducer::OnAck(const AckFrame& ack) {
     highest_sack = std::max(highest_sack, seq);
     auto it = in_flight_.find(seq);
     if (it != in_flight_.end()) {
+      stats_.buffered_bytes -= it->second.payload.size();
       in_flight_.erase(it);
       progressed = true;
     }
@@ -129,6 +142,15 @@ void ChannelProducer::Tick() {
     p.resend_due = true;
     ++p.retransmits;
     ++stats_.timeout_retransmits;
+  }
+}
+
+void ChannelProducer::ReplayUnacked() {
+  if (!error_.ok()) return;
+  for (auto& [seq, p] : in_flight_) {
+    if (!p.sent || p.resend_due) continue;
+    p.resend_due = true;
+    ++stats_.resume_replays;
   }
 }
 

@@ -68,6 +68,11 @@ class ChannelProducer {
     /// Retransmissions a single frame may consume before the channel gives
     /// up with a descriptive error (dead-peer bound).
     uint64_t max_retransmits_per_frame = 64;
+    /// Memory bound on the retransmit buffer: CanPush() is false while the
+    /// unacked payload bytes reach this, independent of the frame-count
+    /// window. A stalled consumer therefore caps this stream's server-side
+    /// memory at roughly max_buffered_bytes + one frame. 0 = unbounded.
+    size_t max_buffered_bytes = 8u << 20;
   };
 
   struct Stats {
@@ -75,8 +80,11 @@ class ChannelProducer {
     uint64_t transmissions = 0;     ///< DATA frames handed to PollSend callers
     uint64_t timeout_retransmits = 0;
     uint64_t nack_retransmits = 0;  ///< fast retransmits from SACK gaps
+    uint64_t resume_replays = 0;    ///< frames re-offered by ReplayUnacked
     uint64_t acks = 0;
     uint64_t stale_acks = 0;        ///< acks that acknowledged nothing new
+    size_t buffered_bytes = 0;      ///< payload bytes currently unacked
+    size_t peak_buffered_bytes = 0; ///< high-water mark of buffered_bytes
   };
 
   ChannelProducer(uint64_t channel_id, const Options& options);
@@ -105,6 +113,14 @@ class ChannelProducer {
   /// transmission is `retransmit_ticks` old become due for retransmission.
   /// A frame exceeding max_retransmits_per_frame fails the channel.
   void Tick();
+
+  /// Marks every sent-but-unacked frame due for retransmission — the
+  /// session-resumption replay. A reconnecting consumer may have lost any
+  /// suffix of the in-flight window, so everything unacked is re-offered at
+  /// the next PollSend; duplicates are dropped by the consumer. Replays do
+  /// not spend the per-frame retransmit budget (each one is triggered by an
+  /// authenticated re-attach, not by a silent peer).
+  void ReplayUnacked();
 
   /// True once the final frame was pushed and every frame is acknowledged.
   bool complete() const { return final_pushed_ && in_flight_.empty(); }

@@ -6,13 +6,26 @@
 
 namespace deepaqp::server {
 
-RequestScheduler::RequestScheduler(util::ThreadPool* pool)
-    : pool_(pool != nullptr ? pool : &util::GlobalThreadPool()) {}
+RequestScheduler::RequestScheduler(util::ThreadPool* pool,
+                                   size_t max_queue_per_strand)
+    : pool_(pool != nullptr ? pool : &util::GlobalThreadPool()),
+      max_queue_per_strand_(max_queue_per_strand) {}
 
 RequestScheduler::~RequestScheduler() { WaitIdle(); }
 
 util::Status RequestScheduler::Post(uint64_t key,
                                     std::function<void()> task) {
+  return PostImpl(key, std::move(task), /*bounded=*/true);
+}
+
+util::Status RequestScheduler::PostInternal(uint64_t key,
+                                            std::function<void()> task) {
+  return PostImpl(key, std::move(task), /*bounded=*/false);
+}
+
+util::Status RequestScheduler::PostImpl(uint64_t key,
+                                        std::function<void()> task,
+                                        bool bounded) {
   if (util::FailpointTriggered("server/enqueue", key)) {
     return util::FailpointError("server/enqueue");
   }
@@ -20,6 +33,14 @@ util::Status RequestScheduler::Post(uint64_t key,
   {
     std::lock_guard<std::mutex> lock(mu_);
     Strand& strand = strands_[key];
+    if (bounded && max_queue_per_strand_ != 0 &&
+        strand.queue.size() >= max_queue_per_strand_) {
+      return util::Status::Unavailable(
+          "SERVER_BUSY: session " + std::to_string(key) + " has " +
+          std::to_string(strand.queue.size()) +
+          " queued requests (bound " +
+          std::to_string(max_queue_per_strand_) + "); retry with backoff");
+    }
     strand.queue.push_back(std::move(task));
     ++pending_;
     if (!strand.running) {

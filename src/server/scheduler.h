@@ -26,7 +26,11 @@ class RequestScheduler {
  public:
   /// Uses `pool` for execution; with nullptr the process-global pool is
   /// used, so `--threads` sizes the server like every other parallel path.
-  explicit RequestScheduler(util::ThreadPool* pool = nullptr);
+  /// `max_queue_per_strand` bounds how many tasks one strand may hold
+  /// queued (admission control for a session that floods requests faster
+  /// than it executes them); 0 = unbounded.
+  explicit RequestScheduler(util::ThreadPool* pool = nullptr,
+                            size_t max_queue_per_strand = 0);
 
   /// Waits for all in-flight and queued tasks, then returns. Outstanding
   /// work is completed, never dropped.
@@ -37,8 +41,15 @@ class RequestScheduler {
 
   /// Enqueues `task` on `key`'s strand. Instrumented with the
   /// `server/enqueue` fail point (arg = key): an injected fault rejects
-  /// this one task with a Status and leaves the strand intact.
+  /// this one task with a Status and leaves the strand intact. When the
+  /// strand already holds max_queue_per_strand queued tasks the post is
+  /// shed with Unavailable (SERVER_BUSY) instead of queueing unboundedly.
   util::Status Post(uint64_t key, std::function<void()> task);
+
+  /// Like Post but exempt from the per-strand queue bound: internal
+  /// progress work (session steps, drain probes) must never be shed by
+  /// admission control, or a backlogged session could not drain itself.
+  util::Status PostInternal(uint64_t key, std::function<void()> task);
 
   /// Blocks until no task is queued or running anywhere.
   void WaitIdle();
@@ -53,8 +64,11 @@ class RequestScheduler {
   };
 
   void RunStrand(uint64_t key);
+  util::Status PostImpl(uint64_t key, std::function<void()> task,
+                        bool bounded);
 
   util::ThreadPool* pool_;
+  size_t max_queue_per_strand_;
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
   std::map<uint64_t, Strand> strands_;

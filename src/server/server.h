@@ -1,6 +1,7 @@
 #ifndef DEEPAQP_SERVER_SERVER_H_
 #define DEEPAQP_SERVER_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "server/session.h"
 #include "server/transport.h"
 #include "server/wire.h"
+#include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "vae/client.h"
@@ -24,14 +26,26 @@ namespace deepaqp::server {
 /// channel per query stream.
 ///
 /// A transport is anything that decodes ClientMessages, calls Handle, and
-/// owns a MessageSink for the responses — the in-process PipeTransport and
-/// the length-prefixed stdio framing of `deepaqp_cli serve` both reduce to
-/// exactly that.
+/// owns a MessageSink for the responses — the in-process PipeTransport, the
+/// length-prefixed stdio framing, and the TCP socket transport all reduce
+/// to exactly that.
 ///
 /// Handle is cheap and non-blocking: session work (estimate computation,
 /// frame transmission, retransmits) happens on the session's scheduler
 /// strand, and responses can reach the sink from those threads at any time
 /// after Handle returns.
+///
+/// Connection supervision contract: sessions are decoupled from
+/// connections. kSessionOpened carries a resumption token; when a
+/// connection dies the transport calls DetachSink (the session keeps
+/// refining until its channel windows fill, then stalls bounded), and a
+/// reconnecting client presents the token via kResumeSession to re-attach
+/// and have every unacked frame replayed. Admission control (max_sessions,
+/// max_queued_per_session) sheds overload with explicit kUnavailable
+/// SERVER_BUSY errors instead of queueing unboundedly, and the
+/// BeginShutdown/Drain pair refuses new work while in-flight streams finish
+/// (or, past the drain deadline, die with a clean SHUTTING_DOWN error —
+/// never a silent truncation).
 class AqpServer {
  public:
   struct Options {
@@ -41,6 +55,11 @@ class AqpServer {
     /// multi-session bit-identity tests pin down.
     vae::AqpClient::Options client;
     ChannelProducer::Options channel;
+    /// Admission bounds. max_sessions caps live sessions (including
+    /// detached ones awaiting resumption); max_queued_per_session caps one
+    /// strand's queued client requests. 0 = unbounded.
+    size_t max_sessions = 256;
+    size_t max_queued_per_session = 256;
   };
 
   /// `pool` = nullptr uses the process-global thread pool (--threads).
@@ -63,6 +82,30 @@ class AqpServer {
   void Handle(const ClientMessage& message,
               const std::shared_ptr<MessageSink>& sink);
 
+  /// Connection-death notification from a transport: every session whose
+  /// current sink is `sink` is detached — deliveries are dropped (the
+  /// reliable channel keeps unacked frames buffered) until the client
+  /// resumes with its token or the session is closed. Never destroys
+  /// session state.
+  void DetachSink(const std::shared_ptr<MessageSink>& sink);
+
+  /// Graceful shutdown, phase 1: refuse new sessions and new queries with
+  /// kUnavailable (SHUTTING_DOWN); already-open streams keep refining and
+  /// acks keep flowing. Idempotent.
+  void BeginShutdown();
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Graceful shutdown, phase 2 (blocking): waits up to `deadline_ms` for
+  /// every open stream to retire, then force-aborts the stragglers with a
+  /// clean SHUTTING_DOWN error per stream. Returns true when the drain
+  /// completed without aborts. Calls BeginShutdown itself.
+  bool Drain(int deadline_ms);
+
+  /// Streams currently open across all sessions (admission/drain probe;
+  /// pair with scheduler_pending()==0 for a quiescence check).
+  size_t ActiveStreams() const;
+  size_t scheduler_pending() const { return scheduler_.pending(); }
+
   /// Blocks until no session has scheduled work. Quiescence, not
   /// completion: a stream stalled on missing acks is idle, not busy.
   void WaitIdle();
@@ -81,7 +124,21 @@ class AqpServer {
  private:
   struct SessionState {
     std::unique_ptr<Session> session;
-    std::shared_ptr<MessageSink> sink;
+    uint64_t resume_token = 0;
+    /// Open-stream count mirrored out of the strand after every step so
+    /// drain/admission probes never have to block on a strand.
+    std::atomic<size_t> open_streams{0};
+
+    /// The delivery target, swapped on resume/detach. Guarded by its own
+    /// mutex because transports detach from their own threads while strand
+    /// tasks deliver.
+    std::shared_ptr<MessageSink> Sink() const;
+    void SetSink(std::shared_ptr<MessageSink> sink);
+    util::Status Send(const ServerMessage& message) const;
+
+   private:
+    mutable std::mutex sink_mu_;
+    std::shared_ptr<MessageSink> sink_;
   };
 
   std::shared_ptr<SessionState> FindSession(uint64_t session_id) const;
@@ -90,7 +147,8 @@ class AqpServer {
   /// it produced. No self-repost: Step() pumps until every stream is
   /// window-full, waiting for acks, or finished — states only an incoming
   /// event (ack, next query) can change, and each event schedules the next
-  /// step.
+  /// step. Exempt from the per-strand admission bound (internal progress
+  /// must never be shed).
   void ScheduleStep(uint64_t session_id,
                     const std::shared_ptr<SessionState>& state);
 
@@ -102,13 +160,19 @@ class AqpServer {
                  const std::shared_ptr<MessageSink>& sink);
   void HandleCloseSession(const ClientMessage& message,
                           const std::shared_ptr<MessageSink>& sink);
+  void HandleResumeSession(const ClientMessage& message,
+                           const std::shared_ptr<MessageSink>& sink);
 
   Options options_;
   ModelRegistry registry_;
   RequestScheduler scheduler_;
+  std::atomic<bool> draining_{false};
   mutable std::mutex mu_;
   uint64_t next_session_id_ = 1;
-  uint64_t next_channel_id_ = 1;
+  /// Server-assigned stream ids live above 2^32 so they can never collide
+  /// with client-chosen ids (which reconnect-safe clients pick small).
+  uint64_t next_channel_id_ = (1ull << 32) + 1;
+  util::Rng token_rng_;  ///< resume-token stream, entropy-seeded; under mu_
   std::map<uint64_t, std::shared_ptr<SessionState>> sessions_;
 };
 

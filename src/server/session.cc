@@ -24,6 +24,12 @@ util::Status Session::StartQuery(uint64_t channel, const std::string& sql,
         "max_relative_ci must be positive, got " +
         std::to_string(max_relative_ci));
   }
+  for (const QueryStream& s : streams_) {
+    // Duplicate client-chosen channel id: the query already has a stream
+    // (the client re-sent it after a reconnect, unsure whether the first
+    // copy arrived). Starting a second stream would refine the pool twice.
+    if (s.channel == channel) return util::Status::OK();
+  }
   DEEPAQP_ASSIGN_OR_RETURN(aqp::AggregateQuery query,
                            aqp::ParseSql(sql, client_->pool()));
   QueryStream stream(channel, channel_options_);
@@ -130,6 +136,18 @@ std::vector<DataFrame> Session::Step(const ModelRegistry& registry,
     if (front.exhausted || !front.producer.CanPush()) break;
   }
   return out;
+}
+
+void Session::ReplayUnacked() {
+  for (QueryStream& s : streams_) s.producer.ReplayUnacked();
+}
+
+void Session::AbortOpenStreams(const util::Status& reason,
+                               std::vector<ServerMessage>* errors) {
+  for (const QueryStream& s : streams_) {
+    if (errors != nullptr) errors->push_back(MakeError(id_, s.channel, reason));
+  }
+  streams_.clear();
 }
 
 void Session::HandleAck(const AckFrame& ack) {

@@ -42,7 +42,9 @@ class Session {
 
   /// Opens a stream for `sql` on channel id `channel`. The query is parsed
   /// against the session pool's schema immediately; a parse/validation
-  /// error fails the request, not the session.
+  /// error fails the request, not the session. Re-submitting a channel id
+  /// that already has an open stream is an idempotent no-op (a reconnecting
+  /// client may not know whether its query survived the old connection).
   util::Status StartQuery(uint64_t channel, const std::string& sql,
                           double max_relative_ci);
 
@@ -73,6 +75,18 @@ class Session {
   /// time). Unknown channel ids are ignored (late acks of completed
   /// streams are legal).
   void HandleAck(const AckFrame& ack);
+
+  /// Session-resumption replay: every stream re-offers its sent-but-unacked
+  /// frames at the next Step (the reconnecting consumer dedups). Estimates
+  /// are NOT recomputed — the retransmit buffers carry the original bytes,
+  /// which is what keeps a resumed stream bit-identical to an uninterrupted
+  /// one.
+  void ReplayUnacked();
+
+  /// Forced drain (shutdown deadline exceeded): every open stream dies with
+  /// `reason` reported through `errors`, never a silent truncation.
+  void AbortOpenStreams(const util::Status& reason,
+                        std::vector<ServerMessage>* errors);
 
   /// Model hot-swaps observed by this session.
   uint64_t model_swaps() const { return model_swaps_; }

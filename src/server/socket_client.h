@@ -1,0 +1,137 @@
+#ifndef DEEPAQP_SERVER_SOCKET_CLIENT_H_
+#define DEEPAQP_SERVER_SOCKET_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/socket_transport.h"
+#include "server/wire.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepaqp::server {
+
+/// Blocking framed TCP client socket: dials, sends encoded ClientMessages,
+/// receives ServerMessages with a poll deadline. One connection, no retry
+/// policy — RetryingConnection layers supervision on top.
+class SocketConnection {
+ public:
+  SocketConnection() = default;
+  ~SocketConnection();
+
+  SocketConnection(const SocketConnection&) = delete;
+  SocketConnection& operator=(const SocketConnection&) = delete;
+
+  /// Dials host:port with a connect deadline (nonblocking connect + poll).
+  util::Status Connect(const std::string& host, uint16_t port,
+                       int timeout_ms);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Encodes + writes one frame, looping over short writes and EINTR.
+  /// EPIPE/ECONNRESET map to a peer-closed IOError (see IsPeerClosed).
+  util::Status Send(const ClientMessage& message);
+
+  /// Blocks up to `timeout_ms` for the next server frame. nullopt = deadline
+  /// expired with the connection still healthy; a peer-closed IOError means
+  /// the server hung up (reconnect + resume territory).
+  util::Result<std::optional<ServerMessage>> Receive(int timeout_ms);
+
+ private:
+  util::Status WriteAll(const uint8_t* data, size_t n);
+
+  int fd_ = -1;
+  FrameParser parser_;
+};
+
+/// Supervised client connection: exponential backoff with deterministic
+/// jitter on (re)connect, session resumption by token after a connection
+/// loss, and idempotent query re-send (client-chosen channel ids), so one
+/// RunQuery call survives any number of mid-stream connection drops and
+/// still returns the exact estimate sequence of an uninterrupted run.
+///
+/// SERVER_BUSY / SHUTTING_DOWN rejections (kUnavailable) are surfaced to
+/// the caller, not retried blindly: shedding only works if shed clients
+/// actually slow down, so the caller owns that retry decision.
+class RetryingConnection {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Dial attempts per (re)connect before giving up.
+    int max_attempts = 10;
+    /// Backoff schedule: attempt k sleeps ~initial_backoff_ms * 2^k,
+    /// capped, with deterministic jitter in [0.5, 1.0) of the nominal
+    /// delay (seeded, so tests replay the exact schedule).
+    int initial_backoff_ms = 5;
+    int max_backoff_ms = 1000;
+    uint64_t backoff_seed = 0x5eedULL;
+    int connect_timeout_ms = 2000;
+    /// Per-frame receive deadline inside RunQuery/handshakes. A healthy
+    /// stream refines continuously, so a long silence is an error, not
+    /// patience.
+    int io_timeout_ms = 30000;
+  };
+
+  explicit RetryingConnection(const Options& options);
+
+  /// Dials with backoff. Idempotent if already connected.
+  util::Status Connect();
+  void Close();
+
+  /// Opens a session on `model` (0 knobs = server defaults) and records the
+  /// resumption token. Connection-loss failures during the handshake are
+  /// redialed with backoff (up to max_attempts); typed server rejections
+  /// (SERVER_BUSY, SHUTTING_DOWN, unknown model) are surfaced immediately.
+  util::Status OpenSession(const std::string& model,
+                           uint64_t initial_samples = 0,
+                           uint64_t max_samples = 0,
+                           uint64_t population_rows = 0, uint64_t seed = 0);
+
+  struct StreamResult {
+    uint64_t channel = 0;
+    std::vector<Estimate> estimates;  ///< in refinement order
+    uint64_t resumes = 0;     ///< reconnect+resume cycles survived mid-stream
+    uint64_t duplicates = 0;  ///< replayed frames dropped by the dedup
+  };
+
+  /// Runs one precision-on-demand query to completion, acking frames and
+  /// transparently reconnecting + resuming on connection loss.
+  util::Result<StreamResult> RunQuery(const std::string& sql,
+                                      double max_relative_ci);
+
+  /// PING/PONG round trip (liveness probe; use between streams).
+  util::Status Ping();
+
+  /// Closes the session server-side (waits for the confirmation), then the
+  /// socket.
+  util::Status CloseSession();
+
+  uint64_t session() const { return session_; }
+  uint64_t resume_token() const { return resume_token_; }
+  uint64_t reconnects() const { return reconnects_; }
+
+ private:
+  /// Dial loop with backoff+jitter; plain connect, no handshake.
+  util::Status Dial();
+  /// One open-session exchange on the current connection.
+  util::Status TryOpenOnce(const ClientMessage& open);
+  /// Dial + kResumeSession handshake (when a session exists).
+  util::Status Reconnect();
+  int BackoffDelayMs(int attempt);
+
+  Options options_;
+  util::Rng jitter_;
+  SocketConnection conn_;
+  uint64_t session_ = 0;
+  uint64_t resume_token_ = 0;
+  uint64_t next_channel_ = 1;  ///< client-chosen stream ids (idempotency)
+  uint64_t next_nonce_ = 1;
+  uint64_t reconnects_ = 0;
+};
+
+}  // namespace deepaqp::server
+
+#endif  // DEEPAQP_SERVER_SOCKET_CLIENT_H_

@@ -1,0 +1,162 @@
+#ifndef DEEPAQP_SERVER_SOCKET_TRANSPORT_H_
+#define DEEPAQP_SERVER_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "server/transport.h"
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace deepaqp::server {
+
+/// Incremental length-prefixed frame parser for a nonblocking byte stream.
+/// Feed whatever recv() produced; complete frames pop out in order. The
+/// parser enforces kMaxFrameBytes before buffering a body, so a corrupt or
+/// hostile length prefix costs nothing.
+class FrameParser {
+ public:
+  /// Appends `n` raw bytes. Returns InvalidArgument once the stream is
+  /// poisoned (oversized frame) — the connection must be dropped, because
+  /// framing can never resynchronize.
+  util::Status Feed(const uint8_t* data, size_t n);
+
+  /// Pops the next complete frame body, if any.
+  bool Next(std::vector<uint8_t>* frame);
+
+  /// Bytes currently buffered (partial frame).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already popped as frames
+  bool poisoned_ = false;
+};
+
+/// TCP socket server: accepts connections on a listening socket and speaks
+/// the length-prefixed wire protocol (u32 length + encoded message), with
+/// connection supervision layered on top of an AqpServer:
+///
+///  - One poll() loop thread owns every socket. Reads and writes are
+///    nonblocking; partially written responses are buffered per connection
+///    and drained on POLLOUT. Scheduler threads never touch a socket: a
+///    Deliver from a strand encodes the message, appends it to the
+///    connection's outbox under its lock, and wakes the loop via a
+///    self-pipe.
+///  - Heartbeats: any inbound byte refreshes a connection's liveness
+///    deadline; kPing additionally earns a kPong. A connection silent for
+///    `heartbeat_ms * heartbeat_misses` is reaped — the SOCKET dies but the
+///    sessions it carried are detached, not destroyed, and remain resumable
+///    by token until the server exits.
+///  - Blast radius: every socket-level failure (read error, write error,
+///    poisoned framing, injected socket/read|write|accept faults,
+///    server/heartbeat_miss) closes exactly one connection. The daemon and
+///    all other connections keep serving.
+///  - Shutdown: Shutdown() stops accepting, asks the AqpServer to drain
+///    (in-flight streams finish or die with SHUTTING_DOWN within the
+///    deadline), flushes what can be flushed, then closes everything. The
+///    poll loop keeps pumping acks during the drain — a blocking drain on
+///    the loop thread would deadlock the very streams it waits for.
+///
+/// Fail points: socket/accept (accepted connection is immediately closed),
+/// socket/read (connection's read path fails), socket/write (connection's
+/// write path fails), server/heartbeat_miss (connection's liveness deadline
+/// is treated as expired at the next tick).
+class SocketServer {
+ public:
+  struct Options {
+    /// Port to bind (loopback or all interfaces per `bind_address`).
+    /// 0 = ephemeral; the chosen port is readable via port().
+    uint16_t port = 0;
+    std::string bind_address = "127.0.0.1";
+    /// Liveness: a connection with no inbound traffic for heartbeat_ms is
+    /// expected to have pinged; after `heartbeat_misses` silent intervals
+    /// it is reaped. 0 disables reaping (trusted in-process tests).
+    int heartbeat_ms = 5000;
+    int heartbeat_misses = 3;
+    /// Graceful-shutdown budget: how long Shutdown waits for in-flight
+    /// streams before force-aborting them.
+    int drain_deadline_ms = 5000;
+    /// Hard cap on simultaneously open connections; excess accepts are
+    /// closed immediately (the client sees EOF and backs off). 0 =
+    /// unbounded.
+    size_t max_connections = 1024;
+  };
+
+  /// Binds + listens; does not serve yet (Start launches the loop thread).
+  /// `server` must outlive this object.
+  SocketServer(AqpServer* server, const Options& options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds the listening socket. Returns the OS error if the port is taken.
+  util::Status Listen();
+
+  /// Launches the poll-loop thread. Requires a successful Listen.
+  util::Status Start();
+
+  /// Graceful shutdown: stop accepting, drain the AqpServer (bounded by
+  /// drain_deadline_ms), flush outboxes, close every socket, join the loop.
+  /// Idempotent. Returns true when the drain finished without aborting
+  /// streams.
+  bool Shutdown();
+
+  /// The bound port (after Listen; resolves port=0 to the ephemeral pick).
+  uint16_t port() const { return bound_port_; }
+
+  /// Currently open client connections (observability/tests).
+  size_t num_connections() const;
+
+  /// Total connections reaped by the liveness deadline (tests).
+  uint64_t reaped_connections() const {
+    return reaped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class Connection;
+  /// MessageSink bound to one connection; outlives it (strand tasks hold
+  /// refs), delivering into a dead connection returns peer-closed.
+  class ConnectionSink;
+
+  void Loop();
+  void AcceptOne();
+  /// Reads all available bytes, parses frames, dispatches to the server.
+  /// Returns false when the connection must close (EOF, error, fault).
+  bool ReadReady(Connection* conn);
+  /// Flushes as much of the outbox as the socket accepts just now.
+  bool WriteReady(Connection* conn);
+  void CloseConnection(uint64_t conn_id, const char* why);
+  void Wake();
+
+  AqpServer* server_;
+  Options options_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> shut_down_{false};
+  std::atomic<uint64_t> reaped_{0};
+  bool drain_clean_ = true;
+
+  mutable std::mutex conns_mu_;
+  uint64_t next_conn_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace deepaqp::server
+
+#endif  // DEEPAQP_SERVER_SOCKET_TRANSPORT_H_

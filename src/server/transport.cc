@@ -2,12 +2,13 @@
 
 namespace deepaqp::server {
 
-void PipeTransport::Deliver(const ServerMessage& message) {
+util::Status PipeTransport::Deliver(const ServerMessage& message) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(message);
   }
   cv_.notify_one();
+  return util::Status::OK();
 }
 
 ServerMessage PipeTransport::Pop() {
@@ -31,10 +32,11 @@ size_t PipeTransport::pending() const {
   return queue_.size();
 }
 
-void StdioTransport::Deliver(const ServerMessage& message) {
+util::Status StdioTransport::Deliver(const ServerMessage& message) {
   std::lock_guard<std::mutex> lock(mu_);
   util::Status status = WriteFramed(out_, EncodeServerMessage(message));
-  if (!status.ok()) last_error_ = std::move(status);
+  if (!status.ok()) last_error_ = status;
+  return status;
 }
 
 util::Result<std::optional<ClientMessage>> StdioTransport::ReadRequest(

@@ -22,7 +22,11 @@ namespace deepaqp::server {
 class MessageSink {
  public:
   virtual ~MessageSink() = default;
-  virtual void Deliver(const ServerMessage& message) = 0;
+  /// Delivery outcome: a non-OK status means the bytes did not reach the
+  /// peer (dead connection, I/O error). Callers on the server side may
+  /// ignore it for frames the reliable channel will retransmit anyway, but
+  /// a sink must never silently drop bytes and report success.
+  virtual util::Status Deliver(const ServerMessage& message) = 0;
 };
 
 /// In-process pipe: a thread-safe FIFO the client side drains. This is the
@@ -31,7 +35,7 @@ class MessageSink {
 /// nondeterminism is scheduling (which the protocol already tolerates).
 class PipeTransport : public MessageSink {
  public:
-  void Deliver(const ServerMessage& message) override;
+  util::Status Deliver(const ServerMessage& message) override;
 
   /// Blocks until a message is available and pops it.
   ServerMessage Pop();
@@ -55,7 +59,7 @@ class StdioTransport : public MessageSink {
  public:
   explicit StdioTransport(std::FILE* out) : out_(out) {}
 
-  void Deliver(const ServerMessage& message) override;
+  util::Status Deliver(const ServerMessage& message) override;
 
   /// Reads and decodes the next client frame from `in`. nullopt = clean EOF.
   static util::Result<std::optional<ClientMessage>> ReadRequest(std::FILE* in);

@@ -1,5 +1,8 @@
 #include "server/wire.h"
 
+#include <cerrno>
+#include <cstring>
+
 #include "util/serialize.h"
 
 namespace deepaqp::server {
@@ -125,6 +128,7 @@ std::vector<uint8_t> EncodeClientMessage(const ClientMessage& msg) {
       w.WriteU64(msg.session);
       w.WriteString(msg.sql);
       w.WriteF64(msg.max_relative_ci);
+      w.WriteU64(msg.channel);
       break;
     case ClientMessageKind::kAck:
       w.WriteU64(msg.session);
@@ -132,6 +136,14 @@ std::vector<uint8_t> EncodeClientMessage(const ClientMessage& msg) {
       break;
     case ClientMessageKind::kCloseSession:
       w.WriteU64(msg.session);
+      break;
+    case ClientMessageKind::kResumeSession:
+      w.WriteU64(msg.session);
+      w.WriteU64(msg.resume_token);
+      break;
+    case ClientMessageKind::kPing:
+      w.WriteU64(msg.session);
+      w.WriteU64(msg.nonce);
       break;
   }
   return w.bytes();
@@ -157,6 +169,7 @@ util::Result<ClientMessage> DecodeClientMessage(
       DEEPAQP_ASSIGN_OR_RETURN(msg.session, r.ReadU64());
       DEEPAQP_ASSIGN_OR_RETURN(msg.sql, r.ReadString());
       DEEPAQP_ASSIGN_OR_RETURN(msg.max_relative_ci, r.ReadF64());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.channel, r.ReadU64());
       break;
     }
     case ClientMessageKind::kAck: {
@@ -168,6 +181,18 @@ util::Result<ClientMessage> DecodeClientMessage(
     case ClientMessageKind::kCloseSession: {
       msg.kind = ClientMessageKind::kCloseSession;
       DEEPAQP_ASSIGN_OR_RETURN(msg.session, r.ReadU64());
+      break;
+    }
+    case ClientMessageKind::kResumeSession: {
+      msg.kind = ClientMessageKind::kResumeSession;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.session, r.ReadU64());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.resume_token, r.ReadU64());
+      break;
+    }
+    case ClientMessageKind::kPing: {
+      msg.kind = ClientMessageKind::kPing;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.session, r.ReadU64());
+      DEEPAQP_ASSIGN_OR_RETURN(msg.nonce, r.ReadU64());
       break;
     }
     default:
@@ -187,7 +212,13 @@ std::vector<uint8_t> EncodeServerMessage(const ServerMessage& msg) {
   w.WriteU64(msg.session);
   switch (msg.kind) {
     case ServerMessageKind::kSessionOpened:
+      w.WriteU64(msg.resume_token);
+      break;
     case ServerMessageKind::kSessionClosed:
+    case ServerMessageKind::kSessionResumed:
+      break;
+    case ServerMessageKind::kPong:
+      w.WriteU64(msg.nonce);
       break;
     case ServerMessageKind::kQueryStarted:
       w.WriteU64(msg.channel);
@@ -211,12 +242,22 @@ util::Result<ServerMessage> DecodeServerMessage(
   DEEPAQP_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
   DEEPAQP_ASSIGN_OR_RETURN(msg.session, r.ReadU64());
   switch (static_cast<ServerMessageKind>(kind)) {
-    case ServerMessageKind::kSessionOpened:
+    case ServerMessageKind::kSessionOpened: {
       msg.kind = ServerMessageKind::kSessionOpened;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.resume_token, r.ReadU64());
       break;
+    }
     case ServerMessageKind::kSessionClosed:
       msg.kind = ServerMessageKind::kSessionClosed;
       break;
+    case ServerMessageKind::kSessionResumed:
+      msg.kind = ServerMessageKind::kSessionResumed;
+      break;
+    case ServerMessageKind::kPong: {
+      msg.kind = ServerMessageKind::kPong;
+      DEEPAQP_ASSIGN_OR_RETURN(msg.nonce, r.ReadU64());
+      break;
+    }
     case ServerMessageKind::kQueryStarted: {
       msg.kind = ServerMessageKind::kQueryStarted;
       DEEPAQP_ASSIGN_OR_RETURN(msg.channel, r.ReadU64());
@@ -278,6 +319,44 @@ util::Status AppendFramed(const std::vector<uint8_t>& body,
   return util::Status::OK();
 }
 
+namespace {
+
+/// Writes all of [data, data+n) to `f`, looping over short writes and
+/// retrying EINTR — stdio gives no partial-write guarantee on signals, and
+/// silently dropping a frame suffix desynchronizes the length-prefixed
+/// stream forever. A dead peer surfaces as EPIPE/ECONNRESET, which is
+/// reported with the kPeerClosedMarker so callers can treat it as a
+/// connection-close rather than a daemon-fatal error.
+util::Status WriteAllStdio(std::FILE* f, const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    errno = 0;
+    const size_t wrote = std::fwrite(data + off, 1, n - off, f);
+    off += wrote;
+    if (off == n) break;
+    if (errno == EINTR) {
+      std::clearerr(f);
+      continue;
+    }
+    if (wrote > 0 && !std::ferror(f)) continue;  // plain short write
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return util::Status::IOError(std::string(kPeerClosedMarker) +
+                                   ": " + std::strerror(errno));
+    }
+    return util::Status::IOError(
+        std::string("write failed on framed stream: ") +
+        (errno != 0 ? std::strerror(errno) : "short write"));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+bool IsPeerClosed(const util::Status& status) {
+  return status.code() == util::StatusCode::kIOError &&
+         status.message().find(kPeerClosedMarker) != std::string::npos;
+}
+
 util::Status WriteFramed(std::FILE* f, const std::vector<uint8_t>& body) {
   if (body.size() > kMaxFrameBytes) {
     return util::Status::InvalidArgument("frame exceeds kMaxFrameBytes");
@@ -285,12 +364,20 @@ util::Status WriteFramed(std::FILE* f, const std::vector<uint8_t>& body) {
   const auto n = static_cast<uint32_t>(body.size());
   uint8_t prefix[4];
   EncodePrefix(n, prefix);
-  if (std::fwrite(prefix, sizeof(prefix), 1, f) != 1 ||
-      (n > 0 && std::fwrite(body.data(), 1, n, f) != n)) {
-    return util::Status::IOError("short write on framed stream");
-  }
-  if (std::fflush(f) != 0) {
-    return util::Status::IOError("flush failed on framed stream");
+  DEEPAQP_RETURN_IF_ERROR(WriteAllStdio(f, prefix, sizeof(prefix)));
+  if (n > 0) DEEPAQP_RETURN_IF_ERROR(WriteAllStdio(f, body.data(), n));
+  while (std::fflush(f) != 0) {
+    if (errno == EINTR) {
+      std::clearerr(f);
+      continue;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return util::Status::IOError(std::string(kPeerClosedMarker) +
+                                   ": " + std::strerror(errno));
+    }
+    return util::Status::IOError(
+        std::string("flush failed on framed stream: ") +
+        std::strerror(errno));
   }
   return util::Status::OK();
 }

@@ -27,6 +27,15 @@ enum class ClientMessageKind : uint8_t {
   kQuery = 2,
   kAck = 3,
   kCloseSession = 4,
+  /// Re-attach to an existing session after a connection loss. Carries the
+  /// resumption token issued by kSessionOpened; on success the server swaps
+  /// the session onto the new connection and replays every unacked DATA
+  /// frame (the consumer side dedups, so the stream stays exactly-once).
+  kResumeSession = 5,
+  /// Connection heartbeat. Any inbound traffic refreshes the server's
+  /// per-connection liveness deadline; a PING additionally earns a PONG so
+  /// the client can tell a live-but-quiet server from a dead one.
+  kPing = 6,
 };
 
 struct ClientMessage {
@@ -40,16 +49,27 @@ struct ClientMessage {
   uint64_t population_rows = 0;
   uint64_t seed = 0;
 
-  /// kQuery / kAck / kCloseSession.
+  /// kQuery / kAck / kCloseSession / kResumeSession / kPing.
   uint64_t session = 0;
 
-  /// kQuery: precision-on-demand request — estimates stream on a fresh
-  /// channel until every group's relative CI reaches `max_relative_ci`.
+  /// kQuery: precision-on-demand request — estimates stream on a channel
+  /// until every group's relative CI reaches `max_relative_ci`. `channel`
+  /// 0 lets the server allocate the stream id (legacy behavior); a nonzero
+  /// client-chosen id (unique within the session) makes the request
+  /// idempotent across reconnects — re-sending the same channel id never
+  /// starts a second stream.
   std::string sql;
   double max_relative_ci = 0.0;
+  uint64_t channel = 0;
 
   /// kAck.
   AckFrame ack;
+
+  /// kResumeSession: token issued at open.
+  uint64_t resume_token = 0;
+
+  /// kPing: echoed back in the PONG.
+  uint64_t nonce = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -61,6 +81,9 @@ enum class ServerMessageKind : uint8_t {
   kData = 3,
   kError = 4,
   kSessionClosed = 5,
+  kPong = 6,
+  /// Session re-attached after kResumeSession; unacked frames follow.
+  kSessionResumed = 7,
 };
 
 struct ServerMessage {
@@ -74,9 +97,18 @@ struct ServerMessage {
   DataFrame data;
 
   /// kError: a util::Status projected onto the wire. The session survives
-  /// an error — only the failed request/stream is dead.
+  /// an error — only the failed request/stream is dead. Overload shedding
+  /// (SERVER_BUSY) and shutdown refusals (SHUTTING_DOWN) arrive as code
+  /// kUnavailable: the request was shed, retry with backoff.
   int32_t code = 0;
   std::string message;
+
+  /// kSessionOpened: secret the client presents to resume this session on
+  /// a fresh connection after the original one died.
+  uint64_t resume_token = 0;
+
+  /// kPong: the PING's nonce, echoed.
+  uint64_t nonce = 0;
 };
 
 /// Convenience constructor for error responses.
@@ -123,8 +155,16 @@ inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 util::Status AppendFramed(const std::vector<uint8_t>& body,
                           std::vector<uint8_t>* out);
 
-/// Writes one length-prefixed message to `f` and flushes.
+/// Writes one length-prefixed message to `f` and flushes, looping over
+/// short writes and retrying EINTR (a signal must never desynchronize the
+/// frame stream by dropping a suffix).
 util::Status WriteFramed(std::FILE* f, const std::vector<uint8_t>& body);
+
+/// Marker embedded in the Status message when a write failed because the
+/// peer vanished (EPIPE/ECONNRESET); IsPeerClosed tests for it. A server
+/// treats this as "that connection is gone", never as a daemon-fatal error.
+inline constexpr const char* kPeerClosedMarker = "peer closed";
+bool IsPeerClosed(const util::Status& status);
 
 /// Reads one length-prefixed message from `f`. Returns nullopt on clean EOF
 /// (stream ended between messages) and a Status error on truncation inside

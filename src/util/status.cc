@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

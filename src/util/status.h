@@ -19,6 +19,10 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIOError,
+  /// Transient overload or shutdown: the request was shed, not failed —
+  /// retrying later (with backoff) is expected to succeed. This is the code
+  /// behind the server's SERVER_BUSY / SHUTTING_DOWN rejections.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -60,6 +64,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

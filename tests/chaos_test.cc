@@ -5,10 +5,12 @@
 // configured but not firing the pipeline is bit-identical to a run with
 // the subsystem disabled.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +21,8 @@
 #include "ensemble/partitioning.h"
 #include "relation/table.h"
 #include "server/server.h"
+#include "server/socket_client.h"
+#include "server/socket_transport.h"
 #include "server/transport.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -543,6 +547,162 @@ TEST_F(ChaosTest, ServerChannelSendFaultFailsStreamNotSession) {
     EXPECT_TRUE(std::isfinite(g.value));
     EXPECT_TRUE(std::isfinite(g.ci_half_width));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Socket transport faults: every injected socket-layer failure has a blast
+// radius of exactly one connection (and at most one dial). Sessions outlive
+// their connections, other clients never notice, the process never dies.
+
+/// One loopback TCP server over ServerChaosOptions, model "m" registered.
+/// Heartbeats tick but the natural liveness deadline is far away, so only
+/// an injected fault ever reaps a connection.
+struct ChaosTcpServer {
+  ChaosTcpServer() {
+    srv = std::make_unique<server::AqpServer>(ServerChaosOptions());
+    auto version = srv->registry().Register("m", HealthyModelBytes());
+    EXPECT_TRUE(version.ok()) << version.status().ToString();
+    server::SocketServer::Options sopts;
+    sopts.port = 0;  // ephemeral
+    sopts.heartbeat_ms = 200;
+    sopts.heartbeat_misses = 1000;
+    sock = std::make_unique<server::SocketServer>(srv.get(), sopts);
+    EXPECT_TRUE(sock->Listen().ok());
+    EXPECT_TRUE(sock->Start().ok());
+  }
+  ~ChaosTcpServer() {
+    util::DisableFailpoints();  // a socket fault must never hit the drain
+    sock->Shutdown();
+  }
+  std::unique_ptr<server::AqpServer> srv;
+  std::unique_ptr<server::SocketServer> sock;
+};
+
+server::RetryingConnection::Options ChaosClient(const ChaosTcpServer& ts) {
+  server::RetryingConnection::Options copts;
+  copts.port = ts.sock->port();
+  return copts;
+}
+
+void ExpectFiniteFinal(const server::RetryingConnection::StreamResult& s) {
+  ASSERT_FALSE(s.estimates.empty());
+  EXPECT_TRUE(std::isfinite(s.estimates.back().result.Scalar()));
+}
+
+TEST_F(ChaosTest, SocketAcceptFaultDropsOneDialNotTheListener) {
+  ChaosTcpServer ts;
+  ASSERT_TRUE(util::ConfigureFailpoints("socket/accept=once").ok());
+
+  // The first TCP handshake completes via the kernel backlog but the server
+  // drops the accepted socket, so the open handshake dies with it; the
+  // supervised client redials (the listener survived the fault) and the
+  // second dial serves normally.
+  server::RetryingConnection client(ChaosClient(ts));
+  ASSERT_TRUE(client.OpenSession("m").ok());
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_EQ(ts.sock->num_connections(), 1u);  // only the redial survived
+  util::DisableFailpoints();
+
+  auto result = client.RunQuery("SELECT AVG(fare) FROM R", 0.1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectFiniteFinal(*result);
+  EXPECT_EQ(ts.srv->num_sessions(), 1u);
+}
+
+TEST_F(ChaosTest, SocketReadFaultCostsOneConnectionStreamResumes) {
+  ChaosTcpServer ts;
+  server::RetryingConnection client(ChaosClient(ts));
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.OpenSession("m").ok());
+
+  // The read of the query frame kills the connection server-side; the
+  // supervised client reconnects, resumes by token and re-sends the query.
+  ASSERT_TRUE(util::ConfigureFailpoints("socket/read=once").ok());
+  auto result = client.RunQuery("SELECT AVG(fare) FROM R", 0.1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectFiniteFinal(*result);
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_EQ(ts.srv->num_sessions(), 1u);
+  util::DisableFailpoints();
+
+  // Other clients were never in the blast radius.
+  server::RetryingConnection other(ChaosClient(ts));
+  ASSERT_TRUE(other.Connect().ok());
+  ASSERT_TRUE(other.OpenSession("m").ok());
+  auto second = other.RunQuery("SELECT COUNT(*) FROM R", 0.1);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(other.reconnects(), 0u);
+  EXPECT_EQ(ts.srv->num_sessions(), 2u);
+}
+
+TEST_F(ChaosTest, SocketWriteFaultCostsOneConnectionStreamResumes) {
+  ChaosTcpServer ts;
+  server::RetryingConnection client(ChaosClient(ts));
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.OpenSession("m").ok());
+
+  // The first server->client write after arming (the stream's start
+  // notification or first frame) fails; same supervised recovery.
+  ASSERT_TRUE(util::ConfigureFailpoints("socket/write=once").ok());
+  auto result = client.RunQuery("SELECT AVG(fare) FROM R", 0.1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectFiniteFinal(*result);
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_EQ(ts.srv->num_sessions(), 1u);
+}
+
+TEST_F(ChaosTest, HeartbeatMissReapsOneConnectionSessionsSurvive) {
+  ChaosTcpServer ts;
+  server::RetryingConnection a(ChaosClient(ts));
+  server::RetryingConnection b(ChaosClient(ts));
+  ASSERT_TRUE(a.Connect().ok());
+  ASSERT_TRUE(a.OpenSession("m").ok());
+  ASSERT_TRUE(b.Connect().ok());
+  ASSERT_TRUE(b.OpenSession("m").ok());
+  EXPECT_EQ(ts.sock->num_connections(), 2u);
+  EXPECT_EQ(ts.srv->num_sessions(), 2u);
+
+  // One injected liveness expiry: the next heartbeat tick reaps exactly one
+  // connection. Sessions are connection-independent, so both survive.
+  ASSERT_TRUE(util::ConfigureFailpoints("server/heartbeat_miss=once").ok());
+  for (int i = 0; i < 400 && ts.sock->reaped_connections() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(ts.sock->reaped_connections(), 1u);
+  EXPECT_EQ(ts.sock->num_connections(), 1u);
+  EXPECT_EQ(ts.srv->num_sessions(), 2u);
+  util::DisableFailpoints();
+
+  // Both clients still complete streams; only the reaped one reconnects.
+  auto ra = a.RunQuery("SELECT AVG(fare) FROM R", 0.1);
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  auto rb = b.RunQuery("SELECT COUNT(*) FROM R", 0.1);
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_EQ(a.reconnects() + b.reconnects(), 1u);
+  EXPECT_EQ(ts.srv->num_sessions(), 2u);
+}
+
+TEST_F(ChaosTest, AdmissionFaultShedsOneOpenNotTheServer) {
+  ChaosTcpServer ts;
+  ASSERT_TRUE(util::ConfigureFailpoints("server/admission=once").ok());
+
+  // The open is shed with a typed SERVER_BUSY the client surfaces to its
+  // caller (shedding only works if shed clients actually back off); the
+  // connection itself stays healthy.
+  server::RetryingConnection client(ChaosClient(ts));
+  ASSERT_TRUE(client.Connect().ok());
+  util::Status shed = client.OpenSession("m");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), util::StatusCode::kUnavailable);
+  EXPECT_NE(shed.message().find("SERVER_BUSY"), std::string::npos);
+  EXPECT_EQ(ts.srv->num_sessions(), 0u);
+
+  // The trigger disarmed itself: the retry on the same connection serves.
+  ASSERT_TRUE(client.OpenSession("m").ok());
+  auto result = client.RunQuery("SELECT AVG(fare) FROM R", 0.1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectFiniteFinal(*result);
+  EXPECT_EQ(ts.srv->num_sessions(), 1u);
 }
 
 }  // namespace

@@ -361,6 +361,93 @@ TEST(ServerChannelTest, SackGapTriggersFastRetransmit) {
   EXPECT_EQ(producer.stats().timeout_retransmits, 0u);
 }
 
+TEST(ServerChannelTest, ByteBoundCapsRetransmitBufferMemory) {
+  ChannelProducer::Options opts;
+  opts.window = 1000;           // frame-count window out of the way
+  opts.max_buffered_bytes = 20; // bound hit after three 8-byte payloads
+  ChannelProducer producer(9, opts);
+
+  // A silent consumer never acks, so Push stops at the byte bound even
+  // though the frame window has room for hundreds more.
+  uint64_t pushed = 0;
+  while (producer.CanPush()) {
+    ASSERT_TRUE(producer.Push(Payload(pushed), false).ok());
+    ++pushed;
+  }
+  EXPECT_EQ(pushed, 3u);  // 24 bytes buffered >= 20-byte bound
+  EXPECT_EQ(producer.stats().buffered_bytes, 24u);
+  EXPECT_EQ(producer.stats().peak_buffered_bytes, 24u);
+  util::Status refused = producer.Push(Payload(pushed), false);
+  EXPECT_FALSE(refused.ok());           // backpressure, not failure
+  EXPECT_FALSE(producer.failed());
+
+  // Acks release buffered bytes and reopen the window.
+  ChannelConsumer consumer(9);
+  for (const DataFrame& frame : producer.PollSend()) consumer.OnData(frame);
+  consumer.TakeDelivered();
+  producer.OnAck(consumer.MakeAck());
+  EXPECT_EQ(producer.stats().buffered_bytes, 0u);
+  EXPECT_EQ(producer.stats().peak_buffered_bytes, 24u);
+  EXPECT_TRUE(producer.CanPush());
+}
+
+TEST(ServerChannelTest, ReplayUnackedReoffersWithoutSpendingBudget) {
+  ChannelProducer::Options opts;
+  opts.window = 8;
+  opts.retransmit_ticks = 1000;       // timeouts effectively off
+  opts.max_retransmits_per_frame = 1; // any budget spend would fail fast
+  ChannelProducer producer(4, opts);
+  ChannelConsumer consumer(4);
+
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(producer.Push(Payload(i), i == 3).ok());
+  }
+  std::vector<DataFrame> first = producer.PollSend();
+  ASSERT_EQ(first.size(), 4u);
+  // The consumer saw frames 0 and 1 before its connection dropped; the ack
+  // for them arrived, frames 2 and 3 evaporated with the socket.
+  consumer.OnData(first[0]);
+  consumer.OnData(first[1]);
+  consumer.TakeDelivered();
+  producer.OnAck(consumer.MakeAck());
+
+  // Quiescent producer: nothing is due, nothing is sent.
+  ASSERT_TRUE(producer.PollSend().empty());
+
+  // Resume replay: exactly the unacked suffix is re-offered, counted as
+  // resume_replays, and the per-frame retransmit budget is untouched (a
+  // budget of 1 would otherwise fail the channel below).
+  producer.ReplayUnacked();
+  std::vector<DataFrame> replayed = producer.PollSend();
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].seq, 2u);
+  EXPECT_EQ(replayed[1].seq, 3u);
+  EXPECT_EQ(producer.stats().resume_replays, 2u);
+  EXPECT_FALSE(producer.failed());
+
+  // A second replay (client reconnected twice) still spends no budget.
+  producer.ReplayUnacked();
+  std::vector<DataFrame> again = producer.PollSend();
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(producer.stats().resume_replays, 4u);
+  EXPECT_FALSE(producer.failed());
+
+  // Duplicates from the double replay are dropped by consumer dedup and the
+  // stream still finishes bit-identically.
+  for (const DataFrame& frame : replayed) consumer.OnData(frame);
+  for (const DataFrame& frame : again) consumer.OnData(frame);
+  EXPECT_EQ(consumer.stats().duplicates, 2u);
+  EXPECT_TRUE(consumer.finished());
+  std::vector<std::vector<uint8_t>> tail = consumer.TakeDelivered();
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0], Payload(2));
+  EXPECT_EQ(tail[1], Payload(3));
+  producer.OnAck(consumer.MakeAck());
+  EXPECT_TRUE(producer.complete());
+  EXPECT_EQ(producer.stats().timeout_retransmits, 0u);
+  EXPECT_EQ(producer.stats().nack_retransmits, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Wire codec.
 

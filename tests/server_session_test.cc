@@ -5,6 +5,9 @@
 // doing suffix-only work. Also locks down hot-swap cache invalidation and
 // the error-is-a-response (never-kills-the-session) contract.
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +20,7 @@
 #include "aqp/engine.h"
 #include "aqp/sql_parser.h"
 #include "data/generators.h"
+#include "server/scheduler.h"
 #include "server/server.h"
 #include "server/transport.h"
 #include "util/thread_pool.h"
@@ -496,6 +500,148 @@ TEST(ServerSessionTest, PerSessionOverridesApply) {
   StreamOutcome got = RunQuery(server, pipe, reply.session, spec);
   ASSERT_TRUE(got.error.ok()) << got.error.message();
   EXPECT_EQ(got.payloads, expect);
+}
+
+/// Splits the whole-session reference stream into one payload vector per
+/// query (queries refine sequentially in a session, so query i's frames are
+/// a contiguous segment).
+std::vector<std::vector<std::vector<uint8_t>>> ReferenceSegments(
+    const std::vector<QuerySpec>& queries) {
+  std::vector<std::vector<std::vector<uint8_t>>> segments;
+  std::vector<QuerySpec> prefix;
+  size_t consumed = 0;
+  for (const QuerySpec& spec : queries) {
+    prefix.push_back(spec);
+    std::vector<std::vector<uint8_t>> whole =
+        ReferenceStream(ModelBytes(), prefix);
+    segments.emplace_back(whole.begin() + consumed, whole.end());
+    consumed = whole.size();
+  }
+  return segments;
+}
+
+TEST(ServerSessionTest, GracefulShutdownNeverTruncatesAcrossThreadCounts) {
+  EngineGuard guard;
+  const std::vector<QuerySpec> queries = DefaultQueries();
+  const std::vector<std::vector<std::vector<uint8_t>>> segments =
+      ReferenceSegments(queries);
+
+  constexpr int kSessions = 3;
+  for (int threads : {1, 4, 8}) {
+    util::SetGlobalThreads(threads);
+    AqpServer server(ServerOptions());
+    auto model = vae::VaeAqpModel::Deserialize(ModelBytes());
+    ASSERT_TRUE(model.ok());
+    server.registry().Install("taxi", std::move(*model));
+
+    std::vector<std::shared_ptr<PipeTransport>> pipes;
+    std::vector<uint64_t> ids;
+    for (int s = 0; s < kSessions; ++s) {
+      pipes.push_back(std::make_shared<PipeTransport>());
+      ids.push_back(OpenSession(server, pipes.back()));
+    }
+
+    // Each driver runs the query sequence tolerantly, recording per-query
+    // outcomes. Shutdown begins while the first queries are mid-stream.
+    std::vector<std::vector<StreamOutcome>> outcomes(kSessions);
+    std::vector<std::thread> drivers;
+    for (int s = 0; s < kSessions; ++s) {
+      drivers.emplace_back([&, s] {
+        for (const QuerySpec& spec : queries) {
+          outcomes[s].push_back(RunQuery(server, pipes[s], ids[s], spec));
+          if (!outcomes[s].back().error.ok()) break;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.BeginShutdown();
+    // Acks keep flowing from the drivers, so in-flight streams finish well
+    // inside the deadline and the drain is clean (no force-abort).
+    EXPECT_TRUE(server.Drain(/*deadline_ms=*/20000))
+        << "drain forced an abort at --threads " << threads;
+    for (std::thread& t : drivers) t.join();
+
+    size_t refused = 0;
+    for (int s = 0; s < kSessions; ++s) {
+      for (size_t q = 0; q < outcomes[s].size(); ++q) {
+        const StreamOutcome& out = outcomes[s][q];
+        if (out.error.ok()) {
+          // The never-truncation contract: a stream that reports success is
+          // the complete reference segment, bit for bit.
+          EXPECT_EQ(out.payloads, segments[q])
+              << "session " << s << " query " << q << " at --threads "
+              << threads;
+        } else {
+          ++refused;
+          EXPECT_NE(out.error.message().find("SHUTTING_DOWN"),
+                    std::string::npos)
+              << out.error.message();
+          // A refused or aborted stream delivered a bit-identical prefix of
+          // its reference segment — never reordered or corrupted frames.
+          ASSERT_LE(out.payloads.size(), segments[q].size());
+          for (size_t i = 0; i < out.payloads.size(); ++i) {
+            EXPECT_EQ(out.payloads[i], segments[q][i]);
+          }
+        }
+      }
+    }
+    // Shutdown raced ahead of the second queries, so at least one was shed
+    // with the clean error (all of them, with this timing).
+    EXPECT_GT(refused, 0u) << "at --threads " << threads;
+    EXPECT_EQ(server.ActiveStreams(), 0u);
+
+    // Post-drain opens are refused with the same clean error.
+    auto late = std::make_shared<PipeTransport>();
+    ClientMessage open;
+    open.kind = ClientMessageKind::kOpenSession;
+    open.model_name = "taxi";
+    server.Handle(open, late);
+    ServerMessage reply = late->Pop();
+    EXPECT_EQ(reply.kind, ServerMessageKind::kError);
+    EXPECT_NE(reply.message.find("SHUTTING_DOWN"), std::string::npos);
+  }
+  util::SetGlobalThreads(0);  // restore hardware default
+}
+
+TEST(ServerSessionTest, SchedulerQueueBoundShedsWithServerBusy) {
+  // A dedicated pool with a real worker thread: the pool of parallelism 1
+  // runs Submit inline, which would park the gate task on this thread.
+  util::ThreadPool pool(2);
+  RequestScheduler scheduler(&pool, /*max_queue_per_strand=*/2);
+
+  // Park the strand on a gate so queued tasks pile up deterministically.
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(scheduler
+                  .Post(7,
+                        [&] {
+                          started.set_value();
+                          gate.wait();
+                          ++ran;
+                        })
+                  .ok());
+  started.get_future().wait();  // gate task is running; queue is empty
+
+  ASSERT_TRUE(scheduler.Post(7, [&] { ++ran; }).ok());
+  ASSERT_TRUE(scheduler.Post(7, [&] { ++ran; }).ok());
+
+  // Queue at the bound: the next client post is shed with SERVER_BUSY
+  // instead of growing without limit.
+  util::Status shed = scheduler.Post(7, [&] { ++ran; });
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), util::StatusCode::kUnavailable);
+  EXPECT_NE(shed.message().find("SERVER_BUSY"), std::string::npos);
+
+  // Internal progress work is exempt — a backlogged session can still
+  // drain itself — and other strands are unaffected by this one's backlog.
+  EXPECT_TRUE(scheduler.PostInternal(7, [&] { ++ran; }).ok());
+  EXPECT_TRUE(scheduler.Post(8, [&] { ++ran; }).ok());
+
+  release.set_value();
+  scheduler.WaitIdle();
+  EXPECT_EQ(ran.load(), 5);  // everything accepted ran; the shed task never did
 }
 
 }  // namespace

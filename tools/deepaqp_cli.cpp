@@ -12,15 +12,23 @@
 //   deepaqp_cli save-model --model m.bin --out m2.bin
 //   deepaqp_cli serve      --model m.bin [--name default] [--text]
 //                          [--samples N] [--max-samples N] [--population N]
+//                          [--listen PORT] [--port-file f] [--heartbeat-ms N]
+//                          [--max-sessions N] [--max-queued N] [--drain-ms N]
+//   deepaqp_cli client     --port N --sql "SELECT ..." [--host H] [--ci X]
+//                          [--name default] [--retries N]
 //
 // The `query` flow is the paper's client story: everything after `train`
 // needs only the model file — never the data. `load-model` verifies a
 // snapshot's checksums and prints loader stats; `save-model` re-encodes a
 // verified model into a fresh current-format snapshot (atomic write).
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "aqp/engine.h"
 #include "aqp/estimator.h"
@@ -32,6 +40,8 @@
 #include "nn/kernels_quant.h"
 #include "relation/csv.h"
 #include "server/server.h"
+#include "server/socket_client.h"
+#include "server/socket_transport.h"
 #include "server/transport.h"
 #include "util/failpoint.h"
 #include "util/flags.h"
@@ -54,7 +64,8 @@ int Fail(const util::Status& status) {
 int Usage() {
   std::fputs(
       "usage: deepaqp_cli "
-      "<make-data|train|info|generate|query|load-model|save-model|serve> "
+      "<make-data|train|info|generate|query|load-model|save-model|serve"
+      "|client> "
       "[--flags]\n"
       "run with a command and no flags for that command's requirements\n"
       "global flags: --threads N, --pin off|compact|scatter, "
@@ -458,12 +469,73 @@ int ServeText(server::AqpServer& srv) {
   return 0;
 }
 
-/// Runs the AQP daemon on stdio. Default is the binary transport — u32
+/// SIGTERM/SIGINT latch for graceful drain. Async-signal-safe: the handler
+/// only stores a flag the serve loops poll.
+std::atomic<bool> g_shutdown_requested{false};
+
+void HandleShutdownSignal(int) { g_shutdown_requested.store(true); }
+
+void InstallServeSignalHandlers() {
+  // A client vanishing mid-write must surface as EPIPE on the write call
+  // (handled as connection-close), never as a process-killing signal.
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a blocking stdio read aborts with EINTR so the serve
+  // loop can notice the flag and drain instead of dying mid-frame.
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+/// Serves the daemon over TCP until SIGTERM/SIGINT, then drains gracefully:
+/// stop accepting, let in-flight streams finish (bounded), abort stragglers
+/// with SHUTTING_DOWN, flush, exit.
+int ServeTcp(server::AqpServer& srv, const util::Flags& flags, int port) {
+  server::SocketServer::Options sopts;
+  sopts.port = static_cast<uint16_t>(port);
+  sopts.bind_address = flags.GetString("bind", "127.0.0.1");
+  sopts.heartbeat_ms = static_cast<int>(
+      flags.GetInt("heartbeat-ms", flags.GetInt("heartbeat_ms", 5000)));
+  sopts.heartbeat_misses = static_cast<int>(flags.GetInt("heartbeat-misses", 3));
+  sopts.drain_deadline_ms = static_cast<int>(flags.GetInt("drain-ms", 5000));
+  server::SocketServer sock(&srv, sopts);
+  if (auto st = sock.Listen(); !st.ok()) return Fail(st);
+  if (auto st = sock.Start(); !st.ok()) return Fail(st);
+  std::fprintf(stderr, "deepaqp server listening on %s:%u\n",
+               sopts.bind_address.c_str(), sock.port());
+  // Ephemeral-port discovery for scripts/tests: --port-file gets the bound
+  // port once the listener is live.
+  const std::string port_file = flags.GetString("port-file", "");
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%u\n", sock.port());
+      std::fclose(f);
+    }
+  }
+  while (!g_shutdown_requested.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fputs("drain: refusing new work, finishing in-flight streams\n",
+             stderr);
+  const bool clean = sock.Shutdown();
+  std::fprintf(stderr, "drain %s\n",
+               clean ? "complete" : "deadline exceeded (streams aborted)");
+  return 0;
+}
+
+/// Runs the AQP daemon. Default is the binary transport on stdio — u32
 /// length-prefixed ClientMessage frames in, ServerMessage frames out —
-/// which is what a programmatic client speaks. --text switches to the
-/// line protocol above. The model is registered under --name ("default"),
-/// and sessions inherit --samples/--max-samples/--population/--seed.
+/// which is what a programmatic client speaks. --listen PORT serves the
+/// same protocol over TCP (PORT 0 picks an ephemeral port, written to
+/// --port-file) with heartbeats, session resumption and admission control.
+/// --text switches to the line protocol above. The model is registered
+/// under --name ("default"), and sessions inherit
+/// --samples/--max-samples/--population/--seed.
 int CmdServe(const util::Flags& flags) {
+  InstallServeSignalHandlers();
   auto bytes = ReadModelBytes(flags);
   if (!bytes.ok()) return Fail(bytes.status());
 
@@ -475,6 +547,10 @@ int CmdServe(const util::Flags& flags) {
   opts.client.population_rows =
       static_cast<size_t>(flags.GetInt("population", 1000000));
   opts.client.seed = static_cast<uint64_t>(flags.GetInt("seed", 2027));
+  opts.max_sessions = static_cast<size_t>(
+      flags.GetInt("max-sessions", flags.GetInt("max_sessions", 256)));
+  opts.max_queued_per_session =
+      static_cast<size_t>(flags.GetInt("max-queued", 256));
   server::AqpServer srv(opts);
   auto version =
       srv.registry().Register(flags.GetString("name", "default"), *bytes);
@@ -482,15 +558,78 @@ int CmdServe(const util::Flags& flags) {
 
   if (flags.GetBool("text", false)) return ServeText(srv);
 
+  const int listen_port = static_cast<int>(flags.GetInt("listen", -1));
+  if (listen_port >= 0) return ServeTcp(srv, flags, listen_port);
+
   auto sink = std::make_shared<server::StdioTransport>(stdout);
   for (;;) {
+    if (g_shutdown_requested.load()) break;
     auto request = server::StdioTransport::ReadRequest(stdin);
-    if (!request.ok()) return Fail(request.status());
+    if (!request.ok()) {
+      // A signal aborting the read is a drain request, not an error.
+      if (g_shutdown_requested.load()) break;
+      return Fail(request.status());
+    }
     if (!request->has_value()) break;  // client hung up cleanly
     srv.Handle(**request, sink);
   }
+  if (g_shutdown_requested.load()) {
+    srv.Drain(static_cast<int>(flags.GetInt("drain-ms", 5000)));
+  }
   srv.WaitIdle();
-  if (!sink->last_error().ok()) return Fail(sink->last_error());
+  if (!sink->last_error().ok()) {
+    // The peer dropping its end mid-stream is a normal client lifecycle
+    // event for a daemon, not a failure.
+    if (server::IsPeerClosed(sink->last_error())) return 0;
+    return Fail(sink->last_error());
+  }
+  return 0;
+}
+
+/// TCP client: opens a session against a running `serve --listen` daemon,
+/// streams one query to the requested precision, and prints the estimates.
+/// Survives server restarts and connection drops via exponential backoff +
+/// session resumption.
+int CmdClient(const util::Flags& flags) {
+  const std::string sql = flags.GetString("sql", "");
+  const int port = static_cast<int>(flags.GetInt("port", -1));
+  if (sql.empty() || port < 0) {
+    std::fputs(
+        "client needs --port N --sql \"SELECT ...\" "
+        "[--host 127.0.0.1] [--name default] [--ci 0.05] "
+        "[--samples N] [--max-samples N] [--population N] [--seed N]\n",
+        stderr);
+    return 2;
+  }
+  server::RetryingConnection::Options copts;
+  copts.host = flags.GetString("host", "127.0.0.1");
+  copts.port = static_cast<uint16_t>(port);
+  copts.max_attempts = static_cast<int>(flags.GetInt("retries", 10));
+  server::RetryingConnection client(copts);
+  if (auto st = client.Connect(); !st.ok()) return Fail(st);
+  if (auto st = client.OpenSession(
+          flags.GetString("name", "default"),
+          static_cast<uint64_t>(flags.GetInt("samples", 0)),
+          static_cast<uint64_t>(flags.GetInt("max-samples", 0)),
+          static_cast<uint64_t>(flags.GetInt("population", 0)),
+          static_cast<uint64_t>(flags.GetInt("seed", 0)));
+      !st.ok()) {
+    return Fail(st);
+  }
+  auto stream = client.RunQuery(sql, flags.GetDouble("ci", 0.05));
+  if (!stream.ok()) return Fail(stream.status());
+  for (const server::Estimate& est : stream->estimates) {
+    for (const auto& g : est.result.groups) {
+      std::printf("estimate pool=%llu group=%d value=%.6f ci=%.6f\n",
+                  static_cast<unsigned long long>(est.pool_rows), g.group,
+                  g.value, g.ci_half_width);
+    }
+  }
+  std::printf("final after %zu estimates (%llu reconnects, %llu resumes)\n",
+              stream->estimates.size(),
+              static_cast<unsigned long long>(client.reconnects()),
+              static_cast<unsigned long long>(stream->resumes));
+  client.CloseSession();
   return 0;
 }
 
@@ -535,6 +674,7 @@ int main(int argc, char** argv) {
   else if (cmd == "load-model") rc = CmdLoadModel(flags);
   else if (cmd == "save-model") rc = CmdSaveModel(flags);
   else if (cmd == "serve") rc = CmdServe(flags);
+  else if (cmd == "client") rc = CmdClient(flags);
   else return Usage();
   // Chaos observability: with fail points active, persist (or print) the
   // per-site fault counters so a chaos run leaves a structured record.
